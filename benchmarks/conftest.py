@@ -1,0 +1,61 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index) at laptop scale: the workload sizes are
+scaled down from production (the paper's 2000+ routers / 10^6 prefixes /
+10^9 flows need a server fleet), but each benchmark checks and reports the
+*shape* the paper reports — who wins, by what factor, where the knees are.
+
+Each benchmark writes its table/series to ``benchmarks/results/<id>.txt``
+(and prints it, visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workload import (
+    WanParams,
+    generate_flows,
+    generate_input_routes,
+    generate_wan,
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def record():
+    """Write a named result table to benchmarks/results/ and echo it."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _record(name: str, text: str) -> None:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n===== {name} =====\n{text}")
+
+    return _record
+
+
+@pytest.fixture(scope="session")
+def wan_world():
+    """The scaled-down 'WAN' of the evaluation benchmarks."""
+    model, inventory = generate_wan(
+        WanParams(regions=4, cores_per_region=3, seed=7)
+    )
+    routes = generate_input_routes(inventory, n_prefixes=160, redundancy=2, seed=11)
+    flows = generate_flows(inventory, routes, n_flows=2000, seed=13)
+    return model, inventory, routes, flows
+
+
+@pytest.fixture(scope="session")
+def wan_dcn_world():
+    """The 'WAN+DCN' variant: DCN core layers attached to every DC edge."""
+    model, inventory = generate_wan(
+        WanParams(regions=4, cores_per_region=3, dcn_cores_per_edge=4, seed=7)
+    )
+    routes = generate_input_routes(inventory, n_prefixes=160, redundancy=2, seed=11)
+    return model, inventory, routes

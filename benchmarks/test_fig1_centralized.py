@@ -1,0 +1,73 @@
+"""Figure 1: the original centralized simulation does not scale.
+
+Reproduces both curves: centralized simulation time grows with the number
+of prefixes on the WAN, and on WAN+DCN the run exhausts its memory budget
+after completing only part of the prefixes (the paper: 30% simulated, 40%
+failed with OOM).
+"""
+
+import pytest
+
+from repro.distsim import CentralizedRunner, MemoryExhausted
+from repro.workload import WanParams, generate_input_routes, generate_wan
+
+
+def test_fig1_centralized_time_vs_prefixes(wan_world, record, benchmark):
+    model, inventory, routes, _ = wan_world
+
+    counts = [20, 40, 80, 160]
+    rows = [f"{'# prefixes':>10s} {'time (s)':>10s} {'RIB rows':>10s}"]
+    timings = []
+    for count in counts:
+        subset = generate_input_routes(inventory, n_prefixes=count, redundancy=2,
+                                       seed=11)
+        result = CentralizedRunner(model).run(subset)
+        rows.append(
+            f"{count:10d} {result.elapsed_seconds:10.2f} {result.rib_rows:10d}"
+        )
+        timings.append((count, result.elapsed_seconds))
+    record("fig1_centralized_time", "\n".join(rows))
+
+    # Shape: time grows monotonically (and super-linearly in rows) with the
+    # prefix count.
+    times = [t for _, t in timings]
+    assert times == sorted(times) or times[-1] > times[0]
+    assert times[-1] > 2 * times[0]
+
+    # The benchmarked unit: the full-WAN centralized run.
+    benchmark(lambda: CentralizedRunner(model).run(routes))
+
+
+def test_fig1_wan_dcn_memory_exhaustion(wan_dcn_world, record, benchmark):
+    model, inventory, routes = wan_dcn_world
+
+    # Budget calibrated to the WAN-only footprint: the WAN+DCN run exceeds
+    # it partway, like the original Hoyan's OOM at WAN+DCN scale.
+    wan_only_model, wan_inv = generate_wan(WanParams(regions=4, cores_per_region=3,
+                                                     seed=7))
+    wan_routes = generate_input_routes(wan_inv, n_prefixes=160, redundancy=2, seed=11)
+    wan_rows = CentralizedRunner(wan_only_model).run(wan_routes).rib_rows
+    budget = int(wan_rows * 1.2)
+
+    def run_with_budget():
+        try:
+            CentralizedRunner(model, memory_limit_rows=budget, chunk_size=16).run(
+                routes
+            )
+            return None
+        except MemoryExhausted as exc:
+            return exc
+
+    failure = benchmark.pedantic(run_with_budget, rounds=1, iterations=1)
+    assert failure is not None, "WAN+DCN must exceed the WAN-scale memory budget"
+    record(
+        "fig1_wan_dcn_oom",
+        (
+            f"WAN RIB rows: {wan_rows}\n"
+            f"memory budget (rows): {budget}\n"
+            f"WAN+DCN completed fraction before OOM: "
+            f"{failure.completed_fraction:.0%}\n"
+            f"rows at failure: {failure.rows}"
+        ),
+    )
+    assert 0.0 < failure.completed_fraction < 1.0

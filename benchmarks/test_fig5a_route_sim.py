@@ -1,0 +1,58 @@
+"""Figure 5(a): distributed route simulation run time vs number of servers.
+
+One distributed run (100 subtasks, as in the paper) measures every
+subtask's true duration; the list-scheduling makespan model then reports
+the end-to-end time for 1..10 working servers, for both the WAN and the
+WAN+DCN networks. The paper's shape: time falls with server count but
+sub-linearly (Figure 5(c)'s uneven subtasks), and WAN+DCN — which killed
+the centralized simulator — completes fine.
+"""
+
+import pytest
+
+from repro.distsim import DistributedRouteSimulation
+
+SERVER_COUNTS = (1, 2, 4, 6, 8, 10)
+
+
+def run_and_tabulate(model, routes, label, subtasks=100):
+    sim = DistributedRouteSimulation(model)
+    result = sim.run(routes, subtasks=subtasks)
+    makespans = {s: result.makespan(s) for s in SERVER_COUNTS}
+    return result, makespans
+
+
+def test_fig5a_wan_and_wan_dcn(wan_world, wan_dcn_world, record, benchmark):
+    wan_model, _, wan_routes, _ = wan_world
+    dcn_model, _, dcn_routes = wan_dcn_world
+
+    wan_result, wan_makespans = run_and_tabulate(wan_model, wan_routes, "WAN")
+    dcn_result, dcn_makespans = run_and_tabulate(dcn_model, dcn_routes, "WAN+DCN")
+
+    rows = [f"{'# servers':>9s} {'WAN (s)':>10s} {'WAN+DCN (s)':>12s}"]
+    for servers in SERVER_COUNTS:
+        rows.append(
+            f"{servers:9d} {wan_makespans[servers]:10.3f} "
+            f"{dcn_makespans[servers]:12.3f}"
+        )
+    speedup = wan_makespans[1] / wan_makespans[10]
+    rows.append(f"\nWAN speedup 1 -> 10 servers: {speedup:.1f}x")
+    record("fig5a_route_sim", "\n".join(rows))
+
+    # Shape assertions from the paper:
+    # - more servers never slower, and 10 servers clearly faster than 1;
+    for series in (wan_makespans, dcn_makespans):
+        values = [series[s] for s in SERVER_COUNTS]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+    assert speedup > 2.0
+    # - sub-linear scaling (diminishing returns; uneven subtasks)
+    assert speedup < 10.0
+    # - WAN+DCN completes (no OOM) and costs more than WAN alone.
+    assert dcn_makespans[10] > 0
+    assert dcn_makespans[1] > wan_makespans[1]
+
+    benchmark.pedantic(
+        lambda: DistributedRouteSimulation(wan_model).run(wan_routes, subtasks=100),
+        rounds=1,
+        iterations=1,
+    )

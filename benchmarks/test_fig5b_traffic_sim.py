@@ -1,0 +1,63 @@
+"""Figure 5(b): distributed traffic simulation run time vs server count,
+ordering heuristic vs the load-everything baseline.
+
+The paper: 10 servers complete the task ~4x faster than one, and disabling
+the ordering heuristic (loading all RIB files) makes the 10-server run ~52%
+slower.
+"""
+
+import pytest
+
+from repro.distsim import (
+    DistributedRouteSimulation,
+    DistributedTrafficSimulation,
+)
+from repro.distsim.worker import WorkerConfig
+
+SERVER_COUNTS = (1, 2, 4, 6, 8, 10)
+SUBTASKS = 32  # scaled down from the paper's 128
+
+
+def run_traffic(model, routes, flows, worker_config=None):
+    route_sim = DistributedRouteSimulation(model)
+    route_sim.run(routes, subtasks=24)
+    traffic_sim = DistributedTrafficSimulation(
+        model,
+        igp=route_sim.igp,
+        store=route_sim.store,
+        db=route_sim.db,
+        worker_config=worker_config or WorkerConfig(),
+    )
+    return traffic_sim.run(flows, subtasks=SUBTASKS)
+
+
+def test_fig5b_traffic_sim(wan_world, record, benchmark):
+    model, _, routes, flows = wan_world
+
+    ordering = run_traffic(model, routes, flows)
+    baseline = run_traffic(
+        model, routes, flows, worker_config=WorkerConfig(load_all_ribs=True)
+    )
+
+    rows = [f"{'# servers':>9s} {'ordering (s)':>13s} {'baseline (s)':>13s}"]
+    for servers in SERVER_COUNTS:
+        rows.append(
+            f"{servers:9d} {ordering.makespan(servers):13.3f} "
+            f"{baseline.makespan(servers):13.3f}"
+        )
+    speedup = ordering.makespan(1) / ordering.makespan(10)
+    slowdown = baseline.makespan(10) / ordering.makespan(10)
+    rows.append(f"\nordering speedup 1 -> 10 servers: {speedup:.1f}x")
+    rows.append(f"baseline vs ordering at 10 servers: {slowdown:.0%}")
+    record("fig5b_traffic_sim", "\n".join(rows))
+
+    # Shape: multi-server speedup exists but is sub-linear; the baseline
+    # (loading all RIB files) is slower at 10 servers.
+    values = [ordering.makespan(s) for s in SERVER_COUNTS]
+    assert all(a >= b for a, b in zip(values, values[1:]))
+    assert speedup > 1.5
+    assert slowdown > 1.0
+
+    benchmark.pedantic(
+        lambda: run_traffic(model, routes, flows), rounds=1, iterations=1
+    )

@@ -1,0 +1,82 @@
+"""Figure 5(d): CDF of RIB result files loaded per traffic subtask —
+ordering heuristic vs random partitioning.
+
+The paper: with the ordering heuristic, >80% of traffic subtasks load no
+more than one third of the RIB files and the heaviest loads under 40%;
+with a random split, every subtask needs (essentially) all RIB files.
+Includes the BalancedPartitioner ablation (the paper's stated future work)
+showing the cost-balance/dependency-reduction trade-off.
+"""
+
+import pytest
+
+from repro.distsim import (
+    BalancedPartitioner,
+    DistributedRouteSimulation,
+    DistributedTrafficSimulation,
+    OrderingPartitioner,
+    RandomPartitioner,
+)
+
+ROUTE_SUBTASKS = 25
+TRAFFIC_SUBTASKS = 32
+
+
+def run(model, routes, flows, route_partitioner, flow_partitioner):
+    route_sim = DistributedRouteSimulation(model)
+    route_result = route_sim.run(
+        routes, subtasks=ROUTE_SUBTASKS, partitioner=route_partitioner
+    )
+    traffic_sim = DistributedTrafficSimulation(
+        model, igp=route_sim.igp, store=route_sim.store, db=route_sim.db
+    )
+    result = traffic_sim.run(
+        flows, subtasks=TRAFFIC_SUBTASKS, partitioner=flow_partitioner
+    )
+    return sorted(result.loaded_rib_fractions), route_result.makespan(10)
+
+
+def cdf_text(label, fractions):
+    lines = [f"{label}:"]
+    for fraction in (0.25, 0.5, 0.8, 1.0):
+        index = min(len(fractions) - 1, int(fraction * len(fractions)))
+        lines.append(f"  p{int(fraction * 100):3d}: {fractions[index]:.0%} of RIB files")
+    lines.append(f"  mean: {sum(fractions) / len(fractions):.0%}")
+    return lines
+
+
+def test_fig5d_loaded_rib_files(wan_world, record, benchmark):
+    model, _, routes, flows = wan_world
+
+    ordering, ordering_makespan = benchmark.pedantic(
+        lambda: run(model, routes, flows, OrderingPartitioner(), OrderingPartitioner()),
+        rounds=1,
+        iterations=1,
+    )
+    random_split, _ = run(
+        model, routes, flows, OrderingPartitioner(), RandomPartitioner(seed=3)
+    )
+    balanced, balanced_makespan = run(
+        model, routes, flows, BalancedPartitioner(), OrderingPartitioner()
+    )
+
+    lines = []
+    lines += cdf_text("ordering heuristic", ordering)
+    lines += cdf_text("random flow split", random_split)
+    lines += cdf_text("balanced route split (ablation)", balanced)
+    lines.append(
+        f"route-sim makespan @10 servers: ordering {ordering_makespan:.3f}s, "
+        f"balanced {balanced_makespan:.3f}s"
+    )
+    record("fig5d_rib_loading", "\n".join(lines))
+
+    # Paper shape: >80% of ordering subtasks load <= 1/3 of RIB files.
+    ordering_p80 = ordering[int(0.8 * len(ordering)) - 1]
+    assert ordering_p80 <= 1 / 3 + 1e-9
+    # Random split: (almost) every subtask loads (almost) everything.
+    assert sum(random_split) / len(random_split) > 0.9
+    # Ordering strictly dominates on average.
+    assert sum(ordering) < sum(random_split)
+    # The balanced ablation trades dependency reduction away: it loads more
+    # RIB files than plain ordering.
+    assert sum(balanced) >= sum(ordering)

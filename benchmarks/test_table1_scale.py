@@ -1,0 +1,78 @@
+"""Table 1: the scale growth from 2017 to 2024.
+
+Reproduces the table's two scale points as proportionally scaled-down
+networks: the 2017 deployment (hundreds of routers, O(10^4) high-priority
+prefixes, no traffic simulation, hours allowed) and the 2024 requirement
+(>2000 routers, O(10^6) prefixes, O(10^9) flows, minutes required). Our
+scale factor is ~1:20 on routers and much deeper on prefixes/flows, but the
+measured ratios demonstrate the requirement gap the evolution had to close.
+"""
+
+import pytest
+
+from repro.distsim import DistributedRouteSimulation, DistributedTrafficSimulation
+from repro.workload import (
+    WanParams,
+    generate_flows,
+    generate_input_routes,
+    generate_wan,
+)
+
+
+def build_world(regions, cores, prefixes, flows_count, seed=7):
+    model, inventory = generate_wan(
+        WanParams(regions=regions, cores_per_region=cores, seed=seed)
+    )
+    routes = generate_input_routes(inventory, n_prefixes=prefixes, seed=11)
+    flows = (
+        generate_flows(inventory, routes, n_flows=flows_count, seed=13)
+        if flows_count
+        else []
+    )
+    return model, routes, flows
+
+
+def run_full(model, routes, flows):
+    route_sim = DistributedRouteSimulation(model)
+    route_result = route_sim.run(routes, subtasks=20)
+    traffic_seconds = 0.0
+    if flows:
+        traffic_sim = DistributedTrafficSimulation(
+            model, igp=route_sim.igp, store=route_sim.store, db=route_sim.db
+        )
+        traffic_result = traffic_sim.run(flows, subtasks=20)
+        traffic_seconds = traffic_result.makespan(10)
+    return route_result.makespan(10), traffic_seconds
+
+
+def test_table1_scale_requirements(record, benchmark):
+    # 2017: hundreds of routers / O(10^4) prefixes / no flows -> scaled 1:20
+    small = build_world(regions=2, cores=2, prefixes=40, flows_count=0)
+    # 2024: >2000 routers / O(10^6) prefixes / O(10^9) flows -> scaled 1:20
+    large = build_world(regions=4, cores=4, prefixes=240, flows_count=3000)
+
+    def run_both():
+        t2017 = run_full(*small)
+        t2024 = run_full(*large)
+        return t2017, t2024
+
+    (t2017_route, _), (t2024_route, t2024_traffic) = benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    )
+
+    rows = [
+        f"{'year':>6s} {'# routers':>10s} {'# prefixes':>11s} {'# flows':>9s} "
+        f"{'route sim (s)':>14s} {'traffic sim (s)':>16s}",
+        f"{'2017':>6s} {len(small[0].topology.routers):10d} "
+        f"{len({r.route.prefix for r in small[1]}):11d} {0:9d} "
+        f"{t2017_route:14.3f} {'n.a.':>16s}",
+        f"{'2024':>6s} {len(large[0].topology.routers):10d} "
+        f"{len({r.route.prefix for r in large[1]}):11d} {len(large[2]):9d} "
+        f"{t2024_route:14.3f} {t2024_traffic:16.3f}",
+    ]
+    record("table1_scale", "\n".join(rows))
+
+    # The 2024 network is several times larger in every dimension and the
+    # distributed framework still completes it.
+    assert len(large[0].topology.routers) > 2 * len(small[0].topology.routers)
+    assert t2024_route > 0 and t2024_traffic > 0

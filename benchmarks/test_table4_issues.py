@@ -1,0 +1,34 @@
+"""Table 4: real-world accuracy issues found by the diagnosis framework.
+
+The paper's table is the six-month distribution of issue root classes. The
+benchmark reproduces it as a fault-injection campaign: each reconstructed
+issue class is injected into Hoyan's side (model, inputs, or monitors), and
+the §5.1 automatic accuracy validation must detect the resulting
+discrepancy. The regenerated table reports, per class, the paper's share
+and the detection outcome.
+"""
+
+import pytest
+
+from repro.diagnosis.campaign import format_table4, run_campaign
+from repro.monitor.faults import FAULT_LIBRARY, OTHERS_PERCENTAGE
+
+
+def test_table4_issue_campaign(wan_world, record, benchmark):
+    model, inventory, routes, flows = wan_world
+
+    rows = benchmark.pedantic(
+        lambda: run_campaign(model, routes, flows[:800], seed=3),
+        rounds=1,
+        iterations=1,
+    )
+    table = format_table4(rows)
+    total = sum(r.fault.percentage for r in rows) + OTHERS_PERCENTAGE
+    table += f"\n{'others (not reconstructed)':38s} {OTHERS_PERCENTAGE:7.2f}%"
+    table += f"\n{'total':38s} {total:7.2f}%"
+    record("table4_issues", table)
+
+    assert len(rows) == len(FAULT_LIBRARY) == 9
+    undetected = [r.fault.name for r in rows if not r.detected]
+    assert not undetected, f"undetected issue classes: {undetected}"
+    assert total == pytest.approx(100.0, abs=0.2)

@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Case study: root-cause analysis of an SR vendor behaviour (Figure 9).
+
+The accuracy diagnosis framework reports a link (A-B) whose simulated
+traffic load is significantly lower than the real one. The root-cause
+workflow (§5.2) identifies a large flow on the link, rebuilds its
+forwarding paths in both worlds, and compares every router's behaviour:
+router A diverges — the simulation selects two ECMP routes (via B and C)
+while the real router uses only the one via B.
+
+The real cause: router A's vendor reports IGP cost 0 for SR-enabled
+destinations, so the SR policy towards B suppresses ECMP with the C path.
+Hoyan's model, built before this VSB was known, splits the traffic — hence
+the under-simulated load on A-B. The analyzer's hint points directly at the
+SR policy.
+
+Run: python examples/case_rootcause_sr.py
+"""
+
+from repro.diagnosis import AccuracyValidator, RootCauseAnalyzer
+from repro.monitor import TrafficMonitor
+from repro.net.addr import IPAddress
+from repro.net.device import BgpPeerConfig, DeviceConfig
+from repro.net.model import NetworkModel
+from repro.net.topology import Router
+from repro.net.vendors import VENDOR_A, mismodel
+from repro.routing.inputs import inject_external_route
+from repro.routing.simulator import simulate_routes
+from repro.traffic import TrafficSimulator, make_flow
+
+PFX = "203.0.113.0/24"
+
+
+def build_network() -> NetworkModel:
+    """A connects to borders B and C at equal IGP cost; A has an SR policy
+    steering traffic towards B."""
+    model = NetworkModel()
+    for index, name in enumerate(("A", "B", "C"), start=1):
+        model.topology.add_router(Router(name=name, asn=100, vendor="vendor-a"))
+        model.add_device(
+            DeviceConfig(name, vendor="vendor-a", asn=100),
+            loopback=IPAddress.parse(f"10.255.2.{index}"),
+        )
+    model.topology.connect("A", "B", igp_cost=10, bandwidth=100e9)
+    model.topology.connect("A", "C", igp_cost=10, bandwidth=100e9)
+    for a in ("A", "B", "C"):
+        for b in ("A", "B", "C"):
+            if a != b:
+                model.device(a).add_peer(BgpPeerConfig(peer=b, remote_asn=100))
+    model.device("A").add_sr_policy("STEER-TO-B", endpoint="B")
+    return model
+
+
+def main() -> None:
+    inputs = [
+        inject_external_route("B", PFX, (65010,)),
+        inject_external_route("C", PFX, (65010,)),
+    ]
+    flows = [
+        make_flow("A", f"172.16.0.{i}", "203.0.113.9", src_port=i, volume=20e9)
+        for i in range(8)
+    ]
+
+    # --- the real network: vendor A zeroes IGP cost for SR destinations ----
+    real_model = build_network()
+    real_routes = simulate_routes(real_model, inputs)
+    real_traffic = TrafficSimulator(
+        real_model, real_routes.device_ribs, real_routes.igp
+    ).simulate(flows)
+
+    # --- Hoyan's simulation BEFORE the VSB was discovered -------------------
+    hoyan_model = build_network()
+    hoyan_model.device("A").set_vendor_profile(
+        mismodel(VENDOR_A, "sr_tunnel_zeroes_igp_cost")
+    )
+    hoyan_routes = simulate_routes(hoyan_model, inputs)
+    hoyan_traffic = TrafficSimulator(
+        hoyan_model, hoyan_routes.device_ribs, hoyan_routes.igp
+    ).simulate(flows)
+
+    # --- step 1: daily accuracy validation flags the link -------------------
+    observed = TrafficMonitor().collect_link_loads(real_traffic)
+    validator = AccuracyValidator(real_model)
+    report = validator.validate_loads(hoyan_traffic.loads, observed)
+    print("accuracy validation:")
+    print(report.summary())
+
+    # --- steps 2-5: root-cause analysis --------------------------------------
+    analyzer = RootCauseAnalyzer(
+        model=hoyan_model,
+        simulated_ribs=hoyan_routes.device_ribs,
+        real_model=real_model,
+        real_ribs=real_routes.device_ribs,
+        igp=hoyan_routes.igp,
+        real_igp=real_routes.igp,
+    )
+    findings = analyzer.analyze(report, flows)
+    print("\nroot-cause analysis:")
+    for finding in findings:
+        print(finding.report())
+
+    assert findings and findings[0].divergent_router == "A"
+    assert "SR" in findings[0].explanation
+
+    # --- the fix: model the VSB and re-validate -------------------------------
+    print("\nafter patching the simulation (modelling the SR VSB):")
+    fixed_traffic = TrafficSimulator(
+        real_model, real_routes.device_ribs, real_routes.igp
+    ).simulate(flows)
+    fixed_report = validator.validate_loads(fixed_traffic.loads, observed)
+    print(fixed_report.summary())
+    assert fixed_report.accurate
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""The §7 operator tooling: intent completion and misconfiguration
+localization.
+
+1. An operator specifies the intended effect of a change but forgets the
+   "others do not change" intent — the verification passes while the change
+   silently re-prefers unrelated routes (the paper's real incident).
+   ``completeness_warnings`` flags the gap and ``add_no_change_guard``
+   derives the missing intent, which then catches the collateral change.
+2. The failing plan is handed to the ``MisconfigurationLocalizer``, which
+   delta-debugs it down to the exact culprit commands.
+
+Run: python examples/intent_tools.py
+"""
+
+from repro.core import (
+    ChangePlan,
+    ChangeVerifier,
+    MisconfigurationLocalizer,
+    RclIntent,
+    add_no_change_guard,
+    completeness_warnings,
+)
+from repro.routing.inputs import inject_external_route
+from repro.net.addr import IPAddress
+from repro.net.device import BgpPeerConfig, DeviceConfig
+from repro.net.model import NetworkModel
+from repro.net.topology import Router
+
+TARGET = "203.0.113.0/24"
+BYSTANDER = "198.51.100.0/24"
+
+
+def build_network() -> NetworkModel:
+    model = NetworkModel()
+    for index, name in enumerate(("A", "B"), start=1):
+        model.topology.add_router(Router(name=name, asn=100, vendor="vendor-a"))
+        model.add_device(
+            DeviceConfig(name, vendor="vendor-a", asn=100),
+            loopback=IPAddress.parse(f"10.255.3.{index}"),
+        )
+    model.topology.connect("A", "B", igp_cost=10)
+    model.device("A").add_peer(BgpPeerConfig(peer="B", remote_asn=100))
+    model.device("B").add_peer(BgpPeerConfig(peer="A", remote_asn=100))
+    return model
+
+
+def main() -> None:
+    model = build_network()
+    inputs = [
+        inject_external_route("A", TARGET, (65010,)),
+        inject_external_route("A", BYSTANDER, (65020,)),
+    ]
+    verifier = ChangeVerifier(model, inputs)
+
+    # The buggy change: the route-map matches EVERY route (no match clause)
+    # instead of only the target prefix.
+    plan = ChangePlan(
+        name="prefer-target",
+        change_type="route-attributes-modification",
+        device_commands={
+            "B": [
+                "route-map FROM-A permit 10",
+                " set local-preference 300",
+                "router bgp 100",
+                " neighbor A route-map FROM-A in",
+            ]
+        },
+        intents=[
+            RclIntent(
+                f"device = B and prefix = {TARGET} => "
+                "POST |> distVals(localPref) = {300}"
+            )
+        ],
+    )
+
+    print("=== completeness lint ===")
+    for warning in completeness_warnings(plan):
+        print(f"  warning: {warning}")
+
+    print("\n=== verification of the operator's original intents ===")
+    report = verifier.verify(plan)
+    print(report.summary())
+    assert report.ok, "the incomplete specification passes — the §7 incident"
+
+    print("\n=== with the derived 'others do not change' guard ===")
+    augmented = add_no_change_guard(plan)
+    print(f"derived intent: {augmented.intents[-1].spec}")
+    augmented_report = verifier.verify(augmented)
+    print(augmented_report.summary())
+    assert not augmented_report.ok
+
+    print("\n=== localizing the misconfiguration ===")
+    localizer = MisconfigurationLocalizer(verifier)
+    result = localizer.localize(augmented)
+    print(result.report())
+    assert result.localized
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — a reproduction of Hoyan, Alibaba's global WAN verification system.
+
+From "New Evolution of Hoyan: Enhancing Scalability, Usability, and Accuracy
+for Alibaba's Global WAN Verification" (SIGCOMM 2025). The package provides:
+
+* control-plane simulation (BGP/IS-IS/SR/PBR/static) with vendor-specific
+  behaviour modelling — ``repro.routing``, ``repro.net``;
+* the distributed simulation framework with the ordering heuristic —
+  ``repro.distsim``;
+* the RCL route change intent specification language — ``repro.rcl``;
+* traffic simulation and load checking — ``repro.traffic``;
+* the accuracy diagnosis framework — ``repro.monitor``, ``repro.diagnosis``;
+* the change verification pipeline — ``repro.core``;
+* synthetic WAN workload generation — ``repro.workload``.
+
+Quickstart::
+
+    from repro.core import ChangeVerifier, ChangePlan, RclIntent
+    from repro.workload import WanParams, generate_wan, generate_input_routes
+
+    model, inventory = generate_wan(WanParams(regions=2))
+    routes = generate_input_routes(inventory, n_prefixes=50)
+    verifier = ChangeVerifier(model, routes)
+    plan = ChangePlan(name="patch", change_type="os-patch",
+                      device_commands={inventory.rrs[0]: ["router isis"]},
+                      intents=[RclIntent("PRE = POST")])
+    print(verifier.verify(plan).summary())
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import ChangePlan, ChangeVerifier, RclIntent  # noqa: F401

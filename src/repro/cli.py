@@ -1,0 +1,274 @@
+"""Command-line interface.
+
+Production Hoyan takes change verification requests through a web GUI (for
+high-risk, manually designed changes) and a REST API (for automated ones)
+(§6). This CLI is the reproduction's equivalent surface:
+
+* ``repro generate`` — build a synthetic WAN snapshot (model + input
+  routes + flows) and save it;
+* ``repro simulate`` — run route/traffic simulation on a snapshot;
+* ``repro verify`` — verify a change plan (JSON) against a snapshot;
+* ``repro audit`` — run the daily configuration audits;
+* ``repro rcl`` — parse/size-check an RCL specification;
+* ``repro vsb`` — print the vendor-behaviour differential-test table.
+
+Run ``python -m repro <command> --help`` for per-command options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import sys
+from typing import List, Optional
+
+from repro.core import (
+    Auditor,
+    ChangePlan,
+    ChangeVerifier,
+    FlowsTraverse,
+    NoOverloadedLinks,
+    PrefixReaches,
+    RclIntent,
+    add_link,
+    add_router,
+    completeness_warnings,
+    fail_link,
+    remove_link,
+    remove_router,
+)
+from repro.core.intents import flows_to_prefix
+from repro.routing.simulator import simulate_routes
+from repro.traffic.simulator import TrafficSimulator
+from repro.workload import (
+    WanParams,
+    generate_flows,
+    generate_input_routes,
+    generate_wan,
+)
+
+
+def _save_snapshot(path: str, payload: dict) -> None:
+    with open(path, "wb") as handle:
+        pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _load_snapshot(path: str) -> dict:
+    with open(path, "rb") as handle:
+        return pickle.load(handle)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    params = WanParams(
+        regions=args.regions,
+        cores_per_region=args.cores,
+        dcn_cores_per_edge=args.dcn_cores,
+        seed=args.seed,
+    )
+    model, inventory = generate_wan(params)
+    routes = generate_input_routes(inventory, n_prefixes=args.prefixes,
+                                   seed=args.seed + 1)
+    flows = generate_flows(inventory, routes, n_flows=args.flows,
+                           seed=args.seed + 2)
+    _save_snapshot(
+        args.output,
+        {"model": model, "inventory": inventory, "routes": routes, "flows": flows},
+    )
+    stats = model.stats()
+    print(
+        f"snapshot written to {args.output}: {stats['routers']} routers, "
+        f"{stats['links']} links, {len(routes)} input routes, "
+        f"{len(flows)} input flows"
+    )
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    snapshot = _load_snapshot(args.snapshot)
+    model, routes = snapshot["model"], snapshot["routes"]
+    result = simulate_routes(model, routes)
+    print(
+        f"route simulation: {result.stats.rounds} rounds, "
+        f"{result.stats.messages} messages, converged={result.stats.converged}, "
+        f"{len(result.global_rib())} RIB rows, "
+        f"{result.elapsed_seconds:.2f}s"
+    )
+    if args.traffic and snapshot.get("flows"):
+        traffic = TrafficSimulator(model, result.device_ribs, result.igp).simulate(
+            snapshot["flows"]
+        )
+        busiest = sorted(traffic.loads.loads.items(), key=lambda kv: -kv[1])[:5]
+        print(f"traffic simulation: {len(traffic.loads)} loaded links, "
+              f"{traffic.elapsed_seconds:.2f}s; busiest:")
+        for (a, b), volume in busiest:
+            print(f"  {a} <-> {b}: {volume / 1e9:.2f} Gb/s")
+    return 0
+
+
+def _plan_from_json(data: dict, flows_available: bool) -> ChangePlan:
+    """Materialize a ChangePlan from its JSON description."""
+    intents: List = []
+    for spec in data.get("rcl_intents", []):
+        intents.append(RclIntent(spec))
+    for item in data.get("reachability_intents", []):
+        intents.append(
+            PrefixReaches(
+                item["prefix"],
+                item["devices"],
+                expect_present=item.get("present", True),
+            )
+        )
+    for item in data.get("path_intents", []):
+        if not flows_available:
+            continue
+        intents.append(
+            FlowsTraverse(flows_to_prefix(item["prefix"]), item["via"])
+        )
+    if data.get("no_overload", False):
+        intents.append(NoOverloadedLinks(threshold=data.get("threshold", 1.0)))
+
+    ops = []
+    op_builders = {
+        "add-router": lambda a: add_router(**a),
+        "remove-router": lambda a: remove_router(**a),
+        "add-link": lambda a: add_link(**a),
+        "remove-link": lambda a: remove_link(**a),
+        "fail-link": lambda a: fail_link(**a),
+    }
+    for op in data.get("topology_ops", []):
+        kind = op.pop("op")
+        ops.append(op_builders[kind](op))
+
+    return ChangePlan(
+        name=data.get("name", "cli-change"),
+        change_type=data["change_type"],
+        device_commands=data.get("device_commands", {}),
+        topology_ops=ops,
+        intents=intents,
+        description=data.get("description", ""),
+    )
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    snapshot = _load_snapshot(args.snapshot)
+    with open(args.plan, "r", encoding="utf-8") as handle:
+        plan_data = json.load(handle)
+    plan = _plan_from_json(plan_data, flows_available=bool(snapshot.get("flows")))
+
+    if args.lint:
+        for warning in completeness_warnings(plan):
+            print(f"lint: {warning}")
+
+    verifier = ChangeVerifier(
+        snapshot["model"],
+        snapshot["routes"],
+        snapshot.get("flows", []),
+        distributed=args.distributed,
+    )
+    report = verifier.verify(plan)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    snapshot = _load_snapshot(args.snapshot)
+    model, routes = snapshot["model"], snapshot["routes"]
+    result = simulate_routes(model, routes)
+    failures = 0
+    for audit in Auditor(model, result.device_ribs).run():
+        print(audit)
+        failures += 0 if audit.ok else 1
+    return 0 if failures == 0 else 1
+
+
+def cmd_rcl(args: argparse.Namespace) -> int:
+    from repro.rcl import parse, spec_size
+
+    text = args.spec
+    if text == "-":
+        text = sys.stdin.read()
+    try:
+        tree = parse(text)
+    except Exception as exc:  # noqa: BLE001 - CLI boundary
+        print(f"parse error: {exc}")
+        return 1
+    print(f"valid RCL specification (size {spec_size(tree)}):")
+    print(f"  {tree}")
+    return 0
+
+
+def cmd_vsb(args: argparse.Namespace) -> int:
+    from repro.diagnosis.difftest import detect_vsbs
+    from repro.net.vendors import get_profile
+
+    detections = detect_vsbs(get_profile(args.vendor_a), get_profile(args.vendor_b))
+    for detection in detections:
+        marker = "DIFFERS " if detection.detected else "same    "
+        print(f"{marker} {detection.knob:42s} "
+              f"a={detection.observable_a} b={detection.observable_b}")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Hoyan reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a WAN snapshot")
+    generate.add_argument("--regions", type=int, default=3)
+    generate.add_argument("--cores", type=int, default=3)
+    generate.add_argument("--dcn-cores", type=int, default=0)
+    generate.add_argument("--prefixes", type=int, default=100)
+    generate.add_argument("--flows", type=int, default=1000)
+    generate.add_argument("--seed", type=int, default=7)
+    generate.add_argument("--output", "-o", default="wan-snapshot.pkl")
+    generate.set_defaults(func=cmd_generate)
+
+    simulate = sub.add_parser("simulate", help="simulate a snapshot")
+    simulate.add_argument("snapshot")
+    simulate.add_argument("--traffic", action="store_true")
+    simulate.set_defaults(func=cmd_simulate)
+
+    verify = sub.add_parser("verify", help="verify a change plan (JSON)")
+    verify.add_argument("snapshot")
+    verify.add_argument("plan")
+    verify.add_argument("--distributed", action="store_true")
+    verify.add_argument("--lint", action="store_true",
+                        help="print intent-completeness warnings")
+    verify.set_defaults(func=cmd_verify)
+
+    audit = sub.add_parser("audit", help="run daily configuration audits")
+    audit.add_argument("snapshot")
+    audit.set_defaults(func=cmd_audit)
+
+    rcl = sub.add_parser("rcl", help="parse and size an RCL specification")
+    rcl.add_argument("spec", help="specification text, or '-' for stdin")
+    rcl.set_defaults(func=cmd_rcl)
+
+    vsb = sub.add_parser("vsb", help="vendor differential-test table")
+    vsb.add_argument("--vendor-a", default="vendor-a")
+    vsb.add_argument("--vendor-b", default="vendor-b")
+    vsb.set_defaults(func=cmd_vsb)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

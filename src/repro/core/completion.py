@@ -1,0 +1,155 @@
+"""Intent-completeness heuristics (§7, "Correct specification of change
+intents").
+
+The paper recounts an incident where the operator specified the intended
+change effects correctly but forgot the critical "others do not change"
+intent — the verification passed, the change broke unrelated routes. Today
+Hoyan applies heuristics such as adding a default "others do not change"
+specification; this module implements them:
+
+* :func:`add_no_change_guard` — derive the scope the plan's RCL intents
+  actually touch (devices, prefixes, communities mentioned in their
+  predicates) and append a guarded ``PRE = POST`` intent covering
+  everything *outside* that scope.
+* :func:`completeness_warnings` — lint a plan for common specification
+  gaps: no route intents on a route-touching change, no load intent on a
+  traffic-steering change, no "others unchanged" component.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from repro.core.change_plan import ChangePlan, change_type_info
+from repro.core.intents import NoOverloadedLinks, RclIntent
+from repro.rcl import ast
+
+
+def _collect_scope(node: ast.Node, scope: Set[Tuple[str, str]]) -> None:
+    """Collect (field, value) atoms an intent's predicates/groups touch."""
+    if isinstance(node, ast.FieldCompare) and node.op == "=":
+        scope.add((node.field.name, str(node.value.value)))
+    elif isinstance(node, ast.FieldContains):
+        scope.add((node.field.name, str(node.value.value)))
+    elif isinstance(node, ast.FieldIn):
+        for value in node.values.values:
+            scope.add((node.field.name, str(value)))
+    elif isinstance(node, ast.ForallIn):
+        for value in node.values.values:
+            scope.add((node.field.name, str(value)))
+    for child in node.children():
+        _collect_scope(child, scope)
+
+
+def touched_scope(plan: ChangePlan) -> Set[Tuple[str, str]]:
+    """The (field, value) atoms the plan's RCL intents constrain."""
+    scope: Set[Tuple[str, str]] = set()
+    for intent in plan.intents:
+        if isinstance(intent, RclIntent):
+            _collect_scope(intent.tree, scope)
+    # Devices receiving commands are in scope by definition.
+    for device in plan.device_commands:
+        scope.add(("device", device))
+    return scope
+
+
+#: fields that select *which routes* are intended to change; the derived
+#: no-change guard exempts only these. Device atoms are deliberately NOT
+#: exempted — "everything on the changed router may change" would hide
+#: exactly the collateral damage the heuristic exists to catch.
+_ROUTE_SELECTING_FIELDS = ("prefix", "communities")
+
+
+def no_change_spec(plan: ChangePlan) -> Optional[str]:
+    """The derived default "others do not change" RCL specification.
+
+    Builds ``not (<intended route scope>) => PRE = POST`` from the
+    route-selecting atoms (prefixes, communities) the plan's RCL intents
+    constrain. Falls back to device atoms only when the intents select no
+    routes at all. Returns None when no scope can be derived (an unguarded
+    no-change intent would always conflict with the change's own effect).
+    """
+    scope: Set[Tuple[str, str]] = set()
+    for intent in plan.intents:
+        if isinstance(intent, RclIntent):
+            _collect_scope(intent.tree, scope)
+
+    clauses: List[str] = []
+    for field in _ROUTE_SELECTING_FIELDS:
+        values = sorted(v for f, v in scope if f == field)
+        if not values:
+            continue
+        if field == "communities":
+            parts = [f"communities contains {v}" for v in values]
+            clauses.append("(" + " or ".join(parts) + ")")
+        elif len(values) == 1:
+            clauses.append(f"{field} = {values[0]}")
+        else:
+            clauses.append(f"{field} in {{{', '.join(values)}}}")
+    if not clauses:
+        devices = sorted(v for f, v in scope if f == "device")
+        if devices:
+            if len(devices) == 1:
+                clauses.append(f"device = {devices[0]}")
+            else:
+                clauses.append(f"device in {{{', '.join(devices)}}}")
+    if not clauses:
+        return None
+    return f"not ({' or '.join(clauses)}) => PRE = POST"
+
+
+def add_no_change_guard(plan: ChangePlan) -> ChangePlan:
+    """Return a copy of the plan with the default no-change intent appended.
+
+    Idempotent: if the plan already contains an intent whose specification
+    ends in ``PRE = POST``, the plan is returned unchanged.
+    """
+    for intent in plan.intents:
+        if isinstance(intent, RclIntent) and "PRE = POST" in intent.spec:
+            return plan
+    spec = no_change_spec(plan)
+    if spec is None:
+        return plan
+    augmented = ChangePlan(
+        name=plan.name,
+        change_type=plan.change_type,
+        device_commands=dict(plan.device_commands),
+        topology_ops=list(plan.topology_ops),
+        new_input_routes=list(plan.new_input_routes),
+        intents=list(plan.intents) + [RclIntent(spec)],
+        description=plan.description,
+    )
+    return augmented
+
+
+def completeness_warnings(plan: ChangePlan) -> List[str]:
+    """Lint a change plan for common specification gaps."""
+    warnings: List[str] = []
+    info = change_type_info(plan.change_type)
+
+    has_rcl = any(isinstance(i, RclIntent) for i in plan.intents)
+    if info["route_intent"] and not has_rcl:
+        warnings.append(
+            f"{plan.change_type} is a starred Table-2 type but the plan has "
+            f"no RCL route change intent"
+        )
+
+    has_no_change = any(
+        isinstance(i, RclIntent) and "PRE = POST" in i.spec for i in plan.intents
+    )
+    if has_rcl and not has_no_change:
+        warnings.append(
+            'no "others do not change" component — the §7 incident pattern '
+            "(consider add_no_change_guard)"
+        )
+
+    has_load = any(isinstance(i, NoOverloadedLinks) for i in plan.intents)
+    if plan.change_type in ("traffic-steering", "topology-adjustment") and not has_load:
+        warnings.append(
+            f"{plan.change_type} without a traffic-load intent "
+            f"(e.g. NoOverloadedLinks)"
+        )
+
+    if not plan.intents:
+        warnings.append("the plan specifies no intents at all")
+    return warnings

@@ -1,0 +1,134 @@
+"""k-failure verification (§6.2, building on [27, 52]).
+
+Checks whether a property holds under every combination of at most k
+link/router failures. Exhaustive enumeration is bounded by
+``max_scenarios`` (production Hoyan uses smarter pruning; the bound keeps
+laptop runs tractable while exploring the same scenario space shape).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.net.model import NetworkModel
+from repro.net.topology import Link
+from repro.routing.inputs import InputRoute, build_local_input_routes
+from repro.routing.isis import compute_igp
+from repro.routing.simulator import SimulationResult, simulate_routes
+
+#: property(model, simulation_result) -> list of violation strings
+PropertyCheck = Callable[[NetworkModel, SimulationResult], List[str]]
+
+
+@dataclass
+class KFailureViolation:
+    """One failure scenario that breaks the property."""
+
+    failed_links: Tuple[Tuple[str, str], ...]
+    failed_routers: Tuple[str, ...]
+    violations: List[str]
+
+    def __str__(self) -> str:
+        parts = []
+        if self.failed_links:
+            parts.append(f"links={['-'.join(l) for l in self.failed_links]}")
+        if self.failed_routers:
+            parts.append(f"routers={list(self.failed_routers)}")
+        return f"failure scenario ({', '.join(parts)}): {self.violations[:3]}"
+
+
+@dataclass
+class KFailureResult:
+    scenarios_checked: int
+    violations: List[KFailureViolation] = field(default_factory=list)
+    truncated: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class KFailureChecker:
+    """Enumerates failure scenarios and re-simulates each."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        input_routes: Sequence[InputRoute],
+        fail_links: bool = True,
+        fail_routers: bool = False,
+        max_scenarios: int = 200,
+    ) -> None:
+        self.model = model
+        self.input_routes = list(input_routes) + build_local_input_routes(model)
+        self.fail_links = fail_links
+        self.fail_routers = fail_routers
+        self.max_scenarios = max_scenarios
+
+    def _scenarios(self, k: int) -> Iterable[Tuple[List[Link], List[str]]]:
+        links = self.model.topology.links if self.fail_links else []
+        routers = self.model.topology.router_names if self.fail_routers else []
+        elements: List[Tuple[str, object]] = [("link", l) for l in links] + [
+            ("router", r) for r in routers
+        ]
+        for size in range(1, k + 1):
+            for combo in itertools.combinations(elements, size):
+                failed_links = [item for kind, item in combo if kind == "link"]
+                failed_routers = [item for kind, item in combo if kind == "router"]
+                yield failed_links, failed_routers
+
+    def check(self, k: int, prop: PropertyCheck) -> KFailureResult:
+        """Check the property under every <=k failure scenario."""
+        started = time.perf_counter()
+        result = KFailureResult(scenarios_checked=0)
+        for failed_links, failed_routers in self._scenarios(k):
+            if result.scenarios_checked >= self.max_scenarios:
+                result.truncated = True
+                break
+            result.scenarios_checked += 1
+            scenario_model = self.model.copy()
+            for link in failed_links:
+                found = scenario_model.topology.find_link(*link.endpoints)
+                if found is not None:
+                    scenario_model.topology.fail_link(found)
+            for router in failed_routers:
+                scenario_model.topology.fail_router(router)
+            simulation = simulate_routes(
+                scenario_model, self.input_routes, include_local_inputs=False
+            )
+            violations = prop(scenario_model, simulation)
+            if violations:
+                result.violations.append(
+                    KFailureViolation(
+                        failed_links=tuple(l.endpoints for l in failed_links),
+                        failed_routers=tuple(failed_routers),
+                        violations=violations,
+                    )
+                )
+        result.elapsed_seconds = time.perf_counter() - started
+        return result
+
+
+def reachability_property(
+    prefix: str, devices: Sequence[str], vrf: str = "global"
+) -> PropertyCheck:
+    """Property: the prefix stays reachable on the given devices."""
+    from repro.net.addr import as_prefix
+
+    target = as_prefix(prefix)
+
+    def prop(model: NetworkModel, simulation: SimulationResult) -> List[str]:
+        problems = []
+        for device in devices:
+            if not model.topology.router_is_up(device):
+                continue  # the device itself failed; not a routing problem
+            rib = simulation.device_ribs.get(device)
+            if rib is None or not rib.routes_for(target, vrf):
+                problems.append(f"{device} lost {target}")
+        return problems
+
+    return prop

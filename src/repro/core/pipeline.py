@@ -1,0 +1,173 @@
+"""The change verification pipeline (Figure 2, left side).
+
+Pre-processing phase (run once, daily): build the base network model's
+simulation results — base RIBs, flow paths, and link loads.
+
+Change verification phase (per request): parse the change plan's commands,
+build the updated model incrementally from the pre-computed base, run route
+and traffic simulation for the updated network (distributed when configured),
+check the operator's intents against the simulated results, and emit
+counter-examples for violations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.change_plan import ChangePlan
+from repro.core.intents import IntentResult, VerificationContext
+from repro.distsim.master import (
+    DistributedRouteSimulation,
+    DistributedTrafficSimulation,
+)
+from repro.net.model import NetworkModel
+from repro.routing.inputs import InputRoute, build_local_input_routes
+from repro.routing.isis import compute_igp
+from repro.routing.rib import DeviceRib, GlobalRib
+from repro.routing.simulator import simulate_routes
+from repro.traffic.flow import Flow
+from repro.traffic.simulator import TrafficSimulationResult, TrafficSimulator
+
+
+@dataclass
+class VerificationReport:
+    """Result of verifying one change plan."""
+
+    plan: ChangePlan
+    intent_results: List[IntentResult] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    route_sim_seconds: float = 0.0
+    traffic_sim_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(result.satisfied for result in self.intent_results)
+
+    @property
+    def violated(self) -> List[IntentResult]:
+        return [r for r in self.intent_results if not r.satisfied]
+
+    def summary(self) -> str:
+        verdict = "PASS" if self.ok else "RISK DETECTED"
+        lines = [
+            f"change {self.plan.name!r} ({self.plan.change_type}): {verdict} "
+            f"in {self.elapsed_seconds:.2f}s "
+            f"({len(self.intent_results)} intents checked)"
+        ]
+        for result in self.intent_results:
+            lines.append(str(result))
+        return "\n".join(lines)
+
+
+@dataclass
+class _World:
+    """Simulated state of one network model."""
+
+    model: NetworkModel
+    device_ribs: Dict[str, DeviceRib]
+    global_rib: GlobalRib
+    traffic: Optional[TrafficSimulationResult]
+
+
+class ChangeVerifier:
+    """Verifies change plans against a pre-processed base network."""
+
+    def __init__(
+        self,
+        base_model: NetworkModel,
+        input_routes: Sequence[InputRoute],
+        input_flows: Sequence[Flow] = (),
+        distributed: bool = False,
+        route_subtasks: int = 100,
+        traffic_subtasks: int = 128,
+        workers: int = 1,
+        max_rounds: int = 50,
+    ) -> None:
+        self.base_model = base_model
+        self.input_routes = list(input_routes)
+        self.input_flows = list(input_flows)
+        self.distributed = distributed
+        self.route_subtasks = route_subtasks
+        self.traffic_subtasks = traffic_subtasks
+        self.workers = workers
+        self.max_rounds = max_rounds
+        self._base_world: Optional[_World] = None
+
+    # -- pre-processing phase ---------------------------------------------------
+
+    def prepare_base(self) -> None:
+        """Simulate the base network (the daily pre-processing run)."""
+        self._base_world = self._simulate(self.base_model, self.input_routes)
+
+    @property
+    def base_world(self) -> _World:
+        if self._base_world is None:
+            self.prepare_base()
+        assert self._base_world is not None
+        return self._base_world
+
+    # -- change verification phase -------------------------------------------------
+
+    def verify(self, plan: ChangePlan) -> VerificationReport:
+        """Verify one change plan (the per-request phase)."""
+        started = time.perf_counter()
+        report = VerificationReport(plan=plan)
+
+        updated_model = plan.build_updated_model(self.base_model)
+        updated_inputs = self.input_routes + plan.new_input_routes
+
+        route_started = time.perf_counter()
+        updated_world = self._simulate(updated_model, updated_inputs)
+        report.route_sim_seconds = time.perf_counter() - route_started
+
+        base = self.base_world
+        ctx = VerificationContext(
+            base_model=self.base_model,
+            updated_model=updated_model,
+            base_rib=base.global_rib,
+            updated_rib=updated_world.global_rib,
+            base_device_ribs=base.device_ribs,
+            updated_device_ribs=updated_world.device_ribs,
+            base_traffic=base.traffic,
+            updated_traffic=updated_world.traffic,
+            flows=self.input_flows,
+        )
+        for intent in plan.intents:
+            report.intent_results.append(intent.evaluate(ctx))
+        report.elapsed_seconds = time.perf_counter() - started
+        return report
+
+    # -- simulation helpers ------------------------------------------------------------
+
+    def _simulate(
+        self, model: NetworkModel, input_routes: Sequence[InputRoute]
+    ) -> _World:
+        all_inputs = list(input_routes) + build_local_input_routes(model)
+        igp = compute_igp(model)
+        if self.distributed:
+            route_sim = DistributedRouteSimulation(model, igp=igp)
+            route_result = route_sim.run(
+                all_inputs, subtasks=self.route_subtasks, workers=self.workers
+            )
+            device_ribs = route_result.device_ribs
+        else:
+            result = simulate_routes(
+                model, all_inputs, include_local_inputs=False, igp=igp,
+                max_rounds=self.max_rounds,
+            )
+            device_ribs = result.device_ribs
+
+        traffic: Optional[TrafficSimulationResult] = None
+        if self.input_flows:
+            traffic = TrafficSimulator(model, device_ribs, igp=igp).simulate(
+                self.input_flows
+            )
+
+        return _World(
+            model=model,
+            device_ribs=device_ribs,
+            global_rib=GlobalRib.from_device_ribs(device_ribs.values()).best_routes(),
+            traffic=traffic,
+        )

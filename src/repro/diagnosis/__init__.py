@@ -1,0 +1,31 @@
+"""Hoyan's accuracy diagnosis framework (§5).
+
+Automatic accuracy validation cross-checks simulated routes/loads against
+the monitoring systems and the live-network oracle; root-cause analysis
+walks a mis-simulated flow hop by hop to the first divergent router; and
+the differential tester detects vendor-specific behaviours by running the
+same scenario under different vendor models.
+"""
+
+from repro.diagnosis.validation import (
+    AccuracyReport,
+    AccuracyValidator,
+    LinkDiscrepancy,
+    RouteDiscrepancy,
+)
+from repro.diagnosis.rootcause import RootCauseAnalyzer, RootCauseFinding
+from repro.diagnosis.difftest import VsbDetection, detect_vsbs
+from repro.diagnosis.postchange import PostChangeVerdict, validate_post_change
+
+__all__ = [
+    "AccuracyReport",
+    "AccuracyValidator",
+    "LinkDiscrepancy",
+    "RouteDiscrepancy",
+    "RootCauseAnalyzer",
+    "RootCauseFinding",
+    "VsbDetection",
+    "detect_vsbs",
+    "PostChangeVerdict",
+    "validate_post_change",
+]

@@ -1,0 +1,153 @@
+"""The Table-4 accuracy campaign: inject each issue class, run Hoyan, and
+let the accuracy diagnosis framework find the discrepancy.
+
+For each fault, a ground truth (the "live network") is simulated with the
+correct model and inputs; Hoyan's side is corrupted by the fault; the §5.1
+validation compares Hoyan's simulated routes and loads against the
+monitoring feeds derived from the ground truth. A fault counts as detected
+when the validation reports at least one discrepancy.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.diagnosis.validation import AccuracyReport, AccuracyValidator
+from repro.monitor.faults import FAULT_LIBRARY, FaultSpec, HoyanSetup, apply_fault
+from repro.monitor.route_monitor import RouteMonitor
+from repro.monitor.traffic_monitor import TrafficMonitor
+from repro.net.model import NetworkModel
+from repro.routing.inputs import InputRoute
+from repro.routing.simulator import simulate_routes
+from repro.traffic.flow import Flow
+from repro.traffic.simulator import TrafficSimulator
+
+
+@dataclass
+class CampaignRow:
+    """Outcome of injecting one Table-4 issue class."""
+
+    fault: FaultSpec
+    detail: str
+    route_discrepancies: int
+    load_discrepancies: int
+    elapsed_seconds: float
+
+    @property
+    def detected(self) -> bool:
+        return self.route_discrepancies > 0 or self.load_discrepancies > 0
+
+
+@dataclass
+class GroundTruth:
+    """The live network and everything the monitoring systems observed."""
+
+    model: NetworkModel
+    input_routes: List[InputRoute]
+    flows: List[Flow]
+    device_ribs: Dict
+    monitored_routes: List
+    observed_loads: object
+    igp: object
+
+
+def build_ground_truth(
+    model: NetworkModel,
+    input_routes: Sequence[InputRoute],
+    flows: Sequence[Flow],
+) -> GroundTruth:
+    """Simulate the real network and derive the monitoring feeds."""
+    result = simulate_routes(model, input_routes)
+    traffic = TrafficSimulator(model, result.device_ribs, result.igp).simulate(flows)
+    monitor = RouteMonitor(model)
+    return GroundTruth(
+        model=model,
+        input_routes=list(input_routes),
+        flows=list(flows),
+        device_ribs=result.device_ribs,
+        monitored_routes=monitor.collect(result.device_ribs),
+        observed_loads=TrafficMonitor().collect_link_loads(traffic),
+        igp=result.igp,
+    )
+
+
+def run_fault(
+    truth: GroundTruth,
+    fault: FaultSpec,
+    seed: int = 0,
+    load_threshold_fraction: float = 0.02,
+) -> CampaignRow:
+    """Inject one fault on Hoyan's side and run the accuracy validation."""
+    started = time.perf_counter()
+    setup = HoyanSetup(
+        model=truth.model.copy(),
+        input_routes=list(truth.input_routes),
+        input_flows=list(truth.flows),
+        route_monitor=RouteMonitor(truth.model),
+        traffic_monitor=TrafficMonitor(),
+    )
+    detail = apply_fault(fault, setup, seed=seed)
+
+    # The monitoring feed Hoyan actually receives (route-agent faults and
+    # NetFlow misreports corrupt it here).
+    monitored_routes = setup.route_monitor.collect(truth.device_ribs)
+    hoyan_flows = setup.traffic_monitor.as_input_flows(
+        setup.traffic_monitor.collect_flows(truth.flows)
+    )
+
+    # Hoyan's own simulation, on its (possibly corrupted) model and inputs.
+    simulated = simulate_routes(
+        setup.model, setup.input_routes, max_rounds=setup.max_rounds
+    )
+    simulated_traffic = TrafficSimulator(
+        setup.model, simulated.device_ribs, simulated.igp
+    ).simulate(hoyan_flows)
+
+    validator = AccuracyValidator(
+        truth.model, load_threshold_fraction=load_threshold_fraction
+    )
+    route_report = validator.validate_routes(simulated.device_ribs, monitored_routes)
+    load_report = validator.validate_loads(
+        simulated_traffic.loads, truth.observed_loads
+    )
+    return CampaignRow(
+        fault=fault,
+        detail=detail,
+        route_discrepancies=len(route_report.route_discrepancies),
+        load_discrepancies=len(load_report.link_discrepancies),
+        elapsed_seconds=time.perf_counter() - started,
+    )
+
+
+def run_campaign(
+    model: NetworkModel,
+    input_routes: Sequence[InputRoute],
+    flows: Sequence[Flow],
+    faults: Optional[Sequence[FaultSpec]] = None,
+    seed: int = 0,
+) -> List[CampaignRow]:
+    """Run every Table-4 issue class against a shared ground truth."""
+    truth = build_ground_truth(model, input_routes, flows)
+    rows = []
+    for fault in faults if faults is not None else FAULT_LIBRARY:
+        rows.append(run_fault(truth, fault, seed=seed))
+    return rows
+
+
+def format_table4(rows: Sequence[CampaignRow]) -> str:
+    """Render the campaign as the Table-4 layout (class, share, detection)."""
+    lines = [
+        f"{'issue class':38s} {'paper %':>8s} {'detected':>9s} "
+        f"{'route disc.':>12s} {'load disc.':>11s}",
+        "-" * 84,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.fault.name:38s} {row.fault.percentage:7.2f}% "
+            f"{'yes' if row.detected else 'NO':>9s} "
+            f"{row.route_discrepancies:12d} {row.load_discrepancies:11d}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""Post-change validation (§6.2).
+
+During the next-generation WAN rollout, operators use Hoyan's simulation as
+ground truth to validate vendors' implementations: after a change executes,
+they simulate the updated network and compare against the live network —
+any inconsistency indicates a hardware/software issue and triggers a
+rollback. The comparison must finish in minutes, which is why the
+distributed framework matters.
+
+Here the "live network" is a second simulation whose vendor profiles may
+deviate (an implementation bug in the new vendor's gear), so the module
+exercises the exact comparison-and-verdict path.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.diagnosis.validation import AccuracyReport, RouteDiscrepancy
+from repro.net.model import NetworkModel
+from repro.routing.inputs import InputRoute
+from repro.routing.rib import DeviceRib
+from repro.routing.simulator import simulate_routes
+
+
+@dataclass
+class PostChangeVerdict:
+    """Outcome of a post-change validation run."""
+
+    consistent: bool
+    report: AccuracyReport
+    elapsed_seconds: float
+    recommendation: str
+
+    def summary(self) -> str:
+        lines = [
+            f"post-change validation: "
+            f"{'CONSISTENT' if self.consistent else 'INCONSISTENT'} "
+            f"({self.elapsed_seconds:.2f}s)",
+            f"recommendation: {self.recommendation}",
+        ]
+        if not self.consistent:
+            lines.append(self.report.summary())
+        return "\n".join(lines)
+
+
+def validate_post_change(
+    expected_model: NetworkModel,
+    input_routes: Sequence[InputRoute],
+    live_ribs: Dict[str, DeviceRib],
+    time_budget_seconds: float = 300.0,
+) -> PostChangeVerdict:
+    """Simulate the expected post-change network and compare with the live one.
+
+    ``live_ribs`` are the routes observed on the executed network (in tests
+    and benchmarks: a simulation under the vendor's *actual* behaviour).
+    An inconsistency recommends rollback; exceeding the time budget makes
+    the run unusable for in-time rollback regardless of the result.
+    """
+    started = time.perf_counter()
+    expected = simulate_routes(expected_model, input_routes)
+
+    # Post-change validation compares FULL RIBs (best + ECMP), not the
+    # best-only agent feed: vendor implementation quirks often surface as
+    # ECMP-set differences invisible to the monitoring system (§5.1's blind
+    # spot, Figure 9's symptom).
+    report = AccuracyReport()
+    expected_rows = {
+        row.identity(): row
+        for rib in expected.device_ribs.values()
+        for row in rib.all_rows()
+        if row.route.protocol == "bgp"
+    }
+    live_rows = {
+        row.identity(): row
+        for rib in live_ribs.values()
+        for row in rib.all_rows()
+        if row.route.protocol == "bgp"
+    }
+    report.routes_compared = len(expected_rows.keys() | live_rows.keys())
+    for identity, row in expected_rows.items():
+        if identity not in live_rows:
+            report.route_discrepancies.append(
+                RouteDiscrepancy(
+                    "missing", row.device, row.vrf, str(row.route.prefix),
+                    detail=f"simulated but absent on the live network: {row}",
+                )
+            )
+    for identity, row in live_rows.items():
+        if identity not in expected_rows:
+            report.route_discrepancies.append(
+                RouteDiscrepancy(
+                    "extra", row.device, row.vrf, str(row.route.prefix),
+                    detail=f"on the live network but not simulated: {row}",
+                )
+            )
+    elapsed = time.perf_counter() - started
+
+    if elapsed > time_budget_seconds:
+        recommendation = (
+            f"validation took {elapsed:.0f}s (> {time_budget_seconds:.0f}s "
+            f"budget) — too slow for in-time rollback; scale out the "
+            f"simulation"
+        )
+    elif report.accurate:
+        recommendation = "change behaves as simulated; keep it"
+    else:
+        recommendation = (
+            "live network deviates from the simulation — roll back and "
+            "investigate the vendor implementation"
+        )
+    return PostChangeVerdict(
+        consistent=report.accurate,
+        report=report,
+        elapsed_seconds=elapsed,
+        recommendation=recommendation,
+    )

@@ -1,0 +1,282 @@
+"""The master server (Figure 3): split, dispatch, monitor, retry, merge.
+
+The master prepares subtasks by partitioning the inputs, uploads each
+subtask's input as a separate store object, pushes one message per subtask
+onto the MQ, and processes them with a pool of workers. When the DB reports
+a failed subtask, its message is resent (bounded retries). After all
+subtasks finish, results are collected and merged.
+
+Execution modes:
+
+* ``run(workers=N)`` — real thread pool of N workers draining the MQ.
+* ``run(workers=1)`` then :func:`makespan` — serial execution measuring each
+  subtask's true duration, from which the list-scheduling model reports the
+  end-to-end time for *any* server count (how the Figure 5(a)/(b) curves are
+  produced without ten physical servers).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.distsim.mq import Message, MessageQueue
+from repro.distsim.partition import OrderingPartitioner, ranges_of_prefixes
+from repro.distsim.storage import ObjectStore
+from repro.distsim.taskdb import FAILED, FINISHED, SubtaskDB, SubtaskRecord
+from repro.distsim.worker import Worker, WorkerConfig, merge_device_ribs
+from repro.net.model import NetworkModel
+from repro.routing.inputs import InputRoute
+from repro.routing.isis import IgpState, compute_igp
+from repro.routing.rib import DeviceRib, GlobalRib
+from repro.traffic.flow import Flow
+from repro.traffic.load import LinkLoadMap
+
+
+class TaskFailed(RuntimeError):
+    """A subtask exhausted its retries."""
+
+
+def makespan(durations: Sequence[float], servers: int) -> float:
+    """End-to-end time for subtasks consumed in order by ``servers`` workers.
+
+    Models MQ consumption: each message goes to the earliest-free server.
+    """
+    if servers < 1:
+        raise ValueError("servers must be >= 1")
+    free_at = [0.0] * servers
+    for duration in durations:
+        earliest = min(range(servers), key=lambda i: free_at[i])
+        free_at[earliest] += duration
+    return max(free_at) if durations else 0.0
+
+
+@dataclass
+class RouteTaskResult:
+    """Merged output of a distributed route simulation."""
+
+    device_ribs: Dict[str, DeviceRib]
+    db: SubtaskDB
+    store: ObjectStore
+    subtask_durations: List[float]
+    elapsed_seconds: float
+
+    def global_rib(self, best_only: bool = False) -> GlobalRib:
+        rib = GlobalRib.from_device_ribs(self.device_ribs.values())
+        return rib.best_routes() if best_only else rib
+
+    def makespan(self, servers: int) -> float:
+        return makespan(self.subtask_durations, servers)
+
+
+@dataclass
+class TrafficTaskResult:
+    """Merged output of a distributed traffic simulation."""
+
+    loads: LinkLoadMap
+    paths: Dict
+    db: SubtaskDB
+    store: ObjectStore
+    subtask_durations: List[float]
+    elapsed_seconds: float
+
+    def makespan(self, servers: int) -> float:
+        return makespan(self.subtask_durations, servers)
+
+    @property
+    def loaded_rib_fractions(self) -> List[float]:
+        """Per traffic subtask: fraction of RIB files loaded (Figure 5(d))."""
+        total = len([r for r in self.db.all(kind="route") if r.result_key])
+        if total == 0:
+            return []
+        return [
+            record.loaded_rib_files / total
+            for record in self.db.all(kind="traffic")
+            if record.status == FINISHED
+        ]
+
+
+class _TaskRunner:
+    """Shared dispatch/monitor/retry loop."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        igp: Optional[IgpState] = None,
+        store: Optional[ObjectStore] = None,
+        db: Optional[SubtaskDB] = None,
+        worker_config: Optional[WorkerConfig] = None,
+        max_retries: int = 3,
+    ) -> None:
+        self.model = model
+        self.igp = igp if igp is not None else compute_igp(model)
+        self.store = store if store is not None else ObjectStore()
+        self.db = db if db is not None else SubtaskDB()
+        self.mq = MessageQueue()
+        self.worker_config = worker_config or WorkerConfig()
+        self.max_retries = max_retries
+
+    def _drain(self, workers: int, task_ids: List[str]) -> None:
+        """Consume the queue with ``workers`` threads until all finish."""
+        retries: Dict[str, int] = {}
+
+        def loop(worker: Worker) -> None:
+            while True:
+                message = self.mq.pop()
+                if message is None:
+                    return
+                ok = worker.handle(message)
+                if not ok:
+                    attempts = retries.get(message.subtask_id, 1)
+                    if attempts >= self.max_retries:
+                        continue  # stays FAILED; surfaced below
+                    retries[message.subtask_id] = attempts + 1
+                    self.mq.push(message.retry())
+
+        pool = [
+            Worker(
+                f"worker-{index}",
+                self.model,
+                self.igp,
+                self.store,
+                self.db,
+                self.worker_config,
+            )
+            for index in range(max(1, workers))
+        ]
+        if len(pool) == 1:
+            loop(pool[0])
+        else:
+            threads = [
+                threading.Thread(target=loop, args=(worker,)) for worker in pool
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+        failed = [r for r in self.db.failed() if r.subtask_id in task_ids]
+        if failed:
+            details = "; ".join(f"{r.subtask_id}: {r.error}" for r in failed[:5])
+            raise TaskFailed(f"{len(failed)} subtasks failed permanently ({details})")
+
+
+class DistributedRouteSimulation(_TaskRunner):
+    """Distributed route simulation (100 subtasks in the paper)."""
+
+    def run(
+        self,
+        input_routes: Sequence[InputRoute],
+        subtasks: int = 100,
+        workers: int = 1,
+        partitioner=None,
+        task_name: str = "route-task",
+    ) -> RouteTaskResult:
+        started = time.perf_counter()
+        partitioner = partitioner or OrderingPartitioner()
+        chunks = partitioner.split_routes(list(input_routes), subtasks)
+
+        task_ids: List[str] = []
+        for index, chunk in enumerate(chunks):
+            if not chunk:
+                continue
+            subtask_id = f"{task_name}/route-{index:04d}"
+            input_key = f"{subtask_id}/input"
+            result_key = f"{subtask_id}/result"
+            self.store.put(input_key, chunk)
+            record = SubtaskRecord(subtask_id=subtask_id, kind="route")
+            record.ranges = ranges_of_prefixes([r.route.prefix for r in chunk])
+            self.db.register(record)
+            self.mq.push(
+                Message(
+                    subtask_id=subtask_id,
+                    kind="route",
+                    payload={"input_key": input_key, "result_key": result_key},
+                )
+            )
+            task_ids.append(subtask_id)
+
+        self._drain(workers, task_ids)
+
+        rib_maps = [
+            self.store.get(record.result_key)
+            for record in self.db.all(kind="route")
+            if record.subtask_id in task_ids and record.result_key
+        ]
+        merged = merge_device_ribs(rib_maps)
+        durations = [
+            record.duration
+            for record in self.db.all(kind="route")
+            if record.subtask_id in task_ids and record.status == FINISHED
+        ]
+        return RouteTaskResult(
+            device_ribs=merged,
+            db=self.db,
+            store=self.store,
+            subtask_durations=durations,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+
+class DistributedTrafficSimulation(_TaskRunner):
+    """Distributed traffic simulation (128 subtasks in the paper).
+
+    Must share the ``store``/``db`` of the route simulation it follows, so
+    workers can discover and load the route subtasks' RIB result files.
+    """
+
+    def run(
+        self,
+        flows: Sequence[Flow],
+        subtasks: int = 128,
+        workers: int = 1,
+        partitioner=None,
+        task_name: str = "traffic-task",
+    ) -> TrafficTaskResult:
+        started = time.perf_counter()
+        partitioner = partitioner or OrderingPartitioner()
+        chunks = partitioner.split_flows(list(flows), subtasks)
+
+        task_ids: List[str] = []
+        for index, chunk in enumerate(chunks):
+            if not chunk:
+                continue
+            subtask_id = f"{task_name}/traffic-{index:04d}"
+            input_key = f"{subtask_id}/input"
+            result_key = f"{subtask_id}/result"
+            self.store.put(input_key, chunk)
+            self.db.register(SubtaskRecord(subtask_id=subtask_id, kind="traffic"))
+            self.mq.push(
+                Message(
+                    subtask_id=subtask_id,
+                    kind="traffic",
+                    payload={"input_key": input_key, "result_key": result_key},
+                )
+            )
+            task_ids.append(subtask_id)
+
+        self._drain(workers, task_ids)
+
+        loads = LinkLoadMap()
+        paths: Dict = {}
+        for record in self.db.all(kind="traffic"):
+            if record.subtask_id not in task_ids or not record.result_key:
+                continue
+            result = self.store.get(record.result_key)
+            loads = loads.merge(result["loads"])
+            paths.update(result["paths"])
+        durations = [
+            record.duration
+            for record in self.db.all(kind="traffic")
+            if record.subtask_id in task_ids and record.status == FINISHED
+        ]
+        return TrafficTaskResult(
+            loads=loads,
+            paths=paths,
+            db=self.db,
+            store=self.store,
+            subtask_durations=durations,
+            elapsed_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,61 @@
+"""Simulated message queue (Figure 3's MQ).
+
+FIFO delivery with explicit acknowledgement: a consumed but unacknowledged
+message can be re-queued (the master "resends a message back to the MQ" when
+a subtask fails, §3.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class Message:
+    """A subtask message: its id plus metadata referencing store objects."""
+
+    subtask_id: str
+    kind: str  # "route" | "traffic"
+    payload: Dict[str, Any] = field(default_factory=dict)
+    attempt: int = 1
+
+    def retry(self) -> "Message":
+        return Message(
+            subtask_id=self.subtask_id,
+            kind=self.kind,
+            payload=self.payload,
+            attempt=self.attempt + 1,
+        )
+
+
+class MessageQueue:
+    """A thread-safe FIFO queue."""
+
+    def __init__(self) -> None:
+        self._queue: deque = deque()
+        self._lock = threading.Lock()
+        self.pushed = 0
+        self.consumed = 0
+
+    def push(self, message: Message) -> None:
+        with self._lock:
+            self._queue.append(message)
+            self.pushed += 1
+
+    def pop(self) -> Optional[Message]:
+        """Consume the next message, or None when the queue is empty."""
+        with self._lock:
+            if not self._queue:
+                return None
+            self.consumed += 1
+            return self._queue.popleft()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._queue)
+
+    def empty(self) -> bool:
+        return len(self) == 0

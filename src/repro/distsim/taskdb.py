@@ -1,0 +1,83 @@
+"""The subtask database (Figure 3).
+
+Workers update each subtask's running status here; the master monitors it to
+detect completion and failures. Route subtasks also record the address range
+covered by their *result* RIBs, which traffic subtasks consult for the
+ordering heuristic's dependency reduction.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.net.addr import PrefixRange
+
+PENDING = "pending"
+RUNNING = "running"
+FINISHED = "finished"
+FAILED = "failed"
+
+
+@dataclass
+class SubtaskRecord:
+    subtask_id: str
+    kind: str
+    status: str = PENDING
+    attempts: int = 0
+    #: result-RIB address ranges per family (route subtasks)
+    ranges: List[PrefixRange] = field(default_factory=list)
+    #: measured execution duration of the successful attempt, seconds
+    duration: float = 0.0
+    #: abstract work units from the simulator
+    cost_units: int = 0
+    #: RIB result files loaded (traffic subtasks, for Figure 5(d))
+    loaded_rib_files: int = 0
+    error: str = ""
+    result_key: str = ""
+
+
+class SubtaskDB:
+    """Thread-safe status store for one simulation task."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, SubtaskRecord] = {}
+        self._lock = threading.Lock()
+
+    def register(self, record: SubtaskRecord) -> None:
+        with self._lock:
+            self._records[record.subtask_id] = record
+
+    def update(self, subtask_id: str, **changes) -> None:
+        with self._lock:
+            record = self._records[subtask_id]
+            for key, value in changes.items():
+                setattr(record, key, value)
+
+    def get(self, subtask_id: str) -> SubtaskRecord:
+        with self._lock:
+            return self._records[subtask_id]
+
+    def all(self, kind: Optional[str] = None) -> List[SubtaskRecord]:
+        with self._lock:
+            records = list(self._records.values())
+        if kind is not None:
+            records = [r for r in records if r.kind == kind]
+        return sorted(records, key=lambda r: r.subtask_id)
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts: Dict[str, int] = {}
+            for record in self._records.values():
+                counts[record.status] = counts.get(record.status, 0) + 1
+            return counts
+
+    def all_finished(self) -> bool:
+        with self._lock:
+            return bool(self._records) and all(
+                r.status == FINISHED for r in self._records.values()
+            )
+
+    def failed(self) -> List[SubtaskRecord]:
+        return [r for r in self.all() if r.status == FAILED]

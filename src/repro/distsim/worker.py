@@ -1,0 +1,218 @@
+"""The working server (Figure 3).
+
+A worker listens to the MQ, loads its subtask's input from the object
+store, runs the simulation with the EC technique, writes the result file
+back, and keeps the subtask DB updated. Traffic workers consult the DB's
+recorded route-subtask ranges and load only the RIB files their flow range
+can depend on (the ordering heuristic's payoff, Figure 5(d)).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.distsim.mq import Message, MessageQueue
+from repro.distsim.storage import ObjectStore
+from repro.distsim.taskdb import FAILED, FINISHED, RUNNING, SubtaskDB
+from repro.ec.route_ec import compute_prefix_group_ecs, expand_group_rows
+from repro.net.addr import PrefixRange
+from repro.net.model import NetworkModel
+from repro.routing.isis import IgpState
+from repro.routing.rib import DeviceRib
+from repro.routing.simulator import RouteSimulator
+from repro.traffic.simulator import TrafficSimulator
+
+
+class SubtaskFailure(Exception):
+    """Raised by the failure injector to simulate a crashed subtask."""
+
+
+def merge_device_ribs(rib_maps: List[Dict[str, DeviceRib]]) -> Dict[str, DeviceRib]:
+    """Union the device RIBs produced by several route subtasks."""
+    merged: Dict[str, DeviceRib] = {}
+    for rib_map in rib_maps:
+        for device, rib in rib_map.items():
+            target = merged.get(device)
+            if target is None:
+                target = DeviceRib(device)
+                merged[device] = target
+            for row in rib.all_rows():
+                target.install(row.route, vrf=row.vrf, route_type=row.route_type)
+    return merged
+
+
+@dataclass
+class WorkerConfig:
+    """Knobs for a worker.
+
+    ``use_route_ecs`` / ``use_flow_ecs`` toggle the EC technique (ablation);
+    ``load_all_ribs`` disables dependency reduction (the paper's "baseline"
+    strategy in Figure 5(b)); ``failure_hook`` lets tests and the Table-4
+    campaign inject subtask crashes.
+    """
+
+    use_route_ecs: bool = True
+    use_flow_ecs: bool = True
+    load_all_ribs: bool = False
+    failure_hook: Optional[Callable[[Message], bool]] = None
+
+
+class Worker:
+    """Executes route/traffic subtasks from the message queue."""
+
+    def __init__(
+        self,
+        name: str,
+        model: NetworkModel,
+        igp: IgpState,
+        store: ObjectStore,
+        db: SubtaskDB,
+        config: Optional[WorkerConfig] = None,
+    ) -> None:
+        self.name = name
+        self.model = model
+        self.igp = igp
+        self.store = store
+        self.db = db
+        self.config = config or WorkerConfig()
+
+    # -- message handling -----------------------------------------------------
+
+    def handle(self, message: Message) -> bool:
+        """Run one subtask; returns False (and marks FAILED) on failure."""
+        self.db.update(
+            message.subtask_id, status=RUNNING, attempts=message.attempt
+        )
+        started = time.perf_counter()
+        try:
+            if self.config.failure_hook is not None and self.config.failure_hook(
+                message
+            ):
+                raise SubtaskFailure(f"injected failure on {message.subtask_id}")
+            if message.kind == "route":
+                self._run_route_subtask(message)
+            elif message.kind == "traffic":
+                self._run_traffic_subtask(message)
+            else:
+                raise ValueError(f"unknown subtask kind {message.kind!r}")
+        except Exception as exc:  # noqa: BLE001 - status must reflect any crash
+            self.db.update(
+                message.subtask_id,
+                status=FAILED,
+                error=f"{type(exc).__name__}: {exc}",
+                duration=time.perf_counter() - started,
+            )
+            return False
+        self.db.update(
+            message.subtask_id,
+            status=FINISHED,
+            duration=time.perf_counter() - started,
+        )
+        return True
+
+    # -- route subtask -----------------------------------------------------------
+
+    def _run_route_subtask(self, message: Message) -> None:
+        input_key = message.payload["input_key"]
+        result_key = message.payload["result_key"]
+        input_routes = self.store.get(input_key)
+
+        simulator = RouteSimulator(self.model, igp=self.igp, include_connected=False)
+        ribs: Dict[str, DeviceRib] = {}
+        if self.config.use_route_ecs:
+            # EC technique: simulate only representative prefix groups —
+            # jointly, so cross-prefix effects (aggregation, suppression)
+            # stay coherent — then clone rows onto the member prefixes.
+            index = compute_prefix_group_ecs(self.model, input_routes)
+            result = simulator.simulate(
+                index.representative_routes, include_local_inputs=False
+            )
+            cost_units = result.cost_units
+            all_rows = [
+                row
+                for rib in result.device_ribs.values()
+                for row in rib.all_rows()
+            ]
+            for row in expand_group_rows(index, all_rows):
+                rib = ribs.setdefault(row.device, DeviceRib(row.device))
+                rib.install(row.route, vrf=row.vrf, route_type=row.route_type)
+        else:
+            result = simulator.simulate(input_routes, include_local_inputs=False)
+            cost_units = result.cost_units
+            ribs = result.device_ribs
+
+        self.store.put(result_key, ribs)
+        self.db.update(
+            message.subtask_id,
+            ranges=self._result_ranges(ribs),
+            cost_units=cost_units,
+            result_key=result_key,
+        )
+
+    @staticmethod
+    def _result_ranges(ribs: Dict[str, DeviceRib]) -> List[PrefixRange]:
+        by_family: Dict[int, PrefixRange] = {}
+        for rib in ribs.values():
+            for vrf in rib.vrfs:
+                for prefix in rib.prefixes(vrf):
+                    current = by_family.get(prefix.family)
+                    candidate = PrefixRange.of_prefix(prefix)
+                    by_family[prefix.family] = (
+                        candidate if current is None else current.merge(candidate)
+                    )
+        return list(by_family.values())
+
+    # -- traffic subtask -----------------------------------------------------------
+
+    def _run_traffic_subtask(self, message: Message) -> None:
+        input_key = message.payload["input_key"]
+        result_key = message.payload["result_key"]
+        flows = self.store.get(input_key)
+
+        rib_keys = self._select_rib_files(message, flows)
+        rib_maps = [self.store.get(key) for key in rib_keys]
+        ribs = merge_device_ribs(rib_maps)
+
+        simulator = TrafficSimulator(
+            self.model, ribs, igp=self.igp, use_ecs=self.config.use_flow_ecs
+        )
+        result = simulator.simulate(flows)
+        self.store.put(
+            result_key,
+            {"loads": result.loads, "paths": result.paths, "ec_index": result.ec_index},
+        )
+        self.db.update(
+            message.subtask_id,
+            cost_units=result.cost_units,
+            loaded_rib_files=len(rib_keys),
+            result_key=result_key,
+        )
+
+    def _select_rib_files(self, message: Message, flows) -> List[str]:
+        """Dependency reduction: RIB files whose range overlaps our flows."""
+        route_records = [
+            record
+            for record in self.db.all(kind="route")
+            if record.result_key
+        ]
+        if self.config.load_all_ribs or not flows:
+            return [record.result_key for record in route_records]
+        flow_ranges: Dict[int, PrefixRange] = {}
+        for flow in flows:
+            current = flow_ranges.get(flow.dst.family)
+            point = PrefixRange(flow.dst.family, flow.dst.value, flow.dst.value)
+            flow_ranges[flow.dst.family] = (
+                point if current is None else current.merge(point)
+            )
+        selected: List[str] = []
+        for record in route_records:
+            overlap = any(
+                rib_range.overlaps(flow_range)
+                for rib_range in record.ranges
+                for flow_range in flow_ranges.values()
+            )
+            if overlap:
+                selected.append(record.result_key)
+        return selected

@@ -1,0 +1,122 @@
+"""Flow equivalence classes (§3.1).
+
+Two flows are in one EC when their longest-prefix matches on all RIBs are
+the same — then they share forwarding paths and only one needs simulating.
+The partition is computed from the *union* prefix universe: two destination
+addresses with identical covering-prefix sets in the union trie have
+identical LPM results on every device RIB (each device's table is a subset
+of the universe). PBR rules and ACLs also discriminate flows, so their match
+signatures are folded into the EC key as well.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from typing import TYPE_CHECKING
+
+from repro.net.addr import Prefix
+from repro.net.model import NetworkModel
+from repro.net.trie import PrefixTrie
+from repro.routing.rib import DeviceRib
+
+if TYPE_CHECKING:  # avoid a circular import with repro.traffic
+    from repro.traffic.flow import Flow
+
+
+@dataclass
+class FlowEc:
+    """One flow EC: a representative plus members and the pooled volume."""
+
+    representative: Flow
+    members: List[Flow] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def total_volume(self) -> float:
+        return sum(f.volume for f in self.members)
+
+
+@dataclass
+class FlowEcIndex:
+    classes: List[FlowEc]
+    total_flows: int
+
+    @property
+    def representatives(self) -> List[Flow]:
+        return [ec.representative for ec in self.classes]
+
+    @property
+    def reduction_factor(self) -> float:
+        """flows per simulated flow (the paper reports ~two orders)."""
+        if not self.classes:
+            return 1.0
+        return self.total_flows / len(self.classes)
+
+
+def build_prefix_universe(ribs: Iterable[DeviceRib]) -> PrefixTrie:
+    """Union trie of every best/ECMP prefix across all device RIBs."""
+    universe = PrefixTrie()
+    seen = set()
+    for rib in ribs:
+        for vrf in rib.vrfs:
+            for prefix in rib.prefixes(vrf):
+                if rib.routes_for(prefix, vrf) and prefix not in seen:
+                    seen.add(prefix)
+                    universe.insert(prefix, True)
+    return universe
+
+
+def _policy_signature(model: Optional[NetworkModel], flow: Flow) -> Tuple:
+    """Which PBR rules / ACL rules anywhere in the network match this flow."""
+    if model is None:
+        return ()
+    bits: List[bool] = []
+    for device in model.devices.values():
+        for rule in device.pbr_rules:
+            bits.append(rule.matches_flow(flow))
+        for acl in device.acls.values():
+            bits.append(acl.permits(flow))
+    return tuple(bits)
+
+
+def compute_flow_ecs(
+    flows: Iterable[Flow],
+    universe: PrefixTrie,
+    model: Optional[NetworkModel] = None,
+) -> FlowEcIndex:
+    """Partition flows into ECs.
+
+    The key is (ingress, vrf, covering-prefix signature of dst, policy
+    signature). Ingress matters because paths start there; sources only
+    matter through PBR/ACL (captured by the policy signature).
+    """
+    classes: Dict[Tuple, FlowEc] = {}
+    total = 0
+    dst_cache: Dict[Tuple, Tuple] = {}
+    for flow in flows:
+        total += 1
+        dst_key = (flow.dst, flow.vrf)
+        signature = dst_cache.get(dst_key)
+        if signature is None:
+            signature = tuple(
+                (p.value, p.length) for p, _ in universe.all_matches(flow.dst)
+            )
+            dst_cache[dst_key] = signature
+        key = (
+            flow.ingress,
+            flow.vrf,
+            flow.dst.family,
+            signature,
+            _policy_signature(model, flow),
+        )
+        ec = classes.get(key)
+        if ec is None:
+            classes[key] = FlowEc(representative=flow, members=[flow])
+        else:
+            ec.members.append(flow)
+    return FlowEcIndex(classes=list(classes.values()), total_flows=total)

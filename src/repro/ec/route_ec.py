@@ -1,0 +1,260 @@
+"""Route equivalence classes (§3.1).
+
+Two input routes are equivalent when:
+
+1. they are injected at the same router and VRF;
+2. their prefixes have the same matching results across all prefix sets in
+   the network and trigger the same aggregate prefixes on all routers; and
+3. they have the same values for all BGP attributes.
+
+Simulating one representative per EC and cloning its RIB rows onto the other
+members' prefixes is then sound: nothing in policy evaluation or aggregation
+can distinguish the members.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.net.addr import Prefix
+from repro.net.model import NetworkModel
+from repro.routing.inputs import InputRoute
+from repro.routing.rib import RibRoute
+
+
+@dataclass
+class RouteEc:
+    """One equivalence class: a representative plus all member routes."""
+
+    representative: InputRoute
+    members: List[InputRoute] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    @property
+    def member_prefixes(self) -> List[Prefix]:
+        return [m.route.prefix for m in self.members]
+
+
+@dataclass
+class RouteEcIndex:
+    """All ECs of an input route set."""
+
+    classes: List[RouteEc]
+    total_routes: int
+
+    @property
+    def representatives(self) -> List[InputRoute]:
+        return [ec.representative for ec in self.classes]
+
+    @property
+    def reduction_factor(self) -> float:
+        """input routes per simulated route (the paper reports ~4x)."""
+        if not self.classes:
+            return 1.0
+        return self.total_routes / len(self.classes)
+
+
+class _PrefixSignatureIndex:
+    """Evaluates the prefix-set matching signature of §3.1 condition (2).
+
+    The signature of a prefix is the vector of its matching results against
+    every prefix list on every device, every exact-prefix match clause in any
+    policy, and containment in every aggregate prefix. Distinct prefixes with
+    equal signatures are policy-indistinguishable.
+    """
+
+    def __init__(self, model: NetworkModel) -> None:
+        self._plists: List[Tuple[object, object]] = []  # (plist, vendor)
+        self._exact_prefixes: List[Prefix] = []
+        self._aggregates: List[Prefix] = []
+        for device in model.devices.values():
+            vendor = device.vendor
+            for plist in device.policy_ctx.prefix_lists.values():
+                self._plists.append((plist, vendor))
+            for policy in device.policy_ctx.policies.values():
+                for node in policy.nodes:
+                    for clause in node.matches:
+                        if clause.kind == "prefix":
+                            self._exact_prefixes.append(Prefix.parse(clause.value))
+            for agg in device.aggregates:
+                self._aggregates.append(agg.prefix)
+        self._cache: Dict[Prefix, Tuple] = {}
+
+    def signature(self, prefix: Prefix) -> Tuple:
+        cached = self._cache.get(prefix)
+        if cached is not None:
+            return cached
+        plist_bits = tuple(
+            plist.evaluate(prefix, vendor) for plist, vendor in self._plists
+        )
+        exact_bits = tuple(p == prefix for p in self._exact_prefixes)
+        agg_bits = tuple(
+            agg.contains_prefix(prefix) and agg != prefix for agg in self._aggregates
+        )
+        result = (plist_bits, exact_bits, agg_bits)
+        self._cache[prefix] = result
+        return result
+
+
+def compute_route_ecs(
+    model: NetworkModel, input_routes: Iterable[InputRoute]
+) -> RouteEcIndex:
+    """Group input routes into equivalence classes."""
+    signatures = _PrefixSignatureIndex(model)
+    classes: Dict[Tuple, RouteEc] = {}
+    total = 0
+    for item in input_routes:
+        total += 1
+        key = (
+            item.router,
+            item.vrf,
+            item.route.attribute_key(),
+            item.route.prefix.length,
+            signatures.signature(item.route.prefix),
+        )
+        ec = classes.get(key)
+        if ec is None:
+            classes[key] = RouteEc(representative=item, members=[item])
+        else:
+            ec.members.append(item)
+    return RouteEcIndex(classes=list(classes.values()), total_routes=total)
+
+
+@dataclass
+class PrefixGroupEc:
+    """An EC of whole prefix groups.
+
+    BGP decision interactions happen among all input routes of one prefix
+    (e.g. the same prefix announced at two borders), so the unit of
+    simulation is the *prefix group*: all input routes sharing a prefix.
+    Two groups are equivalent when their prefixes have equal matching
+    signatures and their route sets correspond attribute-for-attribute —
+    then simulating one group and cloning its rows onto the other member
+    prefixes is sound.
+    """
+
+    representative_prefix: Prefix
+    representative_routes: List[InputRoute]
+    member_prefixes: List[Prefix] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.member_prefixes)
+
+
+@dataclass
+class PrefixGroupEcIndex:
+    classes: List[PrefixGroupEc]
+    total_groups: int
+    total_routes: int
+
+    @property
+    def representative_routes(self) -> List[InputRoute]:
+        routes: List[InputRoute] = []
+        for ec in self.classes:
+            routes.extend(ec.representative_routes)
+        return routes
+
+    @property
+    def reduction_factor(self) -> float:
+        if not self.classes:
+            return 1.0
+        return self.total_groups / len(self.classes)
+
+
+def compute_prefix_group_ecs(
+    model: NetworkModel, input_routes: Iterable[InputRoute]
+) -> PrefixGroupEcIndex:
+    """Group same-prefix route sets, then EC-reduce the groups."""
+    signatures = _PrefixSignatureIndex(model)
+    groups: Dict[Prefix, List[InputRoute]] = {}
+    total_routes = 0
+    for item in input_routes:
+        total_routes += 1
+        groups.setdefault(item.route.prefix, []).append(item)
+
+    classes: Dict[Tuple, PrefixGroupEc] = {}
+    for prefix, members in groups.items():
+        group_shape = tuple(
+            sorted(
+                (m.router, m.vrf, m.route.attribute_key()) for m in members
+            )
+        )
+        key = (prefix.length, signatures.signature(prefix), group_shape)
+        ec = classes.get(key)
+        if ec is None:
+            classes[key] = PrefixGroupEc(
+                representative_prefix=prefix,
+                representative_routes=members,
+                member_prefixes=[prefix],
+            )
+        else:
+            ec.member_prefixes.append(prefix)
+    return PrefixGroupEcIndex(
+        classes=list(classes.values()),
+        total_groups=len(groups),
+        total_routes=total_routes,
+    )
+
+
+def expand_group_rows(
+    index: PrefixGroupEcIndex, rows: Iterable[RibRoute]
+) -> List[RibRoute]:
+    """Clone each representative prefix's rows onto its EC's member prefixes.
+
+    Rows for prefixes that are not EC representatives (derived aggregates,
+    loopbacks, statics) pass through once, untouched.
+    """
+    members_of: Dict[Prefix, List[Prefix]] = {
+        ec.representative_prefix: ec.member_prefixes for ec in index.classes
+    }
+    expanded: List[RibRoute] = []
+    for row in rows:
+        members = members_of.get(row.route.prefix)
+        if members is None:
+            expanded.append(row)
+            continue
+        for member in members:
+            if member == row.route.prefix:
+                expanded.append(row)
+            else:
+                expanded.append(
+                    RibRoute(
+                        device=row.device,
+                        vrf=row.vrf,
+                        route=row.route.evolve(prefix=member),
+                        route_type=row.route_type,
+                    )
+                )
+    return expanded
+
+
+def expand_rib_rows(ec: RouteEc, rows: Iterable[RibRoute]) -> List[RibRoute]:
+    """Clone the representative's RIB rows onto every member prefix.
+
+    Rows whose prefix is not the representative's (e.g. triggered aggregate
+    prefixes) are kept once, unduplicated.
+    """
+    rep_prefix = ec.representative.route.prefix
+    expanded: List[RibRoute] = []
+    for row in rows:
+        if row.route.prefix != rep_prefix:
+            expanded.append(row)
+            continue
+        for member in ec.members:
+            if member.route.prefix == rep_prefix:
+                expanded.append(row)
+            else:
+                expanded.append(
+                    RibRoute(
+                        device=row.device,
+                        vrf=row.vrf,
+                        route=row.route.evolve(prefix=member.route.prefix),
+                        route_type=row.route_type,
+                    )
+                )
+    return expanded

@@ -1,0 +1,22 @@
+"""Monitoring system simulators (§2.1) and fault injection (§5.3).
+
+The ground truth is a simulation of the *real* network (correct vendor
+profiles, correct parsers); the monitors derive what Hoyan would actually
+receive from it, with the real systems' information loss — BGP agents only
+see advertised best routes, weights do not propagate, SNMP only reports
+aggregate link volumes — and optional injected faults reproducing the
+Table-4 issue classes.
+"""
+
+from repro.monitor.route_monitor import MonitoredRoute, RouteMonitor
+from repro.monitor.traffic_monitor import TrafficMonitor
+from repro.monitor.faults import FAULT_LIBRARY, FaultSpec, apply_fault
+
+__all__ = [
+    "MonitoredRoute",
+    "RouteMonitor",
+    "TrafficMonitor",
+    "FAULT_LIBRARY",
+    "FaultSpec",
+    "apply_fault",
+]

@@ -1,0 +1,14 @@
+"""Network substrate: addressing, topology, device/policy models, vendors, config."""
+
+from repro.net.addr import IPAddress, Prefix, PrefixRange
+from repro.net.topology import Interface, Link, Router, Topology
+
+__all__ = [
+    "IPAddress",
+    "Prefix",
+    "PrefixRange",
+    "Interface",
+    "Link",
+    "Router",
+    "Topology",
+]

@@ -1,0 +1,25 @@
+"""Vendor configuration dialects, parsing, and incremental change application.
+
+Two synthetic dialects are implemented, loosely modelled on common CLI
+families:
+
+* ``vendor-a`` — ``router bgp`` / ``route-map`` / ``ip prefix-list`` style.
+* ``vendor-b`` — ``bgp`` / ``route-policy`` / ``ip ip-prefix`` style, with
+  the separate ``ip ipv6-prefix`` command whose confusion with ``ip-prefix``
+  caused the §6.1 "Changing ISP exits" incident.
+
+``parse_config`` builds a fresh :class:`~repro.net.device.DeviceConfig`;
+``apply_commands`` applies change-plan command deltas (including ``no`` /
+``undo`` deletions) to an existing one.
+"""
+
+from repro.net.config.base import ConfigParseError, dialect_for, parser_for
+from repro.net.config.apply import apply_commands, parse_config
+
+__all__ = [
+    "ConfigParseError",
+    "apply_commands",
+    "dialect_for",
+    "parse_config",
+    "parser_for",
+]

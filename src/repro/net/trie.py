@@ -1,0 +1,159 @@
+"""Binary prefix trie for longest-prefix-match and all-match queries.
+
+Used by the RIBs for data-plane forwarding lookups and by the flow
+equivalence-class computation (§3.1), which needs, for every destination
+address, the *vector* of longest-prefix matches across all device RIBs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.net.addr import IPAddress, Prefix, family_bits
+
+V = TypeVar("V")
+
+
+class _Node(Generic[V]):
+    __slots__ = ("children", "values")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_Node[V]"]] = [None, None]
+        self.values: Optional[List[V]] = None
+
+
+class PrefixTrie(Generic[V]):
+    """A per-family binary trie mapping prefixes to lists of values."""
+
+    def __init__(self) -> None:
+        self._roots: Dict[int, _Node[V]] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def _bit(self, value: int, index: int, bits: int) -> int:
+        return (value >> (bits - 1 - index)) & 1
+
+    def insert(self, prefix: Prefix, value: V) -> None:
+        """Insert a value under a prefix (multiple values per prefix allowed)."""
+        root = self._roots.setdefault(prefix.family, _Node())
+        bits = prefix.bits
+        node = root
+        for i in range(prefix.length):
+            bit = self._bit(prefix.value, i, bits)
+            child = node.children[bit]
+            if child is None:
+                child = _Node()
+                node.children[bit] = child
+            node = child
+        if node.values is None:
+            node.values = []
+        node.values.append(value)
+        self._size += 1
+
+    def remove(self, prefix: Prefix, value: V) -> bool:
+        """Remove one occurrence of ``value`` under ``prefix``; True if found."""
+        node = self._descend(prefix)
+        if node is None or node.values is None:
+            return False
+        try:
+            node.values.remove(value)
+        except ValueError:
+            return False
+        self._size -= 1
+        return True
+
+    def _descend(self, prefix: Prefix) -> Optional[_Node[V]]:
+        node = self._roots.get(prefix.family)
+        if node is None:
+            return None
+        bits = prefix.bits
+        for i in range(prefix.length):
+            bit = self._bit(prefix.value, i, bits)
+            node = node.children[bit]
+            if node is None:
+                return None
+        return node
+
+    def exact(self, prefix: Prefix) -> List[V]:
+        """Values stored exactly at ``prefix``."""
+        node = self._descend(prefix)
+        if node is None or node.values is None:
+            return []
+        return list(node.values)
+
+    def lookup_lpm(self, address: IPAddress) -> Optional[Tuple[Prefix, List[V]]]:
+        """Longest-prefix match for an address; None if nothing matches."""
+        node = self._roots.get(address.family)
+        if node is None:
+            return None
+        bits = family_bits(address.family)
+        best: Optional[Tuple[int, List[V]]] = None
+        if node.values:
+            best = (0, node.values)
+        for i in range(bits):
+            bit = self._bit(address.value, i, bits)
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.values:
+                best = (i + 1, node.values)
+        if best is None:
+            return None
+        length, values = best
+        return Prefix.from_address(address, length), list(values)
+
+    def all_matches(self, address: IPAddress) -> List[Tuple[Prefix, List[V]]]:
+        """All (prefix, values) entries covering an address, shortest first."""
+        node = self._roots.get(address.family)
+        if node is None:
+            return []
+        bits = family_bits(address.family)
+        found: List[Tuple[Prefix, List[V]]] = []
+        if node.values:
+            found.append((Prefix.from_address(address, 0), list(node.values)))
+        for i in range(bits):
+            bit = self._bit(address.value, i, bits)
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.values:
+                found.append((Prefix.from_address(address, i + 1), list(node.values)))
+        return found
+
+    def covering_prefixes(self, prefix: Prefix) -> List[Prefix]:
+        """Stored prefixes that contain ``prefix`` (including equal)."""
+        node = self._roots.get(prefix.family)
+        if node is None:
+            return []
+        bits = prefix.bits
+        found: List[Prefix] = []
+        if node.values:
+            found.append(Prefix(prefix.family, 0, 0))
+        for i in range(prefix.length):
+            bit = self._bit(prefix.value, i, bits)
+            node = node.children[bit]
+            if node is None:
+                break
+            if node.values:
+                found.append(Prefix.from_address(prefix.first_address, i + 1))
+        return found
+
+    def items(self) -> Iterator[Tuple[Prefix, V]]:
+        """Yield every (prefix, value) pair in the trie."""
+        for family, root in self._roots.items():
+            yield from self._walk(root, family, 0, 0)
+
+    def _walk(
+        self, node: _Node[V], family: int, value: int, depth: int
+    ) -> Iterator[Tuple[Prefix, V]]:
+        bits = family_bits(family)
+        if node.values:
+            prefix = Prefix(family, value << (bits - depth) if depth < bits else value, depth)
+            for stored in node.values:
+                yield prefix, stored
+        for bit in (0, 1):
+            child = node.children[bit]
+            if child is not None:
+                yield from self._walk(child, family, (value << 1) | bit, depth + 1)

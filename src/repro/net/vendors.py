@@ -1,0 +1,207 @@
+"""Vendor behaviour profiles.
+
+Table 5 of the paper catalogs 16 vendor-specific behaviours (VSBs) detected
+by Hoyan's accuracy diagnosis framework. Each knob below corresponds to one
+row of that table; §6.1's case study adds the ``ip-prefix`` / ``ipv6-prefix``
+confusion (an IPv4 prefix-list applied to IPv6 routes permits them all on
+that vendor).
+
+Two synthetic vendors, ``vendor-a`` and ``vendor-b``, are shipped; they
+disagree on most knobs, so differential testing between them exercises every
+VSB. The accuracy experiments run "Hoyan-under-test" with a *mis-modelled*
+profile (see :func:`mismodel`) against a ground truth simulated with the
+correct one — exactly the discrepancy class 'Unknown vendor-specific
+behavior' of Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Iterator, List, Tuple
+
+
+@dataclass(frozen=True)
+class VendorProfile:
+    """All modelled vendor-specific behaviours, one attribute per VSB.
+
+    Attribute order follows Table 5 top-to-bottom; the final knob comes from
+    the §6.1 "Changing ISP exits" case study.
+    """
+
+    name: str
+
+    #: Whether route updates are accepted when no policy is defined.
+    missing_policy_accepts: bool = True
+    #: Whether route updates are accepted when an undefined policy is applied.
+    undefined_policy_accepts: bool = False
+    #: Whether updates matching no explicit policy node are accepted.
+    default_policy_accepts: bool = False
+    #: Whether an undefined filter (prefix/community/as-path list) reference
+    #: inside a policy node is treated as always matching.
+    undefined_filter_matches: bool = True
+    #: Whether a matching node with no explicit permit/deny accepts the route.
+    implicit_action_permits: bool = True
+    #: Default route preference attribute for (eBGP, iBGP).
+    default_bgp_preference: Tuple[int, int] = (20, 200)
+    #: Default weight set when routes are redistributed into BGP
+    #: (None = no weight set).
+    redistribution_weight: int = 0
+    #: Whether the device's own ASN is added after a policy overwrites the
+    #: AS path.
+    adds_own_asn_after_overwrite: bool = True
+    #: When aggregating without as-set, whether the common AS-path prefix of
+    #: contributing routes is kept on the aggregate.
+    aggregate_keeps_common_aspath: bool = True
+    #: Whether a VRF's export policy applies to global iBGP routes leaked
+    #: into VPNv4.
+    vrf_export_applies_to_leaked_global: bool = False
+    #: Whether routes leaked into global VPNv4 from a VRF are re-leaked into
+    #: another VRF based on route targets.
+    releaks_vpn_routes_by_rt: bool = False
+    #: Whether /32 routes produced by direct connections can be redistributed.
+    redistributes_direct_slash32: bool = True
+    #: Whether those /32 direct routes can be sent to peers when
+    #: redistribution is permitted.
+    sends_direct_slash32_to_peer: bool = False
+    #: Whether a route's IGP cost is treated as 0 when its destination is
+    #: reached via an SR tunnel (the Figure 9 root-cause VSB).
+    sr_tunnel_zeroes_igp_cost: bool = False
+    #: Whether configuration options are inherited in sub-views.
+    subview_inherits_options: bool = True
+    #: Whether devices are isolated through policies (True) or via specific
+    #: isolation configuration commands (False).
+    isolation_via_policy: bool = True
+    #: §6.1 case: whether an IPv4 ``ip-prefix`` list applied to IPv6 routes
+    #: permits them all by default (instead of not matching).
+    ip_prefix_permits_ipv6: bool = False
+
+    def describe(self) -> Dict[str, object]:
+        """VSB knob -> value, excluding the vendor name."""
+        return {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "name"
+        }
+
+
+#: The 16 Table-5 VSB knob names, in table order, plus the §6.1 case knob.
+VSB_KNOBS: List[str] = [
+    "missing_policy_accepts",
+    "undefined_policy_accepts",
+    "default_policy_accepts",
+    "undefined_filter_matches",
+    "implicit_action_permits",
+    "default_bgp_preference",
+    "redistribution_weight",
+    "adds_own_asn_after_overwrite",
+    "aggregate_keeps_common_aspath",
+    "vrf_export_applies_to_leaked_global",
+    "releaks_vpn_routes_by_rt",
+    "redistributes_direct_slash32",
+    "sends_direct_slash32_to_peer",
+    "sr_tunnel_zeroes_igp_cost",
+    "subview_inherits_options",
+    "isolation_via_policy",
+    "ip_prefix_permits_ipv6",
+]
+
+
+VENDOR_A = VendorProfile(
+    name="vendor-a",
+    missing_policy_accepts=True,
+    undefined_policy_accepts=False,
+    default_policy_accepts=False,
+    undefined_filter_matches=True,
+    implicit_action_permits=True,
+    default_bgp_preference=(20, 200),
+    redistribution_weight=0,
+    adds_own_asn_after_overwrite=True,
+    aggregate_keeps_common_aspath=True,
+    vrf_export_applies_to_leaked_global=False,
+    releaks_vpn_routes_by_rt=False,
+    redistributes_direct_slash32=True,
+    sends_direct_slash32_to_peer=False,
+    # Vendor A is the Figure 9 vendor: SR-enabled destinations get IGP cost 0.
+    sr_tunnel_zeroes_igp_cost=True,
+    subview_inherits_options=True,
+    isolation_via_policy=True,
+    ip_prefix_permits_ipv6=False,
+)
+
+VENDOR_B = VendorProfile(
+    name="vendor-b",
+    missing_policy_accepts=False,
+    undefined_policy_accepts=True,
+    default_policy_accepts=True,
+    undefined_filter_matches=False,
+    implicit_action_permits=False,
+    default_bgp_preference=(255, 255),
+    redistribution_weight=32768,
+    adds_own_asn_after_overwrite=False,
+    aggregate_keeps_common_aspath=False,
+    vrf_export_applies_to_leaked_global=True,
+    releaks_vpn_routes_by_rt=True,
+    redistributes_direct_slash32=False,
+    sends_direct_slash32_to_peer=False,
+    sr_tunnel_zeroes_igp_cost=False,
+    subview_inherits_options=False,
+    isolation_via_policy=False,
+    # Vendor B is the §6.1 ISP-exit vendor: ip-prefix permits all IPv6.
+    ip_prefix_permits_ipv6=True,
+)
+
+_REGISTRY: Dict[str, VendorProfile] = {
+    VENDOR_A.name: VENDOR_A,
+    VENDOR_B.name: VENDOR_B,
+}
+
+
+def get_profile(name: str) -> VendorProfile:
+    """Look up a registered vendor profile by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown vendor {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def register_profile(profile: VendorProfile) -> None:
+    """Register a custom vendor profile (used by differential tests)."""
+    _REGISTRY[profile.name] = profile
+
+
+def registered_vendors() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def mismodel(profile: VendorProfile, knob: str) -> VendorProfile:
+    """Flip one VSB knob, producing an intentionally wrong model.
+
+    The accuracy-diagnosis experiments simulate "Hoyan before the VSB was
+    discovered" by running the verifier with a mismodelled profile against a
+    ground truth using the real one.
+    """
+    if knob not in VSB_KNOBS:
+        raise KeyError(f"unknown VSB knob {knob!r}")
+    current = getattr(profile, knob)
+    if isinstance(current, bool):
+        flipped: object = not current
+    elif isinstance(current, tuple):
+        flipped = tuple(reversed(current))
+        if flipped == current:
+            # Palindromic defaults (e.g. (255, 255)) need a real perturbation.
+            flipped = tuple(v + 1 for v in current)
+    elif isinstance(current, int):
+        flipped = 0 if current else 32768
+    else:  # pragma: no cover - all knobs are bool/int/tuple today
+        raise TypeError(f"cannot mismodel knob {knob!r} of type {type(current)}")
+    return replace(profile, **{knob: flipped}, name=f"{profile.name}(mis:{knob})")
+
+
+def iter_knob_differences(
+    a: VendorProfile, b: VendorProfile
+) -> Iterator[Tuple[str, object, object]]:
+    """Yield ``(knob, a_value, b_value)`` for knobs on which a and b differ."""
+    for knob in VSB_KNOBS:
+        va, vb = getattr(a, knob), getattr(b, knob)
+        if va != vb:
+            yield knob, va, vb

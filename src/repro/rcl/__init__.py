@@ -1,0 +1,38 @@
+"""RCL — the Route Change intent specification Language (§4, Appendix A).
+
+RCL specifies the relation between the global RIBs before (``PRE``) and
+after (``POST``) a network change. The implementation follows the paper:
+Figure 7's grammar, Figure 11's evaluation rules, and Appendix A.3's
+syntax-guided checking algorithms, plus counter-example generation for
+unsatisfied intents.
+
+Concrete syntax notes (ASCII renderings of the paper's symbols):
+
+* evaluation pipe ``▷`` is written ``|>``
+* filter ``∥`` is written ``||``
+* guard ``⇒`` is written ``=>``
+* comparisons accept both ASCII (``!=`` ``>=`` ``<=``) and the paper's
+  symbols (``≠`` ``≥`` ``≤``)
+
+Example::
+
+    prefix = 10.0.0.0/24 => POST |> distVals(localPref) = {300}
+"""
+
+from repro.rcl.ast import Intent, spec_size
+from repro.rcl.errors import RclError, RclParseError, RclTypeError
+from repro.rcl.parser import parse
+from repro.rcl.eval import VerificationResult, Violation, check, verify
+
+__all__ = [
+    "Intent",
+    "RclError",
+    "RclParseError",
+    "RclTypeError",
+    "VerificationResult",
+    "Violation",
+    "check",
+    "parse",
+    "spec_size",
+    "verify",
+]

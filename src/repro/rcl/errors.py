@@ -1,0 +1,23 @@
+"""RCL error types."""
+
+from __future__ import annotations
+
+
+class RclError(Exception):
+    """Base class for all RCL errors."""
+
+
+class RclParseError(RclError):
+    """Raised on malformed specification text."""
+
+    def __init__(self, message: str, position: int = 0, text: str = "") -> None:
+        context = ""
+        if text:
+            snippet = text[max(0, position - 20) : position + 20].replace("\n", " ")
+            context = f" near ...{snippet!r}..."
+        super().__init__(f"{message} (at offset {position}){context}")
+        self.position = position
+
+
+class RclTypeError(RclError):
+    """Raised when an expression is applied to an incompatible value type."""

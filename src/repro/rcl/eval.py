@@ -1,0 +1,417 @@
+"""RCL evaluation (Figure 11) and verification (Algorithms 1-2).
+
+``check`` evaluates an intent on a (base, updated) pair of global RIBs.
+``verify`` additionally collects counter-examples: for an unsatisfied
+intent, it pinpoints the violated basic comparisons, the scope that was
+selected when they failed (guard predicates, forall group values), and
+sample routes demonstrating the violation (§4.4).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+from repro.net.addr import IPAddress, Prefix
+from repro.rcl import ast
+from repro.rcl.errors import RclTypeError
+from repro.rcl.parser import parse
+from repro.routing.rib import GlobalRib, RibRoute
+
+MAX_SAMPLE_ROWS = 5
+
+
+# ---------------------------------------------------------------------------
+# Value normalization
+# ---------------------------------------------------------------------------
+
+
+def _normalize(value) -> Union[str, int, float]:
+    """Normalize literal values so e.g. ``10.0.0.0/24`` compares textually."""
+    if isinstance(value, (int, float)):
+        return value
+    text = str(value)
+    if "/" in text:
+        try:
+            return str(Prefix.parse(text))
+        except ValueError:
+            return text
+    try:
+        return str(IPAddress.parse(text))
+    except ValueError:
+        return text
+
+
+def _comparable(a, b) -> Tuple:
+    """Coerce both sides to a comparable pair (numbers, else strings)."""
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a, b
+    if isinstance(a, (frozenset, set)) or isinstance(b, (frozenset, set)):
+        left = frozenset(_normalize(v) for v in (a if isinstance(a, (set, frozenset)) else {a}))
+        right = frozenset(_normalize(v) for v in (b if isinstance(b, (set, frozenset)) else {b}))
+        return left, right
+    return str(_normalize(a)), str(_normalize(b))
+
+
+def _compare(op: str, a, b) -> bool:
+    left, right = _comparable(a, b)
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if isinstance(left, frozenset) or isinstance(right, frozenset):
+        raise RclTypeError(f"ordering comparison {op!r} is not defined on sets")
+    try:
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise RclTypeError(f"cannot compare {left!r} {op} {right!r}") from exc
+    raise RclTypeError(f"unknown comparison {op!r}")
+
+
+# ---------------------------------------------------------------------------
+# Route predicates (Figure 11a)
+# ---------------------------------------------------------------------------
+
+
+def eval_predicate(predicate: ast.Predicate, row: RibRoute) -> bool:
+    if isinstance(predicate, ast.FieldCompare):
+        return _compare(predicate.op, row.field(predicate.field.name), predicate.value.value)
+    if isinstance(predicate, ast.FieldContains):
+        value = row.field(predicate.field.name)
+        if not isinstance(value, (set, frozenset)):
+            raise RclTypeError(
+                f"'contains' requires a set field, {predicate.field.name!r} is "
+                f"{type(value).__name__}"
+            )
+        return _normalize(predicate.value.value) in {_normalize(v) for v in value}
+    if isinstance(predicate, ast.FieldIn):
+        value = _normalize(row.field(predicate.field.name))
+        return value in {_normalize(v) for v in predicate.values.values}
+    if isinstance(predicate, ast.FieldMatches):
+        value = row.field(predicate.field.name)
+        if isinstance(value, (set, frozenset)):
+            raise RclTypeError("'matches' requires a string field")
+        # Appendix A: re_match(s, regex) is true iff the ENTIRE s matches.
+        return re.fullmatch(predicate.regex, str(value)) is not None
+    if isinstance(predicate, ast.PredBinary):
+        left = eval_predicate(predicate.left, row)
+        if predicate.op == "and":
+            return left and eval_predicate(predicate.right, row)
+        if predicate.op == "or":
+            return left or eval_predicate(predicate.right, row)
+        if predicate.op == "imply":
+            return (not left) or eval_predicate(predicate.right, row)
+    if isinstance(predicate, ast.PredNot):
+        return not eval_predicate(predicate.operand, row)
+    raise RclTypeError(f"unknown predicate node {type(predicate).__name__}")
+
+
+def filter_rib(predicate: ast.Predicate, rib: GlobalRib) -> GlobalRib:
+    return rib.filter(lambda row: eval_predicate(predicate, row))
+
+
+# ---------------------------------------------------------------------------
+# Transformations and evaluations (Figure 11b/c)
+# ---------------------------------------------------------------------------
+
+
+def eval_transformation(
+    node: ast.Transformation, base: GlobalRib, updated: GlobalRib
+) -> GlobalRib:
+    if isinstance(node, ast.Pre):
+        return base
+    if isinstance(node, ast.Post):
+        return updated
+    if isinstance(node, ast.Filter):
+        source = eval_transformation(node.source, base, updated)
+        return filter_rib(node.predicate, source)
+    if isinstance(node, ast.Concat):
+        left = eval_transformation(node.left, base, updated)
+        right = eval_transformation(node.right, base, updated)
+        return left.merged_with(right)
+    raise RclTypeError(f"unknown transformation node {type(node).__name__}")
+
+
+def eval_evaluation(node: ast.Evaluation, base: GlobalRib, updated: GlobalRib):
+    if isinstance(node, ast.LiteralEval):
+        literal = node.literal
+        if isinstance(literal, ast.SetLiteral):
+            return frozenset(_normalize(v) for v in literal.values)
+        return literal.value
+    if isinstance(node, ast.Aggregate):
+        rib = eval_transformation(node.source, base, updated)
+        if node.func == "count":
+            return len(rib)
+        assert node.field is not None
+        collected: Set = set()
+        for row in rib:
+            value = row.field(node.field.name)
+            if isinstance(value, (set, frozenset)):
+                collected.add(frozenset(_normalize(v) for v in value))
+            else:
+                collected.add(_normalize(value))
+        if node.func == "distCnt":
+            return len(collected)
+        if node.func == "distVals":
+            return frozenset(collected)
+        raise RclTypeError(f"unknown aggregate {node.func!r}")
+    if isinstance(node, ast.Arith):
+        left = eval_evaluation(node.left, base, updated)
+        right = eval_evaluation(node.right, base, updated)
+        if not isinstance(left, (int, float)) or not isinstance(right, (int, float)):
+            raise RclTypeError(
+                f"arithmetic requires numbers, got {left!r} and {right!r}"
+            )
+        if node.op == "+":
+            return left + right
+        if node.op == "-":
+            return left - right
+        if node.op == "*":
+            return left * right
+        if node.op == "/":
+            if right == 0:
+                raise RclTypeError("division by zero in RIB evaluation")
+            return left / right
+    raise RclTypeError(f"unknown evaluation node {type(node).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Intent checking (Figure 11d / Algorithm 1) with counter-examples
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Violation:
+    """One violated basic intent, with its scope and sample routes."""
+
+    expression: str
+    scope: List[str] = field(default_factory=list)
+    message: str = ""
+    sample_rows: List[str] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        where = " / ".join(self.scope) if self.scope else "(top level)"
+        lines = [f"violated: {self.expression}", f"  scope: {where}"]
+        if self.message:
+            lines.append(f"  {self.message}")
+        for row in self.sample_rows:
+            lines.append(f"  route: {row}")
+        return "\n".join(lines)
+
+
+@dataclass
+class VerificationResult:
+    satisfied: bool
+    violations: List[Violation] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return self.satisfied
+
+    def report(self) -> str:
+        if self.satisfied:
+            return "intent satisfied"
+        parts = [f"intent VIOLATED ({len(self.violations)} violations)"]
+        parts.extend(str(v) for v in self.violations)
+        return "\n".join(parts)
+
+
+class _Checker:
+    def __init__(self, collect: bool) -> None:
+        self.collect = collect
+        self.violations: List[Violation] = []
+
+    def check(
+        self,
+        intent: ast.Intent,
+        base: GlobalRib,
+        updated: GlobalRib,
+        scope: List[str],
+    ) -> bool:
+        if isinstance(intent, ast.RibCompare):
+            left = eval_transformation(intent.left, base, updated)
+            right = eval_transformation(intent.right, base, updated)
+            equal = left.identity_set() == right.identity_set()
+            ok = equal if intent.op == "=" else not equal
+            if not ok and self.collect:
+                delta = left.identity_set() ^ right.identity_set()
+                samples = [
+                    str(row)
+                    for rib in (left, right)
+                    for row in rib
+                    if row.identity() in delta
+                ][:MAX_SAMPLE_ROWS]
+                self.violations.append(
+                    Violation(
+                        expression=str(intent),
+                        scope=list(scope),
+                        message=(
+                            f"RIBs differ in {len(delta)} rows"
+                            if intent.op == "="
+                            else "RIBs are identical"
+                        ),
+                        sample_rows=samples,
+                    )
+                )
+            return ok
+
+        if isinstance(intent, ast.ValueCompare):
+            left = eval_evaluation(intent.left, base, updated)
+            right = eval_evaluation(intent.right, base, updated)
+            ok = _compare(intent.op, left, right)
+            if not ok and self.collect:
+                self.violations.append(
+                    Violation(
+                        expression=str(intent),
+                        scope=list(scope),
+                        message=f"evaluated to {_render(left)} {intent.op} {_render(right)}",
+                        sample_rows=self._relevant_rows(intent, base, updated),
+                    )
+                )
+            return ok
+
+        if isinstance(intent, ast.Guarded):
+            filtered_base = filter_rib(intent.predicate, base)
+            filtered_updated = filter_rib(intent.predicate, updated)
+            return self.check(
+                intent.body,
+                filtered_base,
+                filtered_updated,
+                scope + [f"where {intent.predicate}"],
+            )
+
+        if isinstance(intent, ast.ForallField):
+            field_name = intent.field.name
+            values = sorted(
+                {
+                    _normalize(_setkey(row.field(field_name)))
+                    for rib in (base, updated)
+                    for row in rib
+                },
+                key=str,
+            )
+            ok = True
+            for value in values:
+                if not self._check_group(intent, field_name, value, base, updated, scope):
+                    ok = False
+            return ok
+
+        if isinstance(intent, ast.ForallIn):
+            ok = True
+            for value in intent.values.values:
+                if not self._check_group(
+                    intent, intent.field.name, _normalize(value), base, updated, scope
+                ):
+                    ok = False
+            return ok
+
+        if isinstance(intent, ast.IntentBinary):
+            if intent.op == "and":
+                left = self.check(intent.left, base, updated, scope)
+                right = self.check(intent.right, base, updated, scope)
+                return left and right
+            if intent.op == "or":
+                saved = len(self.violations)
+                left = self.check(intent.left, base, updated, scope)
+                right = self.check(intent.right, base, updated, scope)
+                if left or right:
+                    del self.violations[saved:]  # a satisfied branch absolves
+                    return True
+                return False
+            if intent.op == "imply":
+                saved = len(self.violations)
+                left = self.check(intent.left, base, updated, scope)
+                if not left:
+                    del self.violations[saved:]  # vacuously true
+                    return True
+                return self.check(
+                    intent.right, base, updated, scope + [f"given {intent.left}"]
+                )
+
+        if isinstance(intent, ast.IntentNot):
+            saved = len(self.violations)
+            inner = self.check(intent.operand, base, updated, scope)
+            del self.violations[saved:]
+            ok = not inner
+            if not ok and self.collect:
+                self.violations.append(
+                    Violation(
+                        expression=str(intent),
+                        scope=list(scope),
+                        message="negated intent is satisfied",
+                    )
+                )
+            return ok
+
+        raise RclTypeError(f"unknown intent node {type(intent).__name__}")
+
+    def _check_group(
+        self,
+        intent: Union[ast.ForallField, ast.ForallIn],
+        field_name: str,
+        value,
+        base: GlobalRib,
+        updated: GlobalRib,
+        scope: List[str],
+    ) -> bool:
+        def match(row: RibRoute) -> bool:
+            row_value = row.field(field_name)
+            if isinstance(row_value, (set, frozenset)):
+                return frozenset(_normalize(v) for v in row_value) == value
+            return _normalize(row_value) == value
+
+        group_base = base.filter(match)
+        group_updated = updated.filter(match)
+        return self.check(
+            intent.body,
+            group_base,
+            group_updated,
+            scope + [f"{field_name} = {_render(value)}"],
+        )
+
+    def _relevant_rows(
+        self, intent: ast.ValueCompare, base: GlobalRib, updated: GlobalRib
+    ) -> List[str]:
+        rows: List[str] = []
+        for side in (intent.left, intent.right):
+            if isinstance(side, ast.Aggregate):
+                rib = eval_transformation(side.source, base, updated)
+                rows.extend(str(row) for row in list(rib)[:MAX_SAMPLE_ROWS])
+        return rows[:MAX_SAMPLE_ROWS]
+
+
+def _setkey(value):
+    if isinstance(value, (set, frozenset)):
+        return frozenset(value)
+    return value
+
+
+def _render(value) -> str:
+    if isinstance(value, frozenset):
+        return "{" + ", ".join(sorted(str(v) for v in value)) + "}"
+    return str(value)
+
+
+def check(
+    intent: Union[str, ast.Intent], base: GlobalRib, updated: GlobalRib
+) -> bool:
+    """Evaluate an intent (text or AST) to a Boolean (Algorithm 1)."""
+    node = parse(intent) if isinstance(intent, str) else intent
+    return _Checker(collect=False).check(node, base, updated, [])
+
+
+def verify(
+    intent: Union[str, ast.Intent], base: GlobalRib, updated: GlobalRib
+) -> VerificationResult:
+    """Evaluate an intent and collect counter-examples for violations."""
+    node = parse(intent) if isinstance(intent, str) else intent
+    checker = _Checker(collect=True)
+    satisfied = checker.check(node, base, updated, [])
+    return VerificationResult(satisfied=satisfied, violations=checker.violations)

@@ -1,0 +1,154 @@
+"""RCL lexer.
+
+Network-flavoured value tokens are recognized whole: IPv4/IPv6 addresses
+and prefixes (``10.0.0.0/24``, ``2001:db8::/32``), communities (``100:1``),
+numbers, quoted strings (regexes), and identifiers. The paper's mathematical
+symbols are accepted alongside their ASCII forms.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.rcl.errors import RclParseError
+
+# Token kinds
+LPAREN, RPAREN, LBRACE, RBRACE = "(", ")", "{", "}"
+COMMA, COLON = ",", ":"
+PIPE_EVAL = "|>"
+PIPE_FILTER = "||"
+IMPLIES = "=>"
+CONCAT = "++"
+OPS = ("!=", ">=", "<=", "=", "<", ">", "+", "-", "*", "/")
+
+KEYWORDS = {
+    "PRE",
+    "POST",
+    "forall",
+    "in",
+    "and",
+    "or",
+    "not",
+    "imply",
+    "contains",
+    "has",
+    "matches",
+    "count",
+    "distCnt",
+    "distVals",
+}
+
+_SYMBOL_ALIASES = {
+    "≠": "!=",
+    "≥": ">=",
+    "≤": "<=",
+    "⇒": "=>",
+    "▷": "|>",
+    "►": "|>",
+    "∥": "||",
+}
+
+_V4 = re.compile(r"\d{1,3}\.\d{1,3}\.\d{1,3}\.\d{1,3}(/\d{1,3})?")
+_V6 = re.compile(r"[0-9A-Fa-f]{0,4}(:[0-9A-Fa-f]{0,4}){2,7}(::)?([0-9A-Fa-f:]*)?(/\d{1,3})?")
+_COMMUNITY = re.compile(r"\d+:\d+")
+_NUMBER = re.compile(r"\d+(\.\d+)?")
+_IDENT = re.compile(r"[A-Za-z_][A-Za-z0-9_\-.]*")
+_STRING = re.compile(r'"((?:[^"\\]|\\.)*)"')
+_WS = re.compile(r"\s+")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'value' | 'ident' | 'keyword' | 'string' | symbol literal
+    text: str
+    position: int
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize an RCL specification."""
+    for symbol, ascii_form in _SYMBOL_ALIASES.items():
+        text = text.replace(symbol, ascii_form)
+
+    tokens: List[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ws = _WS.match(text, index)
+        if ws:
+            index = ws.end()
+            continue
+
+        string = _STRING.match(text, index)
+        if string:
+            tokens.append(Token("string", string.group(1), index))
+            index = string.end()
+            continue
+
+        matched_symbol = None
+        for symbol in (PIPE_EVAL, PIPE_FILTER, IMPLIES, CONCAT) + OPS:
+            if text.startswith(symbol, index):
+                matched_symbol = symbol
+                break
+        if matched_symbol:
+            tokens.append(Token(matched_symbol, matched_symbol, index))
+            index += len(matched_symbol)
+            continue
+
+        char = text[index]
+        if char in "(){},:":
+            # ':' inside communities/IPv6 is consumed by the value regexes
+            # below because they are tried before reaching here only when
+            # the token starts with a digit/hex — a bare ':' is structural.
+            if char == ":" :
+                tokens.append(Token(COLON, char, index))
+            else:
+                tokens.append(Token(char, char, index))
+            index += 1
+            continue
+
+        if char.isdigit():
+            v4 = _V4.match(text, index)
+            if v4:
+                tokens.append(Token("value", v4.group(0), index))
+                index = v4.end()
+                continue
+            community = _COMMUNITY.match(text, index)
+            # Only treat as community when not followed by more colons (an
+            # IPv6 address like 2001:db8::1 also starts digit+colon+...).
+            v6 = _V6.match(text, index)
+            if v6 and v6.group(0).count(":") >= 2:
+                tokens.append(Token("value", v6.group(0), index))
+                index = v6.end()
+                continue
+            if community:
+                tokens.append(Token("value", community.group(0), index))
+                index = community.end()
+                continue
+            number = _NUMBER.match(text, index)
+            if number:
+                tokens.append(Token("value", number.group(0), index))
+                index = number.end()
+                continue
+
+        ident = _IDENT.match(text, index)
+        if ident:
+            word = ident.group(0)
+            # IPv6 starting with hex letters (e.g. fd00::/8, abcd:...)
+            v6 = _V6.match(text, index)
+            if v6 and v6.group(0).count(":") >= 2 and len(v6.group(0)) >= len(word):
+                tokens.append(Token("value", v6.group(0), index))
+                index = v6.end()
+                continue
+            kind = "keyword" if word in KEYWORDS else "ident"
+            tokens.append(Token(kind, word, index))
+            index = ident.end()
+            continue
+
+        raise RclParseError(f"unexpected character {char!r}", index, text)
+    tokens.append(Token("eof", "", length))
+    return tokens

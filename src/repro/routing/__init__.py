@@ -1,0 +1,26 @@
+"""Routing protocol simulation: BGP, IS-IS, SR, PBR, static routes, RIBs.
+
+Only the leaf data modules are imported eagerly; the protocol engines
+(``repro.routing.bgp``, ``repro.routing.isis``, ...) are imported explicitly
+by callers to keep the import graph acyclic with ``repro.net``.
+"""
+
+from repro.routing.attributes import (
+    ORIGIN_EGP,
+    ORIGIN_IGP,
+    ORIGIN_INCOMPLETE,
+    Route,
+    community,
+)
+from repro.routing.rib import DeviceRib, GlobalRib, RibRoute
+
+__all__ = [
+    "ORIGIN_EGP",
+    "ORIGIN_IGP",
+    "ORIGIN_INCOMPLETE",
+    "Route",
+    "community",
+    "DeviceRib",
+    "GlobalRib",
+    "RibRoute",
+]

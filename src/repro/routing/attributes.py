@@ -1,0 +1,127 @@
+"""BGP route attributes.
+
+A :class:`Route` carries every attribute that participates in Hoyan's BGP
+decision process and route policies: weight, local preference, AS path,
+origin, MED, source (eBGP/iBGP/local), IGP cost to the next hop, communities,
+and the administrative ``preference`` whose eBGP/iBGP defaults are a
+vendor-specific behaviour (Table 5, "default BGP preference").
+
+Routes are immutable; policy application produces modified copies via
+:meth:`Route.evolve`. Immutability is what makes the route equivalence-class
+computation (§3.1) sound: two input routes with identical attribute tuples
+stay interchangeable throughout the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional, Tuple
+
+from repro.net.addr import IPAddress, Prefix
+
+ORIGIN_IGP = "igp"
+ORIGIN_EGP = "egp"
+ORIGIN_INCOMPLETE = "incomplete"
+
+SOURCE_EBGP = "ebgp"
+SOURCE_IBGP = "ibgp"
+SOURCE_LOCAL = "local"
+
+PROTO_BGP = "bgp"
+PROTO_ISIS = "isis"
+PROTO_STATIC = "static"
+PROTO_DIRECT = "direct"
+PROTO_AGGREGATE = "aggregate"
+PROTO_SR = "sr"
+
+
+def community(text: str) -> str:
+    """Normalize a community string ``"100:1"`` (validates both halves)."""
+    parts = text.split(":")
+    if len(parts) != 2:
+        raise ValueError(f"malformed community {text!r}")
+    high, low = (int(p) for p in parts)
+    if not (0 <= high <= 0xFFFF and 0 <= low <= 0xFFFF):
+        raise ValueError(f"community value out of range: {text!r}")
+    return f"{high}:{low}"
+
+
+@dataclass(frozen=True)
+class Route:
+    """An immutable route announcement / RIB entry payload.
+
+    ``origin_router``/``origin_vrf`` record the injection point — part of the
+    route-EC identity of §3.1. ``igp_cost`` is the cost to reach ``nexthop``
+    and is filled in during best-path selection; an SR policy towards the
+    next hop may force it to zero on vendors with the "IGP cost for SR" VSB.
+    """
+
+    prefix: Prefix
+    nexthop: Optional[IPAddress] = None
+    as_path: Tuple[int, ...] = ()
+    origin: str = ORIGIN_IGP
+    local_pref: int = 100
+    med: int = 0
+    communities: FrozenSet[str] = frozenset()
+    weight: int = 0
+    preference: int = 255
+    protocol: str = PROTO_BGP
+    source: str = SOURCE_LOCAL
+    igp_cost: int = 0
+    origin_router: str = ""
+    origin_vrf: str = "global"
+    aggregator: Optional[str] = None
+    #: behaviour markers, e.g. "direct32" for the redistributed /32 direct
+    #: route whose peer advertisement is vendor-specific (Table 5).
+    flags: FrozenSet[str] = frozenset()
+
+    def evolve(self, **changes) -> "Route":
+        """Return a copy with the given attribute changes."""
+        return replace(self, **changes)
+
+    # -- helpers used by policies and RCL ------------------------------------
+
+    def has_community(self, value: str) -> bool:
+        return community(value) in self.communities
+
+    def add_communities(self, values: Tuple[str, ...]) -> "Route":
+        added = frozenset(community(v) for v in values)
+        return self.evolve(communities=self.communities | added)
+
+    def set_communities(self, values: Tuple[str, ...]) -> "Route":
+        return self.evolve(communities=frozenset(community(v) for v in values))
+
+    def delete_communities(self, values: Tuple[str, ...]) -> "Route":
+        removed = frozenset(community(v) for v in values)
+        return self.evolve(communities=self.communities - removed)
+
+    def prepend_as_path(self, asn: int, count: int = 1) -> "Route":
+        return self.evolve(as_path=(asn,) * count + self.as_path)
+
+    def as_path_str(self) -> str:
+        """AS path rendered as a space-separated string for regex matching."""
+        return " ".join(str(asn) for asn in self.as_path)
+
+    def attribute_key(self) -> Tuple:
+        """The BGP-attribute identity used for route-EC grouping (§3.1)."""
+        return (
+            self.nexthop,
+            self.as_path,
+            self.origin,
+            self.local_pref,
+            self.med,
+            tuple(sorted(self.communities)),
+            self.weight,
+            self.preference,
+            self.protocol,
+            self.source,
+            tuple(sorted(self.flags)),
+        )
+
+    def __str__(self) -> str:
+        nh = str(self.nexthop) if self.nexthop else "-"
+        comms = ",".join(sorted(self.communities)) or "-"
+        return (
+            f"{self.prefix} nh={nh} lp={self.local_pref} med={self.med} "
+            f"aspath=[{self.as_path_str()}] comm={comms} src={self.source}"
+        )

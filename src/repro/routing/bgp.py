@@ -1,0 +1,587 @@
+"""BGP simulation: synchronous-round fixpoint message passing (§3.1).
+
+Each round, every router whose selection changed advertises the updated
+best/add-path set per prefix to its sessions (after reflection rules and
+egress policies); receivers run ingress processing (loop check, import
+policy, VSB-aware defaults, IGP-cost resolution with the SR VSB) and
+re-run the decision process. Aggregation and VRF route leaking are derived
+locally after each decision change. The fixpoint terminates when no
+advertisement changes — within 20 rounds on the paper's WAN.
+
+The engine is instrumented: processed-message counts, per-prefix propagation
+message counts (the source of Figure 5(c)'s uneven subtask cost), and round
+count are all reported, so the distributed framework can model subtask run
+time faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.net.addr import IPAddress, Prefix
+from repro.net.device import BgpPeerConfig, DeviceConfig, GLOBAL_VRF
+from repro.net.model import NetworkModel
+from repro.net.policy import PolicyResult, apply_policy
+from repro.routing.attributes import (
+    PROTO_BGP,
+    SOURCE_EBGP,
+    SOURCE_IBGP,
+    SOURCE_LOCAL,
+    Route,
+)
+from repro.routing.decision import Candidate, Selection, select_best
+from repro.routing.inputs import InputRoute
+from repro.routing.isis import IgpState, INFINITY
+from repro.routing.sr import effective_igp_cost
+
+#: IGP cost stored for unreachable next hops (keeps keys comparable ints).
+UNREACHABLE_COST = 1 << 30
+
+LocKey = Tuple[str, Prefix]  # (vrf, prefix)
+
+
+def _session_policy(
+    policy_name: Optional[str],
+    route: Route,
+    ctx,
+    ebgp: bool,
+    direction: str,
+) -> PolicyResult:
+    """Apply a session policy with the missing-policy VSB scoped correctly.
+
+    The Table-5 "missing route policy" VSB concerns whether *updates are
+    accepted* when no policy is defined — an eBGP import question. iBGP
+    sessions and missing export policies permit unconditionally on every
+    modelled vendor; an undefined (named but missing) policy resolves via
+    the "undefined route policy" VSB in either direction.
+    """
+    if policy_name is None and not (ebgp and direction == "import"):
+        return PolicyResult(True, route, reason=f"no-{direction}-policy")
+    return apply_policy(policy_name, route, ctx)
+
+
+@dataclass(frozen=True)
+class Session:
+    """One BGP session direction: ``sender`` advertises to ``receiver``."""
+
+    sender: str
+    receiver: str
+    sender_vrf: str
+    receiver_vrf: str
+    ebgp: bool
+    sender_cfg: BgpPeerConfig
+    receiver_cfg: BgpPeerConfig
+
+    @property
+    def key(self) -> Tuple[str, str, str, str]:
+        return (self.sender, self.sender_vrf, self.receiver, self.receiver_vrf)
+
+
+def build_sessions(model: NetworkModel, igp: IgpState) -> List[Session]:
+    """Derive live session directions from both ends' peer configuration.
+
+    A direction exists when both devices configure each other with matching
+    ASNs and both ends are enabled. eBGP sessions additionally require a
+    direct up link; iBGP sessions require IGP reachability (so failures
+    propagate into session liveness for k-failure checking).
+    """
+    sessions: List[Session] = []
+    topology = model.topology
+    for device in model.devices.values():
+        if not topology.router_is_up(device.name):
+            continue
+        if device.isolated and not device.vendor.isolation_via_policy:
+            # Config-style isolation takes the sessions down entirely.
+            continue
+        for pc in device.peers:
+            if not pc.enabled:
+                continue
+            peer_device = model.devices.get(pc.peer)
+            if peer_device is None or not topology.router_is_up(pc.peer):
+                continue
+            if peer_device.isolated and not peer_device.vendor.isolation_via_policy:
+                continue
+            if pc.remote_asn != peer_device.asn:
+                continue
+            qc = next(
+                (
+                    q
+                    for q in peer_device.peers
+                    if q.peer == device.name
+                    and q.enabled
+                    and q.remote_asn == device.asn
+                ),
+                None,
+            )
+            if qc is None:
+                continue
+            ebgp = device.asn != peer_device.asn
+            if ebgp:
+                if topology.find_link(device.name, pc.peer) is None or not any(
+                    topology.link_is_up(l)
+                    for l in topology.links_between(device.name, pc.peer)
+                ):
+                    continue
+            else:
+                if not igp.reachable(device.name, pc.peer):
+                    continue
+            sessions.append(
+                Session(
+                    sender=device.name,
+                    receiver=pc.peer,
+                    sender_vrf=pc.vrf,
+                    receiver_vrf=qc.vrf,
+                    ebgp=ebgp,
+                    sender_cfg=pc,
+                    receiver_cfg=qc,
+                )
+            )
+    return sessions
+
+
+@dataclass
+class BgpStats:
+    """Instrumentation emitted by a simulation run."""
+
+    rounds: int = 0
+    messages: int = 0
+    converged: bool = True
+    #: per-prefix count of delivered advertisement messages — the paper's
+    #: "routes from ISPs propagate a few hops, DC routes more than 10".
+    prefix_messages: Dict[Prefix, int] = field(default_factory=dict)
+
+
+@dataclass
+class BgpResult:
+    """Final BGP state: per-device selections plus instrumentation."""
+
+    selections: Dict[str, Dict[LocKey, Selection]]
+    suppressed: Dict[str, Dict[str, Set[Prefix]]]
+    stats: BgpStats
+
+    def best_routes(self, device: str, vrf: str, prefix: Prefix) -> List[Route]:
+        selection = self.selections.get(device, {}).get((vrf, prefix))
+        if selection is None:
+            return []
+        return selection.routes()
+
+
+class BgpSimulator:
+    """Runs the fixpoint for a set of input routes on a network model."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        igp: IgpState,
+        max_rounds: int = 50,
+    ) -> None:
+        self.model = model
+        self.igp = igp
+        self.max_rounds = max_rounds
+        self.sessions = build_sessions(model, igp)
+        self._sessions_from: Dict[str, List[Session]] = {}
+        for session in self.sessions:
+            self._sessions_from.setdefault(session.sender, []).append(session)
+
+        # Mutable per-run state.
+        # adj-rib-in indexed device -> (vrf, prefix) -> sender -> candidates,
+        # so decision recomputation touches only the affected slot.
+        self._adj_in: Dict[
+            str, Dict[LocKey, Dict[str, Tuple[Candidate, ...]]]
+        ] = {}
+        self._inputs: Dict[str, Dict[LocKey, List[Candidate]]] = {}
+        self._derived: Dict[str, Dict[LocKey, List[Candidate]]] = {}
+        self._locs: Dict[str, Dict[LocKey, Selection]] = {}
+        self._suppressed: Dict[str, Dict[str, Set[Prefix]]] = {}
+        self._last_sent: Dict[Tuple, Tuple] = {}
+        self._stats = BgpStats()
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, input_routes: Iterable[InputRoute]) -> BgpResult:
+        """Simulate the propagation of the input routes to a fixpoint."""
+        self._reset()
+        dirty: Set[Tuple[str, str, Prefix]] = set()
+        for item in input_routes:
+            if item.router not in self.model.devices:
+                continue
+            key = (item.vrf, item.route.prefix)
+            route = item.route
+            if route.source == SOURCE_EBGP and route.igp_cost == 0:
+                # External routes resolve directly out of the AS border.
+                route = route.evolve(igp_cost=0)
+            candidate = Candidate(route=route, from_peer="")
+            self._inputs.setdefault(item.router, {}).setdefault(key, []).append(
+                candidate
+            )
+            dirty.add((item.router,) + key)
+
+        for device, vrf, prefix in set(dirty):
+            self._recompute(device, vrf, prefix)
+        dirty |= self._settle_local({d for d, _, _ in dirty})
+
+        rounds = 0
+        while dirty:
+            rounds += 1
+            if rounds > self.max_rounds:
+                self._stats.converged = False
+                break
+            deliveries = self._advertise(dirty)
+            dirty = self._deliver(deliveries)
+        self._stats.rounds = rounds
+        return BgpResult(
+            selections=self._locs,
+            suppressed=self._suppressed,
+            stats=self._stats,
+        )
+
+    # -- internals ----------------------------------------------------------------
+
+    def _reset(self) -> None:
+        self._adj_in = {}
+        self._inputs = {}
+        self._derived = {}
+        self._locs = {}
+        self._suppressed = {}
+        self._last_sent = {}
+        self._stats = BgpStats()
+
+    def _candidates(self, device: str, vrf: str, prefix: Prefix) -> List[Candidate]:
+        key = (vrf, prefix)
+        found: List[Candidate] = []
+        found.extend(self._inputs.get(device, {}).get(key, []))
+        found.extend(self._derived.get(device, {}).get(key, []))
+        for entries in self._adj_in.get(device, {}).get(key, {}).values():
+            found.extend(entries)
+        return found
+
+    def _recompute(self, device: str, vrf: str, prefix: Prefix) -> bool:
+        """Re-run decision; True if the multipath selection changed."""
+        key = (vrf, prefix)
+        candidates = self._candidates(device, vrf, prefix)
+        locs = self._locs.setdefault(device, {})
+        old = locs.get(key)
+        if not candidates:
+            if old is None:
+                return False
+            del locs[key]
+            return True
+        config = self.model.device(device)
+        max_paths = config.max_paths
+        if vrf != GLOBAL_VRF and not config.vendor.subview_inherits_options:
+            # "Inheriting views" VSB: on vendors whose sub-views do not
+            # inherit options, the VRF view falls back to default multipath.
+            max_paths = 1
+        selection = select_best(candidates, max_paths=max_paths)
+        locs[key] = selection
+        if old is None:
+            return True
+        return [c.route for c in old.multipath] != [
+            c.route for c in selection.multipath
+        ]
+
+    # -- advertisement -------------------------------------------------------------
+
+    def _advertise(
+        self, dirty: Set[Tuple[str, str, Prefix]]
+    ) -> List[Tuple[Session, Prefix, Tuple[Route, ...]]]:
+        deliveries: List[Tuple[Session, Prefix, Tuple[Route, ...]]] = []
+        for device, vrf, prefix in sorted(
+            dirty, key=lambda k: (k[0], k[1], str(k[2]))
+        ):
+            for session in self._sessions_from.get(device, []):
+                if session.sender_vrf != vrf:
+                    continue
+                routes = self._advert_routes(session, vrf, prefix)
+                sent_key = session.key + (prefix,)
+                if self._last_sent.get(sent_key, ()) != routes:
+                    self._last_sent[sent_key] = routes
+                    deliveries.append((session, prefix, routes))
+        return deliveries
+
+    def _advert_routes(
+        self, session: Session, vrf: str, prefix: Prefix
+    ) -> Tuple[Route, ...]:
+        device = self.model.device(session.sender)
+        vendor = device.vendor
+        if device.isolated and vendor.isolation_via_policy:
+            # Policy-style isolation: sessions stay up but advertise nothing
+            # (the device still *learns* routes — the observable difference
+            # from config-style isolation).
+            return ()
+        selection = self._locs.get(session.sender, {}).get((vrf, prefix))
+        if selection is None:
+            return ()
+        if prefix in self._suppressed.get(session.sender, {}).get(vrf, set()):
+            return ()
+        adverts: List[Route] = []
+        for candidate in selection.multipath[: max(1, session.sender_cfg.addpath)]:
+            route = candidate.route
+            if candidate.suppressed:
+                continue
+            # iBGP reflection rules
+            if not session.ebgp and route.source == SOURCE_IBGP:
+                if not (candidate.from_client or session.sender_cfg.route_reflector_client):
+                    continue
+            # /32 direct-route advertisement VSB
+            if "direct32" in route.flags and not vendor.sends_direct_slash32_to_peer:
+                continue
+            result = _session_policy(
+                session.sender_cfg.export_policy,
+                route,
+                device.policy_ctx,
+                ebgp=session.ebgp,
+                direction="export",
+            )
+            if not result.permitted:
+                continue
+            out = result.route
+            if session.ebgp:
+                if not result.aspath_overwritten or vendor.adds_own_asn_after_overwrite:
+                    out = out.prepend_as_path(device.asn)
+                nexthop = self.model.loopback_of(device.name)
+                out = out.evolve(nexthop=nexthop)
+            elif session.sender_cfg.next_hop_self or out.nexthop is None:
+                # next-hop-self, or a locally injected route without a next
+                # hop yet: the sender becomes the next hop.
+                out = out.evolve(nexthop=self.model.loopback_of(device.name))
+            adverts.append(out)
+        return tuple(adverts)
+
+    # -- delivery / ingress ------------------------------------------------------------
+
+    def _deliver(
+        self, deliveries: Sequence[Tuple[Session, Prefix, Tuple[Route, ...]]]
+    ) -> Set[Tuple[str, str, Prefix]]:
+        touched: Set[Tuple[str, str, Prefix]] = set()
+        for session, prefix, routes in deliveries:
+            self._stats.messages += 1
+            self._stats.prefix_messages[prefix] = (
+                self._stats.prefix_messages.get(prefix, 0) + 1
+            )
+            receiver = self.model.device(session.receiver)
+            accepted: List[Candidate] = []
+            for path_id, route in enumerate(routes):
+                candidate = self._ingress(session, receiver, route, path_id)
+                if candidate is not None:
+                    accepted.append(candidate)
+            adj = self._adj_in.setdefault(session.receiver, {})
+            slot = adj.setdefault((session.receiver_vrf, prefix), {})
+            old = slot.get(session.sender, ())
+            new = tuple(accepted)
+            if old == new:
+                continue
+            if new:
+                slot[session.sender] = new
+            else:
+                slot.pop(session.sender, None)
+            touched.add((session.receiver, session.receiver_vrf, prefix))
+
+        dirty: Set[Tuple[str, str, Prefix]] = set()
+        for device, vrf, prefix in touched:
+            if self._recompute(device, vrf, prefix):
+                dirty.add((device, vrf, prefix))
+        dirty |= self._settle_local({d for d, _, _ in dirty})
+        return dirty
+
+    def _settle_local(self, devices: Set[str]) -> Set[Tuple[str, str, Prefix]]:
+        """Iterate aggregate/leak derivation on devices until locally stable.
+
+        Chains like "leaked route contributes to an aggregate" need more
+        than one derivation pass; the iteration count is bounded to guard
+        against pathological mutual-leak oscillation.
+        """
+        changed_all: Set[Tuple[str, str, Prefix]] = set()
+        pending = set(devices)
+        for _ in range(20):
+            if not pending:
+                break
+            changed: Set[Tuple[str, str, Prefix]] = set()
+            for device in sorted(pending):
+                changed |= self._refresh_derived(device)
+            if not changed:
+                break
+            changed_all |= changed
+            pending = {d for d, _, _ in changed}
+        else:
+            self._stats.converged = False
+        return changed_all
+
+    def _ingress(
+        self,
+        session: Session,
+        receiver: DeviceConfig,
+        route: Route,
+        path_id: int,
+    ) -> Optional[Candidate]:
+        vendor = receiver.vendor
+        if session.ebgp:
+            if receiver.asn in route.as_path:
+                return None  # AS loop prevention
+            route = route.evolve(local_pref=100)  # local pref not transitive
+        result = _session_policy(
+            session.receiver_cfg.import_policy,
+            route,
+            receiver.policy_ctx,
+            ebgp=session.ebgp,
+            direction="import",
+        )
+        if not result.permitted:
+            return None
+        processed = result.route
+        source = SOURCE_EBGP if session.ebgp else SOURCE_IBGP
+        ebgp_pref, ibgp_pref = vendor.default_bgp_preference
+        processed = processed.evolve(
+            source=source,
+            protocol=PROTO_BGP,
+            preference=ebgp_pref if session.ebgp else ibgp_pref,
+            igp_cost=self._resolve_igp_cost(receiver, processed.nexthop),
+        )
+        return Candidate(
+            route=processed,
+            from_peer=session.sender,
+            from_client=session.receiver_cfg.route_reflector_client,
+            path_id=path_id,
+        )
+
+    def _resolve_igp_cost(
+        self, device: DeviceConfig, nexthop: Optional[IPAddress]
+    ) -> int:
+        if nexthop is None:
+            return 0
+        owner = self.model.owner_of_address(nexthop)
+        if owner is None:
+            return UNREACHABLE_COST
+        if owner == device.name:
+            return 0
+        plain = self.igp.cost(device.name, owner)
+        if plain == INFINITY:
+            plain = UNREACHABLE_COST
+        return int(effective_igp_cost(device, self.igp, owner, plain))
+
+    # -- derived candidates: aggregation and VRF leaking --------------------------------
+
+    def _refresh_derived(self, device: str) -> Set[Tuple[str, str, Prefix]]:
+        """Recompute aggregates and leaks on a device after loc changes."""
+        config = self.model.device(device)
+        derived: Dict[LocKey, List[Candidate]] = {}
+        suppressed: Dict[str, Set[Prefix]] = {}
+        locs = self._locs.get(device, {})
+
+        # Aggregation (§3.1: prefixes trigger aggregate prefixes on devices)
+        for agg in config.aggregates:
+            contributors = [
+                selection
+                for (vrf, prefix), selection in locs.items()
+                if vrf == agg.vrf
+                and prefix != agg.prefix
+                and agg.prefix.contains_prefix(prefix)
+                and not any(c.route.aggregator == device for c in selection.multipath)
+            ]
+            if not contributors:
+                continue
+            as_path: Tuple[int, ...] = ()
+            if not agg.as_set and config.vendor.aggregate_keeps_common_aspath:
+                paths = [s.best.route.as_path for s in contributors]
+                as_path = _common_prefix(paths)
+            communities: FrozenSet[str] = frozenset()
+            if agg.as_set:
+                communities = frozenset().union(
+                    *(s.best.route.communities for s in contributors)
+                )
+            agg_route = Route(
+                prefix=agg.prefix,
+                as_path=as_path,
+                communities=communities,
+                protocol=PROTO_BGP,
+                source=SOURCE_LOCAL,
+                origin_router=device,
+                origin_vrf=agg.vrf,
+                aggregator=device,
+                nexthop=self.model.loopback_of(device),
+            )
+            derived.setdefault((agg.vrf, agg.prefix), []).append(
+                Candidate(route=agg_route, from_peer="")
+            )
+            if agg.summary_only:
+                marks = suppressed.setdefault(agg.vrf, set())
+                for (vrf, prefix) in locs:
+                    if (
+                        vrf == agg.vrf
+                        and prefix != agg.prefix
+                        and agg.prefix.contains_prefix(prefix)
+                    ):
+                        marks.add(prefix)
+
+        # VRF route leaking by route-target intersection
+        vrf_list = list(config.vrfs.values())
+        for src_vrf in vrf_list:
+            for dst_vrf in vrf_list:
+                if src_vrf.name == dst_vrf.name:
+                    continue
+                if not (src_vrf.export_rts & dst_vrf.import_rts):
+                    continue
+                for (vrf, prefix), selection in locs.items():
+                    if vrf != src_vrf.name:
+                        continue
+                    for candidate in selection.multipath:
+                        if candidate.leaked and not config.vendor.releaks_vpn_routes_by_rt:
+                            continue
+                        leaked_route = candidate.route
+                        policy_name = src_vrf.export_policy
+                        if src_vrf.name == GLOBAL_VRF:
+                            # "VRF export policy" VSB: does the receiving
+                            # VRF's export policy apply to leaked global
+                            # iBGP routes?
+                            policy_name = (
+                                dst_vrf.export_policy
+                                if config.vendor.vrf_export_applies_to_leaked_global
+                                else None
+                            )
+                        if policy_name is not None:
+                            result = apply_policy(
+                                policy_name, leaked_route, config.policy_ctx
+                            )
+                            if not result.permitted:
+                                continue
+                            leaked_route = result.route
+                        derived.setdefault((dst_vrf.name, prefix), []).append(
+                            Candidate(
+                                route=leaked_route.evolve(origin_vrf=src_vrf.name),
+                                from_peer=f"leak:{src_vrf.name}",
+                                leaked=True,
+                            )
+                        )
+
+        old_derived = self._derived.get(device, {})
+        old_suppressed = self._suppressed.get(device, {})
+        changed: Set[Tuple[str, str, Prefix]] = set()
+        for key in set(old_derived) | set(derived):
+            if old_derived.get(key) != derived.get(key):
+                changed.add((device,) + key)
+        if old_suppressed != suppressed:
+            # Suppression changes what is advertised: mark affected prefixes.
+            for vrf in set(old_suppressed) | set(suppressed):
+                for prefix in old_suppressed.get(vrf, set()) ^ suppressed.get(
+                    vrf, set()
+                ):
+                    changed.add((device, vrf, prefix))
+        self._derived[device] = derived
+        self._suppressed[device] = suppressed
+        for device_name, vrf, prefix in changed:
+            self._recompute(device_name, vrf, prefix)
+        return changed
+
+
+def _common_prefix(paths: Sequence[Tuple[int, ...]]) -> Tuple[int, ...]:
+    """Longest common leading segment of the given AS paths."""
+    if not paths:
+        return ()
+    common: List[int] = []
+    for asns in zip(*paths):
+        if all(a == asns[0] for a in asns):
+            common.append(asns[0])
+        else:
+            break
+    return tuple(common)

@@ -1,0 +1,94 @@
+"""The BGP best-path decision process.
+
+Implements the standard multi-step comparison Hoyan simulates (§3.1):
+weight, local preference, local origination, AS-path length, origin, MED,
+eBGP-over-iBGP, and IGP cost to the next hop — the step where the Figure 9
+SR VSB bites, because vendor A reports cost 0 for SR-reached next hops.
+
+Candidates surviving through the IGP-cost step form the ECMP set (bounded by
+the device's ``max_paths``); the single BEST route is then chosen by a
+deterministic tiebreak on the announcing peer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.routing.attributes import (
+    ORIGIN_EGP,
+    ORIGIN_IGP,
+    ORIGIN_INCOMPLETE,
+    SOURCE_EBGP,
+    Route,
+)
+
+_ORIGIN_RANK = {ORIGIN_IGP: 0, ORIGIN_EGP: 1, ORIGIN_INCOMPLETE: 2}
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A route candidate in the decision process.
+
+    ``from_peer`` is the router the route was learned from ('' for locally
+    originated / injected routes); ``from_client`` records whether that
+    session was an RR client session (needed by reflection rules);
+    ``path_id`` disambiguates add-path announcements; ``suppressed`` marks
+    more-specific routes hidden by a summary-only aggregate.
+    """
+
+    route: Route
+    from_peer: str = ""
+    from_client: bool = False
+    path_id: int = 0
+    leaked: bool = False
+    suppressed: bool = False
+
+    def decision_key(self) -> Tuple:
+        """Sort key: lower is better. Steps 1-8 of the decision process."""
+        r = self.route
+        return (
+            -r.weight,                         # 1. highest weight
+            -r.local_pref,                     # 2. highest local pref
+            0 if self.from_peer == "" else 1,  # 3. prefer locally originated
+            len(r.as_path),                    # 4. shortest AS path
+            _ORIGIN_RANK.get(r.origin, 3),     # 5. lowest origin
+            r.med,                             # 6. lowest MED
+            0 if r.source == SOURCE_EBGP else 1,  # 7. eBGP over iBGP
+            r.igp_cost,                        # 8. lowest IGP cost to next hop
+        )
+
+    def tiebreak_key(self) -> Tuple:
+        """Deterministic final tiebreak among ECMP-equal candidates."""
+        return (self.from_peer, self.path_id, str(self.route.nexthop or ""))
+
+
+@dataclass
+class Selection:
+    """Decision outcome for one (vrf, prefix)."""
+
+    best: Candidate
+    ecmp: List[Candidate] = field(default_factory=list)
+    rejected: List[Candidate] = field(default_factory=list)
+
+    @property
+    def multipath(self) -> List[Candidate]:
+        """BEST plus additional ECMP candidates, decision order."""
+        return [self.best] + self.ecmp
+
+    def routes(self) -> List[Route]:
+        return [c.route for c in self.multipath]
+
+
+def select_best(
+    candidates: Sequence[Candidate], max_paths: int = 8
+) -> Selection:
+    """Run the decision process over the candidates (must be non-empty)."""
+    if not candidates:
+        raise ValueError("select_best requires at least one candidate")
+    ranked = sorted(candidates, key=lambda c: (c.decision_key(), c.tiebreak_key()))
+    top_key = ranked[0].decision_key()
+    equal_count = sum(1 for c in ranked if c.decision_key() == top_key)
+    keep = min(equal_count, max(1, max_paths))
+    multipath = ranked[:keep]
+    return Selection(best=multipath[0], ecmp=multipath[1:], rejected=ranked[keep:])

@@ -1,0 +1,234 @@
+"""RIB structures: per-device RIBs and the global RIB abstraction of RCL.
+
+A :class:`DeviceRib` stores, per VRF and prefix, the candidate routes plus
+the selected best/ECMP set, and answers longest-prefix-match queries for
+traffic simulation. A :class:`GlobalRib` flattens every device's routes into
+a single table with ``device`` and ``vrf`` columns — exactly the abstraction
+RCL intents are written against (§4.1, Figure 6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.net.addr import IPAddress, Prefix
+from repro.net.trie import PrefixTrie
+from repro.routing.attributes import Route
+
+ROUTE_TYPE_BEST = "BEST"
+ROUTE_TYPE_ECMP = "ECMP"
+ROUTE_TYPE_CANDIDATE = "CANDIDATE"
+
+#: RCL field names resolvable on a row, mapped to extractor functions.
+_FIELD_EXTRACTORS = {
+    "device": lambda r: r.device,
+    "vrf": lambda r: r.vrf,
+    "prefix": lambda r: str(r.route.prefix),
+    "nexthop": lambda r: str(r.route.nexthop) if r.route.nexthop else "",
+    "localPref": lambda r: r.route.local_pref,
+    "med": lambda r: r.route.med,
+    "communities": lambda r: r.route.communities,
+    "aspath": lambda r: r.route.as_path_str(),
+    "weight": lambda r: r.route.weight,
+    "preference": lambda r: r.route.preference,
+    "protocol": lambda r: r.route.protocol,
+    "origin": lambda r: r.route.origin,
+    "source": lambda r: r.route.source,
+    "igpCost": lambda r: r.route.igp_cost,
+    "routeType": lambda r: r.route_type,
+}
+
+RIB_FIELDS = tuple(_FIELD_EXTRACTORS)
+
+
+class UnknownFieldError(KeyError):
+    """Raised when an RCL specification references an unknown RIB field."""
+
+
+@dataclass(frozen=True)
+class RibRoute:
+    """One row of a RIB table: a route located at (device, vrf)."""
+
+    device: str
+    vrf: str
+    route: Route
+    route_type: str = ROUTE_TYPE_BEST
+
+    def field(self, name: str):
+        """Field access by RCL name (e.g. ``localPref``, ``routeType``)."""
+        try:
+            extractor = _FIELD_EXTRACTORS[name]
+        except KeyError:
+            raise UnknownFieldError(
+                f"unknown RIB field {name!r}; known: {sorted(_FIELD_EXTRACTORS)}"
+            ) from None
+        return extractor(self)
+
+    def identity(self) -> Tuple:
+        """Full-row identity used for RIB set comparison (PRE = POST)."""
+        return (
+            self.device,
+            self.vrf,
+            self.route_type,
+            str(self.route.prefix),
+            self.route.attribute_key(),
+        )
+
+    def __str__(self) -> str:
+        return f"{self.device}/{self.vrf} [{self.route_type}] {self.route}"
+
+
+class DeviceRib:
+    """Routes of one device, indexed per VRF and prefix."""
+
+    def __init__(self, device: str) -> None:
+        self.device = device
+        # vrf -> prefix -> list of (route, route_type)
+        self._tables: Dict[str, Dict[Prefix, List[Tuple[Route, str]]]] = {}
+        self._tries: Dict[str, PrefixTrie] = {}
+        self._tries_dirty = True
+
+    # -- mutation ---------------------------------------------------------
+
+    def install(
+        self, route: Route, vrf: str = "global", route_type: str = ROUTE_TYPE_BEST
+    ) -> None:
+        table = self._tables.setdefault(vrf, {})
+        table.setdefault(route.prefix, []).append((route, route_type))
+        self._tries_dirty = True
+
+    def replace_prefix(
+        self, vrf: str, prefix: Prefix, entries: List[Tuple[Route, str]]
+    ) -> None:
+        """Replace all routes for one prefix (used after best-path selection)."""
+        table = self._tables.setdefault(vrf, {})
+        if entries:
+            table[prefix] = list(entries)
+        else:
+            table.pop(prefix, None)
+        self._tries_dirty = True
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def vrfs(self) -> List[str]:
+        return list(self._tables)
+
+    def prefixes(self, vrf: str = "global") -> List[Prefix]:
+        return list(self._tables.get(vrf, {}))
+
+    def routes_for(
+        self, prefix: Prefix, vrf: str = "global", best_only: bool = True
+    ) -> List[Route]:
+        entries = self._tables.get(vrf, {}).get(prefix, [])
+        if best_only:
+            return [
+                r
+                for r, t in entries
+                if t in (ROUTE_TYPE_BEST, ROUTE_TYPE_ECMP)
+            ]
+        return [r for r, _ in entries]
+
+    def entries_for(
+        self, prefix: Prefix, vrf: str = "global"
+    ) -> List[Tuple[Route, str]]:
+        return list(self._tables.get(vrf, {}).get(prefix, []))
+
+    def _trie(self, vrf: str) -> PrefixTrie:
+        if self._tries_dirty:
+            self._tries = {}
+            for vname, table in self._tables.items():
+                trie = PrefixTrie()
+                for prefix, entries in table.items():
+                    if any(t in (ROUTE_TYPE_BEST, ROUTE_TYPE_ECMP) for _, t in entries):
+                        trie.insert(prefix, prefix)
+                self._tries[vname] = trie
+            self._tries_dirty = False
+        return self._tries.setdefault(vrf, PrefixTrie())
+
+    def lpm(
+        self, address: IPAddress, vrf: str = "global"
+    ) -> Optional[Tuple[Prefix, List[Route]]]:
+        """Longest-prefix match over best/ECMP routes."""
+        hit = self._trie(vrf).lookup_lpm(address)
+        if hit is None:
+            return None
+        prefix, _ = hit
+        return prefix, self.routes_for(prefix, vrf, best_only=True)
+
+    def all_rows(self) -> Iterator[RibRoute]:
+        for vrf, table in self._tables.items():
+            for prefix, entries in table.items():
+                for route, route_type in entries:
+                    yield RibRoute(self.device, vrf, route, route_type)
+
+    def route_count(self) -> int:
+        return sum(
+            len(entries)
+            for table in self._tables.values()
+            for entries in table.values()
+        )
+
+
+class GlobalRib:
+    """The global RIB: all devices' routes in one table (Figure 6)."""
+
+    def __init__(self, rows: Optional[Iterable[RibRoute]] = None) -> None:
+        self.rows: List[RibRoute] = list(rows) if rows is not None else []
+
+    @classmethod
+    def from_device_ribs(cls, ribs: Iterable[DeviceRib]) -> "GlobalRib":
+        rib = cls()
+        for device_rib in ribs:
+            rib.rows.extend(device_rib.all_rows())
+        return rib
+
+    def add(self, row: RibRoute) -> None:
+        self.rows.append(row)
+
+    def extend(self, rows: Iterable[RibRoute]) -> None:
+        self.rows.extend(rows)
+
+    def filter(self, predicate) -> "GlobalRib":
+        """New GlobalRib of rows satisfying ``predicate(row) -> bool``."""
+        return GlobalRib(row for row in self.rows if predicate(row))
+
+    def distinct_values(self, field: str) -> Set:
+        return {row.field(field) for row in self.rows}
+
+    def identity_set(self) -> FrozenSet[Tuple]:
+        return frozenset(row.identity() for row in self.rows)
+
+    def merged_with(self, other: "GlobalRib") -> "GlobalRib":
+        return GlobalRib(list(self.rows) + list(other.rows))
+
+    def best_routes(self) -> "GlobalRib":
+        return self.filter(
+            lambda r: r.route_type in (ROUTE_TYPE_BEST, ROUTE_TYPE_ECMP)
+        )
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[RibRoute]:
+        return iter(self.rows)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GlobalRib):
+            return NotImplemented
+        return self.identity_set() == other.identity_set()
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __str__(self) -> str:
+        lines = [f"GlobalRib with {len(self.rows)} rows"]
+        for row in self.rows[:20]:
+            lines.append(f"  {row}")
+        if len(self.rows) > 20:
+            lines.append(f"  ... and {len(self.rows) - 20} more")
+        return "\n".join(lines)

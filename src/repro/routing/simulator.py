@@ -1,0 +1,184 @@
+"""Route simulation entry point: IGP + BGP + RIB assembly.
+
+``RouteSimulator`` ties the engines together exactly as a Hoyan
+route-simulation subtask does (§3.2): given a network model and a subset of
+input routes, it computes the IGP state, runs the BGP fixpoint, and
+assembles per-device RIBs (BGP best/ECMP/candidates, static routes, direct
+routes) plus the global RIB for RCL verification. Administrative preference
+decides between protocols competing for the same prefix.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.addr import Prefix
+from repro.net.model import NetworkModel
+from repro.routing.attributes import Route, SOURCE_LOCAL
+from repro.routing.bgp import BgpResult, BgpSimulator, BgpStats
+from repro.routing.inputs import InputRoute, build_local_input_routes
+from repro.routing.isis import IgpState, compute_igp
+from repro.routing.rib import (
+    DeviceRib,
+    GlobalRib,
+    ROUTE_TYPE_BEST,
+    ROUTE_TYPE_CANDIDATE,
+    ROUTE_TYPE_ECMP,
+)
+
+
+@dataclass
+class SimulationResult:
+    """Output of one route-simulation (sub)task."""
+
+    device_ribs: Dict[str, DeviceRib]
+    igp: IgpState
+    bgp: BgpResult
+    elapsed_seconds: float = 0.0
+    #: abstract work units (delivered BGP messages) — used by the
+    #: distributed framework's simulated-makespan model.
+    cost_units: int = 0
+
+    def global_rib(self, best_only: bool = False) -> GlobalRib:
+        rib = GlobalRib.from_device_ribs(self.device_ribs.values())
+        return rib.best_routes() if best_only else rib
+
+    @property
+    def stats(self) -> BgpStats:
+        return self.bgp.stats
+
+
+class RouteSimulator:
+    """Simulates route propagation for a network model."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        igp: Optional[IgpState] = None,
+        max_rounds: int = 50,
+        keep_candidates: bool = False,
+        include_connected: bool = True,
+    ) -> None:
+        self.model = model
+        self.igp = igp if igp is not None else compute_igp(model)
+        self.max_rounds = max_rounds
+        self.keep_candidates = keep_candidates
+        #: install static and loopback direct routes into the RIBs. Subtask
+        #: workers disable this: those routes would otherwise appear in
+        #: every subtask's result file, widening its recorded address range
+        #: and defeating the ordering heuristic's dependency reduction.
+        self.include_connected = include_connected
+
+    def simulate(
+        self,
+        input_routes: Optional[Iterable[InputRoute]] = None,
+        include_local_inputs: bool = True,
+    ) -> SimulationResult:
+        """Run BGP for the input routes and assemble RIBs.
+
+        ``input_routes=None`` simulates only the locally originated routes
+        (redistribution). Subtasks pass their input subset and set
+        ``include_local_inputs=False`` when local routes are provided by the
+        master's input-building phase instead.
+        """
+        started = time.perf_counter()
+        inputs: List[InputRoute] = list(input_routes or [])
+        if include_local_inputs:
+            inputs.extend(build_local_input_routes(self.model))
+
+        bgp = BgpSimulator(self.model, self.igp, max_rounds=self.max_rounds)
+        result = bgp.run(inputs)
+        ribs = self._assemble_ribs(result)
+        elapsed = time.perf_counter() - started
+        return SimulationResult(
+            device_ribs=ribs,
+            igp=self.igp,
+            bgp=result,
+            elapsed_seconds=elapsed,
+            cost_units=result.stats.messages,
+        )
+
+    def _assemble_ribs(self, bgp: BgpResult) -> Dict[str, DeviceRib]:
+        ribs: Dict[str, DeviceRib] = {}
+        for name, device in self.model.devices.items():
+            rib = DeviceRib(name)
+            ribs[name] = rib
+            if not self.model.topology.router_is_up(name):
+                continue
+
+            # Competing protocol routes per (vrf, prefix): admin preference
+            # picks the active protocol; losers stay visible as candidates.
+            contenders: Dict[Tuple[str, Prefix], List[Tuple[Route, str]]] = {}
+
+            if self.include_connected:
+                for static in device.statics:
+                    route = Route(
+                        prefix=static.prefix,
+                        nexthop=static.nexthop,
+                        protocol="static",
+                        source=SOURCE_LOCAL,
+                        preference=static.preference,
+                        origin_router=name,
+                        origin_vrf=static.vrf,
+                    )
+                    contenders.setdefault((static.vrf, static.prefix), []).append(
+                        (route, ROUTE_TYPE_BEST)
+                    )
+
+                loopback = self.model.loopback_of(name)
+                if loopback is not None:
+                    direct = Route(
+                        prefix=Prefix.from_address(loopback),
+                        protocol="direct",
+                        source=SOURCE_LOCAL,
+                        preference=0,
+                        origin_router=name,
+                    )
+                    contenders.setdefault(("global", direct.prefix), []).append(
+                        (direct, ROUTE_TYPE_BEST)
+                    )
+
+            for (vrf, prefix), selection in bgp.selections.get(name, {}).items():
+                entries = contenders.setdefault((vrf, prefix), [])
+                entries.append((selection.best.route, ROUTE_TYPE_BEST))
+                for candidate in selection.ecmp:
+                    entries.append((candidate.route, ROUTE_TYPE_ECMP))
+                if self.keep_candidates:
+                    for candidate in selection.rejected:
+                        entries.append((candidate.route, ROUTE_TYPE_CANDIDATE))
+
+            for (vrf, prefix), entries in contenders.items():
+                best_pref = min(r.preference for r, t in entries if t != ROUTE_TYPE_CANDIDATE)
+                final: List[Tuple[Route, str]] = []
+                for route, route_type in entries:
+                    if route_type == ROUTE_TYPE_CANDIDATE:
+                        final.append((route, route_type))
+                    elif route.preference == best_pref:
+                        final.append((route, route_type))
+                    else:
+                        final.append((route, ROUTE_TYPE_CANDIDATE))
+                # Exactly one BEST per (vrf, prefix): demote extras to ECMP.
+                seen_best = False
+                normalized: List[Tuple[Route, str]] = []
+                for route, route_type in final:
+                    if route_type == ROUTE_TYPE_BEST:
+                        if seen_best:
+                            route_type = ROUTE_TYPE_ECMP
+                        seen_best = True
+                    normalized.append((route, route_type))
+                rib.replace_prefix(vrf, prefix, normalized)
+        return ribs
+
+
+def simulate_routes(
+    model: NetworkModel,
+    input_routes: Optional[Iterable[InputRoute]] = None,
+    include_local_inputs: bool = True,
+    **kwargs,
+) -> SimulationResult:
+    """One-shot convenience wrapper around :class:`RouteSimulator`."""
+    return RouteSimulator(model, **kwargs).simulate(
+        input_routes, include_local_inputs=include_local_inputs
+    )

@@ -1,0 +1,22 @@
+"""Traffic simulation: flows, forwarding along RIBs, link loads.
+
+This is the Jingubang/Yu capability folded into Hoyan (§1): given simulated
+RIBs and the input flows, compute every flow's forwarding path and every
+link's traffic load.
+"""
+
+from repro.traffic.flow import Flow, make_flow
+from repro.traffic.forwarding import FlowPath, ForwardingEngine
+from repro.traffic.load import LinkLoadMap, aggregate_loads
+from repro.traffic.simulator import TrafficSimulationResult, TrafficSimulator
+
+__all__ = [
+    "Flow",
+    "make_flow",
+    "FlowPath",
+    "ForwardingEngine",
+    "LinkLoadMap",
+    "aggregate_loads",
+    "TrafficSimulationResult",
+    "TrafficSimulator",
+]

@@ -1,0 +1,302 @@
+"""Flow forwarding simulation along simulated RIBs.
+
+Each hop: ingress ACL check, PBR override, RIB longest-prefix match, ECMP
+selection by flow hash, and recursive next-hop resolution (IGP next hops, or
+the SR tunnel when an SR policy steers towards the next hop's owner — the
+forwarding half of the Figure 9 behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.addr import IPAddress
+from repro.net.model import NetworkModel
+from repro.routing.attributes import Route, SOURCE_EBGP
+from repro.routing.isis import IgpState
+from repro.routing.rib import DeviceRib
+from repro.routing.sr import first_tunnel_hops
+from repro.traffic.flow import Flow
+
+STATUS_DELIVERED = "delivered"
+STATUS_EXITED = "exited"          # left the network at an eBGP border
+STATUS_DROPPED = "dropped"        # no matching route
+STATUS_BLOCKED = "blocked"        # ACL denied
+STATUS_LOOP = "loop"              # forwarding loop detected
+STATUS_STRANDED = "stranded"      # route present but next hop unresolvable
+
+MAX_HOPS = 64
+
+
+@dataclass
+class FlowPath:
+    """The forwarding path of one flow."""
+
+    flow: Flow
+    routers: List[str]
+    status: str
+    matched_prefixes: List[str] = field(default_factory=list)
+    detail: str = ""
+
+    @property
+    def links(self) -> List[Tuple[str, str]]:
+        """Traversed links as ordered (from, to) router pairs."""
+        return list(zip(self.routers, self.routers[1:]))
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (STATUS_DELIVERED, STATUS_EXITED)
+
+    def __str__(self) -> str:
+        return f"{'-'.join(self.routers)} [{self.status}]"
+
+
+class ForwardingEngine:
+    """Forwards flows over a set of device RIBs."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        ribs: Dict[str, DeviceRib],
+        igp: IgpState,
+    ) -> None:
+        self.model = model
+        self.ribs = ribs
+        self.igp = igp
+
+    # -- public -----------------------------------------------------------
+
+    def forward(self, flow: Flow, max_hops: int = MAX_HOPS) -> FlowPath:
+        """Compute the flow's path from its ingress router."""
+        current = flow.ingress
+        if current not in self.model.devices:
+            return FlowPath(flow, [], STATUS_DROPPED, detail="unknown ingress")
+        routers = [current]
+        matched: List[str] = []
+        came_from: Optional[str] = None
+        visited = {current}
+        for _ in range(max_hops):
+            step = self._step(flow, current, came_from, matched)
+            if isinstance(step, str):
+                return FlowPath(flow, routers, step, matched)
+            next_router, detail = step
+            if next_router is None:
+                return FlowPath(flow, routers, detail, matched)
+            if next_router in visited:
+                routers.append(next_router)
+                return FlowPath(flow, routers, STATUS_LOOP, matched)
+            visited.add(next_router)
+            came_from = current
+            current = next_router
+            routers.append(current)
+        return FlowPath(flow, routers, STATUS_LOOP, matched, detail="hop limit")
+
+    # -- per-hop logic ------------------------------------------------------
+
+    def _step(
+        self,
+        flow: Flow,
+        router: str,
+        came_from: Optional[str],
+        matched: List[str],
+    ):
+        """One forwarding decision. Returns (next_router|None, status) or status."""
+        device = self.model.device(router)
+
+        # Ingress ACL on the receiving interface
+        if came_from is not None and device.interface_acls:
+            link = self.model.topology.find_link(came_from, router)
+            if link is not None:
+                iface = link.interface_on(router)
+                acl_name = device.interface_acls.get(iface.name)
+                if acl_name is not None:
+                    acl = device.acls.get(acl_name)
+                    if acl is not None and not acl.permits(flow):
+                        return STATUS_BLOCKED
+
+        # Local delivery: the destination is owned by this router.
+        owner = self.model.owner_of_address(flow.dst)
+        if owner == router:
+            return (None, STATUS_DELIVERED)
+
+        # PBR overrides the RIB.
+        for rule in device.pbr_rules:
+            if rule.matches_flow(flow):
+                return self._towards(flow, router, rule.nexthop, "pbr")
+
+        # RIB longest-prefix match.
+        rib = self.ribs.get(router)
+        hit = rib.lpm(flow.dst, vrf=flow.vrf) if rib is not None else None
+        if hit is None:
+            # Internal destinations (loopbacks, link subnets) are reachable
+            # through IS-IS even without a BGP/static RIB entry.
+            if owner is not None and self.igp.reachable(router, owner):
+                return self._towards(flow, router, owner, "igp")
+            return (None, STATUS_DROPPED)
+        prefix, routes = hit
+        matched.append(str(prefix))
+        route = self._pick_ecmp(flow, routes)
+
+        # A border router exits traffic for routes it learned over eBGP or
+        # injected locally from an external feed.
+        if route.source == SOURCE_EBGP and route.origin_router == router:
+            return (None, STATUS_EXITED)
+        if route.nexthop is None:
+            return (None, STATUS_EXITED if route.origin_router == router else STATUS_STRANDED)
+
+        nh_owner = self.model.owner_of_address(route.nexthop)
+        if nh_owner is None:
+            return (None, STATUS_STRANDED)
+        if nh_owner == router:
+            return (None, STATUS_DELIVERED)
+        return self._towards(flow, router, nh_owner, "rib")
+
+    def _towards(self, flow: Flow, router: str, target: str, why: str):
+        """Resolve the next physical hop towards a target router."""
+        device = self.model.device(router)
+        if self.model.topology.find_link(router, target) is not None and any(
+            self.model.topology.link_is_up(l)
+            for l in self.model.topology.links_between(router, target)
+        ):
+            return (target, why)
+        # SR tunnel towards the target, if configured and resolvable.
+        policy = device.sr_policy_towards(target)
+        if policy is not None:
+            hops = first_tunnel_hops(self.model, self.igp, router, policy)
+            if hops:
+                return (self._hash_pick(flow, hops), f"{why}+sr")
+        hops = self.igp.hops_towards(router, target)
+        if not hops:
+            return (None, STATUS_STRANDED)
+        return (self._hash_pick(flow, hops), why)
+
+    # -- spread mode (even ECMP volume split) ---------------------------------
+
+    def forward_spread(
+        self, flow: Flow, max_hops: int = MAX_HOPS
+    ) -> List[Tuple[FlowPath, float]]:
+        """All ECMP paths of a flow with their even-split volume fractions.
+
+        Volume splits evenly across ECMP routes and then across IGP/SR next
+        hops at every branch point, which is how link loads are computed for
+        a whole flow EC (every member shares the same path *set*, §3.1).
+        Returns ``[(path, fraction)]`` with fractions summing to 1.
+        """
+        results: List[Tuple[FlowPath, float]] = []
+        if flow.ingress not in self.model.devices:
+            return [(FlowPath(flow, [], STATUS_DROPPED, detail="unknown ingress"), 1.0)]
+
+        def walk(router: str, came_from: Optional[str], trail: List[str],
+                 visited: set, fraction: float, matched: List[str], hops: int) -> None:
+            if hops > max_hops:
+                results.append(
+                    (FlowPath(flow, trail, STATUS_LOOP, matched, "hop limit"), fraction)
+                )
+                return
+            branches = self._branches(flow, router, came_from)
+            if isinstance(branches, str):
+                results.append((FlowPath(flow, trail, branches, matched), fraction))
+                return
+            kind, payload = branches
+            if kind == "terminal":
+                results.append((FlowPath(flow, trail, payload, matched), fraction))
+                return
+            next_matched, options = payload
+            share = fraction / len(options)
+            for next_router in options:
+                if next_router in visited:
+                    results.append(
+                        (
+                            FlowPath(
+                                flow, trail + [next_router], STATUS_LOOP, matched
+                            ),
+                            share,
+                        )
+                    )
+                    continue
+                walk(
+                    next_router,
+                    router,
+                    trail + [next_router],
+                    visited | {next_router},
+                    share,
+                    matched + next_matched,
+                    hops + 1,
+                )
+
+        walk(flow.ingress, None, [flow.ingress], {flow.ingress}, 1.0, [], 0)
+        return results
+
+    def _branches(self, flow: Flow, router: str, came_from: Optional[str]):
+        """Spread-mode decision: terminal status or the ECMP next-hop set."""
+        device = self.model.device(router)
+        if came_from is not None and device.interface_acls:
+            link = self.model.topology.find_link(came_from, router)
+            if link is not None:
+                iface = link.interface_on(router)
+                acl_name = device.interface_acls.get(iface.name)
+                if acl_name is not None:
+                    acl = device.acls.get(acl_name)
+                    if acl is not None and not acl.permits(flow):
+                        return STATUS_BLOCKED
+        owner = self.model.owner_of_address(flow.dst)
+        if owner == router:
+            return ("terminal", STATUS_DELIVERED)
+        for rule in device.pbr_rules:
+            if rule.matches_flow(flow):
+                hops = self._hops_towards(flow, router, rule.nexthop)
+                if not hops:
+                    return ("terminal", STATUS_STRANDED)
+                return ("hops", ([], sorted(hops)))
+        rib = self.ribs.get(router)
+        hit = rib.lpm(flow.dst, vrf=flow.vrf) if rib is not None else None
+        if hit is None:
+            if owner is not None and self.igp.reachable(router, owner):
+                hops = self._hops_towards(flow, router, owner)
+                if hops:
+                    return ("hops", ([], sorted(hops)))
+            return ("terminal", STATUS_DROPPED)
+        prefix, routes = hit
+        options: set = set()
+        for route in routes:
+            if route.source == SOURCE_EBGP and route.origin_router == router:
+                return ("terminal", STATUS_EXITED)
+            if route.nexthop is None:
+                if route.origin_router == router:
+                    return ("terminal", STATUS_EXITED)
+                continue
+            nh_owner = self.model.owner_of_address(route.nexthop)
+            if nh_owner is None:
+                continue
+            if nh_owner == router:
+                return ("terminal", STATUS_DELIVERED)
+            options.update(self._hops_towards(flow, router, nh_owner))
+        if not options:
+            return ("terminal", STATUS_STRANDED)
+        return ("hops", ([str(prefix)], sorted(options)))
+
+    def _hops_towards(self, flow: Flow, router: str, target: str) -> Tuple[str, ...]:
+        """All physical next hops towards a target router (spread mode)."""
+        device = self.model.device(router)
+        if self.model.topology.find_link(router, target) is not None and any(
+            self.model.topology.link_is_up(l)
+            for l in self.model.topology.links_between(router, target)
+        ):
+            return (target,)
+        policy = device.sr_policy_towards(target)
+        if policy is not None:
+            hops = first_tunnel_hops(self.model, self.igp, router, policy)
+            if hops:
+                return hops
+        return self.igp.hops_towards(router, target)
+
+    def _pick_ecmp(self, flow: Flow, routes: Sequence[Route]) -> Route:
+        if len(routes) == 1:
+            return routes[0]
+        ordered = sorted(routes, key=lambda r: (str(r.nexthop or ""), r.as_path))
+        return ordered[flow.ecmp_hash() % len(ordered)]
+
+    def _hash_pick(self, flow: Flow, options: Sequence[str]) -> str:
+        ordered = sorted(options)
+        return ordered[flow.ecmp_hash() % len(ordered)]

@@ -1,0 +1,94 @@
+"""Link load aggregation from flow paths.
+
+Produces the per-link traffic loads that traffic-load intents check ("no
+link would be overloaded after the change") and that the accuracy framework
+compares against SNMP-monitored loads (§5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.net.topology import Topology
+
+LinkKey = Tuple[str, str]
+
+
+def link_key(a: str, b: str) -> LinkKey:
+    """Canonical undirected link key."""
+    return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class LinkLoadMap:
+    """Aggregated traffic volume per (undirected) link, in bits/second."""
+
+    loads: Dict[LinkKey, float] = field(default_factory=dict)
+
+    def add(self, a: str, b: str, volume: float) -> None:
+        key = link_key(a, b)
+        self.loads[key] = self.loads.get(key, 0.0) + volume
+
+    def get(self, a: str, b: str) -> float:
+        return self.loads.get(link_key(a, b), 0.0)
+
+    def merge(self, other: "LinkLoadMap") -> "LinkLoadMap":
+        """Merge loads (used by the master to combine subtask results)."""
+        merged = LinkLoadMap(loads=dict(self.loads))
+        for key, volume in other.loads.items():
+            merged.loads[key] = merged.loads.get(key, 0.0) + volume
+        return merged
+
+    def utilization(self, topology: Topology) -> Dict[LinkKey, float]:
+        """Load / bandwidth per link (parallel links pool their bandwidth)."""
+        result: Dict[LinkKey, float] = {}
+        for key, volume in self.loads.items():
+            a, b = key
+            links = topology.links_between(a, b)
+            capacity = sum(l.a.bandwidth for l in links) or 1.0
+            result[key] = volume / capacity
+        return result
+
+    def overloaded_links(
+        self, topology: Topology, threshold: float = 1.0
+    ) -> List[Tuple[LinkKey, float]]:
+        """Links whose utilization is at or above the threshold."""
+        return sorted(
+            (
+                (key, util)
+                for key, util in self.utilization(topology).items()
+                if util >= threshold
+            ),
+            key=lambda item: -item[1],
+        )
+
+    def compare(
+        self, other: "LinkLoadMap", topology: Optional[Topology] = None
+    ) -> Dict[LinkKey, float]:
+        """Absolute load difference per link (accuracy validation, §5.1)."""
+        keys = set(self.loads) | set(other.loads)
+        return {
+            key: self.loads.get(key, 0.0) - other.loads.get(key, 0.0)
+            for key in keys
+        }
+
+    def total(self) -> float:
+        return sum(self.loads.values())
+
+    def __len__(self) -> int:
+        return len(self.loads)
+
+
+def aggregate_loads(paths: Iterable, weights: Optional[Dict] = None) -> LinkLoadMap:
+    """Sum flow volumes over the links of their paths.
+
+    ``weights`` optionally overrides each path's volume (used when a path
+    represents a whole flow EC and carries the EC's aggregate volume).
+    """
+    loads = LinkLoadMap()
+    for path in paths:
+        volume = path.flow.volume if weights is None else weights.get(path.flow, path.flow.volume)
+        for a, b in path.links:
+            loads.add(a, b, volume)
+    return loads

@@ -1,0 +1,108 @@
+"""Traffic simulation entry point: EC reduction + forwarding + link loads.
+
+A traffic-simulation subtask (§3.2) takes the input flows assigned to it,
+reduces them to equivalence classes, forwards one representative per EC in
+spread mode (even ECMP volume split), scales by the EC's pooled volume, and
+aggregates per-link loads.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.ec.flow_ec import FlowEcIndex, build_prefix_universe, compute_flow_ecs
+from repro.net.model import NetworkModel
+from repro.routing.isis import IgpState, compute_igp
+from repro.routing.rib import DeviceRib
+from repro.traffic.flow import Flow
+from repro.traffic.forwarding import FlowPath, ForwardingEngine
+from repro.traffic.load import LinkLoadMap
+
+
+@dataclass
+class TrafficSimulationResult:
+    """Output of one traffic-simulation (sub)task."""
+
+    paths: Dict[Flow, List[Tuple[FlowPath, float]]]
+    loads: LinkLoadMap
+    ec_index: Optional[FlowEcIndex]
+    elapsed_seconds: float = 0.0
+    cost_units: int = 0
+
+    def path_of(self, flow: Flow) -> List[Tuple[FlowPath, float]]:
+        """ECMP paths (with fractions) for a flow, via its EC representative."""
+        if flow in self.paths:
+            return self.paths[flow]
+        if self.ec_index is not None:
+            for ec in self.ec_index.classes:
+                if flow in ec.members:
+                    return self.paths.get(ec.representative, [])
+        return []
+
+    def primary_path(self, flow: Flow) -> Optional[FlowPath]:
+        """The highest-fraction path of a flow (deterministic tiebreak)."""
+        options = self.path_of(flow)
+        if not options:
+            return None
+        return max(options, key=lambda pair: (pair[1], "-".join(pair[0].routers)))[0]
+
+    def status_counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for options in self.paths.values():
+            for path, _ in options:
+                counts[path.status] = counts.get(path.status, 0) + 1
+        return counts
+
+
+class TrafficSimulator:
+    """Simulates forwarding and link loads for input flows."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        ribs: Dict[str, DeviceRib],
+        igp: Optional[IgpState] = None,
+        use_ecs: bool = True,
+    ) -> None:
+        self.model = model
+        self.ribs = ribs
+        self.igp = igp if igp is not None else compute_igp(model)
+        self.use_ecs = use_ecs
+        self.engine = ForwardingEngine(model, ribs, self.igp)
+
+    def simulate(self, flows: Iterable[Flow]) -> TrafficSimulationResult:
+        started = time.perf_counter()
+        flows = list(flows)
+        loads = LinkLoadMap()
+        paths: Dict[Flow, List[Tuple[FlowPath, float]]] = {}
+        cost_units = 0
+
+        if self.use_ecs:
+            universe = build_prefix_universe(self.ribs.values())
+            index: Optional[FlowEcIndex] = compute_flow_ecs(
+                flows, universe, model=self.model
+            )
+            work: List[Tuple[Flow, float]] = [
+                (ec.representative, ec.total_volume) for ec in index.classes
+            ]
+        else:
+            index = None
+            work = [(flow, flow.volume) for flow in flows]
+
+        for flow, volume in work:
+            spread = self.engine.forward_spread(flow)
+            paths[flow] = spread
+            for path, fraction in spread:
+                cost_units += max(1, len(path.routers))
+                for a, b in path.links:
+                    loads.add(a, b, volume * fraction)
+
+        return TrafficSimulationResult(
+            paths=paths,
+            loads=loads,
+            ec_index=index,
+            elapsed_seconds=time.perf_counter() - started,
+            cost_units=cost_units,
+        )

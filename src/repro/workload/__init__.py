@@ -1,0 +1,23 @@
+"""Synthetic workload generation.
+
+Substitutes Alibaba's production WAN, configurations, monitored routes, and
+NetFlow data (see DESIGN.md's substitution table): region-structured WAN
+topologies with route reflectors, borders, and DC edges; ISP/DC input
+routes; and flow populations — all seeded and scale-parametric.
+"""
+
+from repro.workload.wan import WanParams, generate_wan
+from repro.workload.routes import generate_input_routes
+from repro.workload.flows import generate_flows
+from repro.workload.changes import GeneratedChange, generate_change_corpus
+from repro.workload.specs import generate_spec_corpus
+
+__all__ = [
+    "WanParams",
+    "generate_wan",
+    "generate_input_routes",
+    "generate_flows",
+    "GeneratedChange",
+    "generate_change_corpus",
+    "generate_spec_corpus",
+]

@@ -1,0 +1,142 @@
+"""Tests for change plans and topology operations."""
+
+import pytest
+
+from repro.core.change_plan import (
+    ALL_CHANGE_TYPES,
+    CHANGE_TYPES,
+    ChangePlan,
+    add_link,
+    add_router,
+    change_type_info,
+    fail_link,
+    remove_link,
+    remove_router,
+)
+from repro.net.topology import TopologyError
+
+from tests.helpers import build_model
+
+
+class TestTable2:
+    def test_twelve_change_types(self):
+        assert len(ALL_CHANGE_TYPES) == 12
+
+    def test_four_categories(self):
+        assert set(CHANGE_TYPES) == {
+            "os-maintenance",
+            "configuration-maintenance",
+            "network-deployment",
+            "business-demand",
+        }
+
+    def test_nine_expressive_types(self):
+        expressive = [
+            t for t in ALL_CHANGE_TYPES if change_type_info(t)["expressive"]
+        ]
+        assert len(expressive) == 9
+
+    def test_six_route_intent_types(self):
+        # Table 2 stars 6 change types as needing control-plane route
+        # change intent specification.
+        starred = [
+            t for t in ALL_CHANGE_TYPES if change_type_info(t)["route_intent"]
+        ]
+        assert len(starred) == 6
+
+    def test_unknown_change_type_rejected(self):
+        with pytest.raises(KeyError):
+            ChangePlan(name="x", change_type="reboot-everything")
+
+
+class TestTopologyOps:
+    def base(self):
+        return build_model(
+            routers=[("A", 100), ("B", 100)], links=[("A", "B", 10)]
+        )
+
+    def test_add_router_and_link(self):
+        model = self.base()
+        plan = ChangePlan(
+            name="grow",
+            change_type="adding-new-routers",
+            topology_ops=[
+                add_router("C", asn=100, loopback="10.255.100.1"),
+                add_link("B", "C", cost=20),
+            ],
+        )
+        updated = plan.build_updated_model(model)
+        assert "C" in updated.topology
+        assert updated.topology.find_link("B", "C") is not None
+        assert "C" not in model.topology  # base untouched
+
+    def test_remove_router(self):
+        model = self.base()
+        plan = ChangePlan(
+            name="shrink",
+            change_type="topology-adjustment",
+            topology_ops=[remove_router("B")],
+        )
+        updated = plan.build_updated_model(model)
+        assert "B" not in updated.topology
+        assert "B" not in updated.devices
+
+    def test_remove_link(self):
+        model = self.base()
+        plan = ChangePlan(
+            name="unlink",
+            change_type="topology-adjustment",
+            topology_ops=[remove_link("A", "B")],
+        )
+        updated = plan.build_updated_model(model)
+        assert updated.topology.find_link("A", "B") is None
+
+    def test_fail_link(self):
+        model = self.base()
+        plan = ChangePlan(
+            name="maint",
+            change_type="topology-adjustment",
+            topology_ops=[fail_link("A", "B")],
+        )
+        updated = plan.build_updated_model(model)
+        link = updated.topology.find_link("A", "B")
+        assert link is not None and not updated.topology.link_is_up(link)
+
+    def test_remove_missing_link_rejected(self):
+        model = self.base()
+        plan = ChangePlan(
+            name="bad",
+            change_type="topology-adjustment",
+            topology_ops=[remove_link("A", "Z")],
+        )
+        with pytest.raises(TopologyError):
+            plan.build_updated_model(model)
+
+    def test_commands_to_unknown_device_rejected(self):
+        model = self.base()
+        plan = ChangePlan(
+            name="bad",
+            change_type="os-patch",
+            device_commands={"ghost": ["router bgp 1"]},
+        )
+        with pytest.raises(KeyError):
+            plan.build_updated_model(model)
+
+    def test_commands_applied_to_copy(self):
+        model = self.base()
+        plan = ChangePlan(
+            name="cfg",
+            change_type="static-route-modification",
+            device_commands={"A": ["ip route 172.16.0.0/12 10.255.0.2"]},
+        )
+        updated = plan.build_updated_model(model)
+        assert len(updated.device("A").statics) == 1
+        assert len(model.device("A").statics) == 0
+
+    def test_command_count(self):
+        plan = ChangePlan(
+            name="x",
+            change_type="os-patch",
+            device_commands={"A": ["a", "b"], "B": ["c"]},
+        )
+        assert plan.command_count() == 3

@@ -1,0 +1,70 @@
+"""Regression test for the WAN+DCN cross-region leak scenario (§1)."""
+
+import pytest
+
+from repro.core import ChangePlan, ChangeVerifier, RclIntent
+from repro.routing.inputs import inject_external_route
+from repro.workload import WanParams, generate_input_routes, generate_wan
+
+PRIVATE = "10.200.0.0/16"
+
+
+@pytest.fixture(scope="module")
+def world():
+    model, inventory = generate_wan(
+        WanParams(regions=2, cores_per_region=2, dcn_cores_per_edge=2, seed=5)
+    )
+    edge_a = inventory.dc_edges[0]
+    dcn_a = next(n for n in inventory.dcn_cores if n.startswith(edge_a))
+    other_dcns = [n for n in inventory.dcn_cores if not n.startswith(edge_a)]
+
+    device = model.device(edge_a)
+    ctx = device.policy_ctx
+    ctx.define_prefix_list("PRIVATE-MGMT").add(PRIVATE, le=32)
+    ctx.policies["DC-IN"].node(5, "deny").match("prefix-list", "PRIVATE-MGMT")
+
+    routes = generate_input_routes(inventory, n_prefixes=10, seed=7)
+    routes.append(inject_external_route(dcn_a, PRIVATE, (model.device(dcn_a).asn,)))
+    return model, edge_a, other_dcns, routes
+
+
+def leak_intent(other_dcns):
+    other_set = "{" + ", ".join(other_dcns) + "}"
+    return RclIntent(
+        f"forall device in {other_set}: "
+        f"POST || prefix = {PRIVATE} |> count() = 0"
+    )
+
+
+class TestCrossRegionLeak:
+    def test_filter_keeps_private_route_contained(self, world):
+        model, edge_a, other_dcns, routes = world
+        verifier = ChangeVerifier(model, routes)
+        plan = ChangePlan(
+            name="noop", change_type="os-patch",
+            intents=[leak_intent(other_dcns)],
+        )
+        assert verifier.verify(plan).ok
+
+    def test_deleting_filter_leaks_to_every_other_dc(self, world):
+        model, edge_a, other_dcns, routes = world
+        verifier = ChangeVerifier(model, routes)
+        dialect = model.device(edge_a).vendor_name
+        delete_cmd = (
+            "no route-map DC-IN deny 5"
+            if dialect == "vendor-a"
+            else "undo route-policy DC-IN node 5"
+        )
+        plan = ChangePlan(
+            name="leaky", change_type="route-attributes-modification",
+            device_commands={edge_a: [delete_cmd]},
+            intents=[leak_intent(other_dcns)],
+        )
+        report = verifier.verify(plan)
+        assert not report.ok
+        text = " ".join(
+            str(e) for r in report.violated for e in r.counterexamples
+        )
+        # The leak reaches DCs in BOTH regions through the WAN.
+        assert "region0-dcedge1" in text
+        assert "region1-" in text

@@ -1,0 +1,135 @@
+"""Tests for misconfiguration localization (§7 future work, implemented)."""
+
+import pytest
+
+from repro.core import ChangePlan, ChangeVerifier, MisconfigurationLocalizer, RclIntent
+from repro.core.localize import _split_blocks
+from repro.routing.inputs import inject_external_route
+
+from tests.helpers import build_model, full_mesh_ibgp
+
+PFX = "203.0.113.0/24"
+
+
+def world():
+    model = build_model(
+        routers=[("A", 100), ("B", 100), ("C", 100)],
+        links=[("A", "B", 10), ("B", "C", 10), ("A", "C", 10)],
+    )
+    full_mesh_ibgp(model, ["A", "B", "C"])
+    inputs = [inject_external_route("A", PFX, (65010,))]
+    return model, inputs
+
+
+GOOD_CMDS = ["router isis"]
+BAD_CMDS = [
+    "route-map KILL deny 10",
+    "router bgp 100",
+    " neighbor A route-map KILL in",
+]
+
+
+class TestSplitBlocks:
+    def test_groups_children_with_context(self):
+        blocks = _split_blocks(BAD_CMDS)
+        assert blocks == [
+            ["route-map KILL deny 10"],
+            ["router bgp 100", " neighbor A route-map KILL in"],
+        ]
+
+    def test_flat_commands(self):
+        assert _split_blocks(["a", "b"]) == [["a"], ["b"]]
+
+    def test_leading_child_attaches_nowhere(self):
+        # Degenerate input: an indented command with no opener keeps its own
+        # block rather than crashing.
+        assert _split_blocks([" orphan"]) == [[" orphan"]]
+
+
+class TestLocalization:
+    def test_passing_plan_has_no_culprits(self):
+        model, inputs = world()
+        verifier = ChangeVerifier(model, inputs)
+        plan = ChangePlan(
+            name="ok", change_type="os-patch",
+            device_commands={"B": GOOD_CMDS},
+            intents=[RclIntent("PRE = POST")],
+        )
+        result = MisconfigurationLocalizer(verifier).localize(plan)
+        assert not result.localized
+        assert result.violated_intents == []
+
+    def test_single_device_culprit_isolated(self):
+        model, inputs = world()
+        verifier = ChangeVerifier(model, inputs)
+        plan = ChangePlan(
+            name="bad-import", change_type="route-attributes-modification",
+            device_commands={"B": BAD_CMDS, "C": GOOD_CMDS},
+            intents=[RclIntent("PRE = POST")],
+        )
+        result = MisconfigurationLocalizer(verifier).localize(plan)
+        assert result.localized
+        devices = {c.device for c in result.culprits}
+        assert devices == {"B"}
+        assert all(c.kind == "command" for c in result.culprits)
+
+    def test_commands_minimized(self):
+        model, inputs = world()
+        verifier = ChangeVerifier(model, inputs)
+        padded = GOOD_CMDS + BAD_CMDS + ["isis te"]
+        plan = ChangePlan(
+            name="padded", change_type="route-attributes-modification",
+            device_commands={"B": padded},
+            intents=[RclIntent("PRE = POST")],
+        )
+        result = MisconfigurationLocalizer(verifier).localize(plan)
+        (culprit,) = result.culprits
+        # The harmless commands are stripped out of the culprit set.
+        assert "router isis" not in culprit.commands
+        assert "isis te" not in culprit.commands
+        assert any("KILL" in cmd for cmd in culprit.commands)
+
+    def test_latent_defect_recognized(self):
+        # The violation exists before any command applies: a pre-existing
+        # broken policy on B denies the route (the Figure 10(a) pattern —
+        # the intent checks B has the prefix, but B's base config drops it).
+        model, inputs = world()
+        ctx = model.device("B").policy_ctx
+        ctx.define_policy("LATENT").node(10, "deny")
+        for peer in model.device("B").peers:
+            peer.import_policy = "LATENT"
+        verifier = ChangeVerifier(model, inputs)
+        plan = ChangePlan(
+            name="activates-latent", change_type="os-patch",
+            device_commands={"C": GOOD_CMDS},
+            intents=[
+                RclIntent(f"POST || device = B || prefix = {PFX} |> count() >= 1")
+            ],
+        )
+        result = MisconfigurationLocalizer(verifier).localize(plan)
+        assert result.localized
+        assert all(c.kind == "latent" for c in result.culprits)
+        assert "pre-existing" in result.culprits[0].note
+
+    def test_report_text(self):
+        model, inputs = world()
+        verifier = ChangeVerifier(model, inputs)
+        plan = ChangePlan(
+            name="bad", change_type="os-patch",
+            device_commands={"B": BAD_CMDS},
+            intents=[RclIntent("PRE = POST")],
+        )
+        result = MisconfigurationLocalizer(verifier).localize(plan)
+        text = result.report()
+        assert "culprit" in text and "B" in text
+
+    def test_verification_budget_enforced(self):
+        model, inputs = world()
+        verifier = ChangeVerifier(model, inputs)
+        plan = ChangePlan(
+            name="bad", change_type="os-patch",
+            device_commands={"B": BAD_CMDS},
+            intents=[RclIntent("PRE = POST")],
+        )
+        with pytest.raises(RuntimeError):
+            MisconfigurationLocalizer(verifier, max_verifications=1).localize(plan)

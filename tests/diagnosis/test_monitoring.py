@@ -1,0 +1,239 @@
+"""Tests for the monitoring simulators and fault injection."""
+
+import pytest
+
+from repro.monitor import RouteMonitor, TrafficMonitor
+from repro.monitor.faults import (
+    FAULT_LIBRARY,
+    HoyanSetup,
+    OTHERS_PERCENTAGE,
+    apply_fault,
+    fault_by_name,
+)
+from repro.monitor.route_monitor import LiveNetworkOracle, MODE_AGENT, MODE_BMP
+from repro.routing.inputs import inject_external_route
+from repro.routing.simulator import simulate_routes
+from repro.traffic import TrafficSimulator, make_flow
+
+from tests.helpers import build_model, full_mesh_ibgp
+
+PFX = "203.0.113.0/24"
+
+
+@pytest.fixture()
+def ground_truth():
+    model = build_model(
+        routers=[("A", 100), ("B", 100), ("C", 100)],
+        links=[("A", "B", 10), ("A", "C", 10)],
+    )
+    full_mesh_ibgp(model, ["A", "B", "C"])
+    inputs = [
+        inject_external_route("B", PFX, (65010,)),
+        inject_external_route("C", PFX, (65010,)),
+    ]
+    result = simulate_routes(model, inputs)
+    return model, result
+
+
+class TestRouteMonitor:
+    def test_agent_mode_sees_only_best(self, ground_truth):
+        model, result = ground_truth
+        records = RouteMonitor(model, mode=MODE_AGENT).collect(result.device_ribs)
+        a_records = [r for r in records if r.device == "A" and r.prefix == PFX]
+        # A has 2 ECMP routes but the agent sees only the best one.
+        assert len(a_records) == 1
+        assert a_records[0].weight is None  # weight never propagates
+
+    def test_bmp_mode_sees_ecmp_and_weight(self, ground_truth):
+        model, result = ground_truth
+        records = RouteMonitor(model, mode=MODE_BMP).collect(result.device_ribs)
+        a_records = [r for r in records if r.device == "A" and r.prefix == PFX]
+        assert len(a_records) == 2
+        assert all(r.weight is not None for r in a_records)
+
+    def test_failed_agent_drops_router(self, ground_truth):
+        model, result = ground_truth
+        monitor = RouteMonitor(model, failed_agents={"A"})
+        records = monitor.collect(result.device_ribs)
+        assert not any(r.device == "A" for r in records)
+
+    def test_nexthop_rewrite_vsb(self, ground_truth):
+        model, result = ground_truth
+        monitor = RouteMonitor(model, rewrite_nexthop_devices={"A"})
+        records = monitor.collect(result.device_ribs)
+        a_record = next(r for r in records if r.device == "A" and r.prefix == PFX)
+        assert a_record.nexthop == str(model.loopback_of("A"))
+
+    def test_bad_mode_rejected(self, ground_truth):
+        model, _ = ground_truth
+        with pytest.raises(ValueError):
+            RouteMonitor(model, mode="carrier-pigeon")
+
+
+class TestLiveOracle:
+    def test_show_selected_prefix(self, ground_truth):
+        model, result = ground_truth
+        oracle = LiveNetworkOracle(result.device_ribs, allowed_prefixes=[PFX])
+        rows = oracle.show_route("A", PFX)
+        assert len(rows) == 2  # full ECMP set visible via show
+        assert oracle.queries == 1
+
+    def test_unlisted_prefix_refused(self, ground_truth):
+        model, result = ground_truth
+        oracle = LiveNetworkOracle(result.device_ribs, allowed_prefixes=[])
+        with pytest.raises(PermissionError):
+            oracle.show_route("A", PFX)
+
+
+class TestTrafficMonitor:
+    def test_flow_records_roundtrip(self):
+        monitor = TrafficMonitor()
+        flows = [make_flow("A", "10.0.0.1", "203.0.113.5", volume=42.0)]
+        records = monitor.collect_flows(flows)
+        rebuilt = monitor.as_input_flows(records)
+        assert rebuilt[0].volume == 42.0
+        assert str(rebuilt[0].dst) == "203.0.113.5"
+
+    def test_volume_error_fault(self):
+        monitor = TrafficMonitor(
+            volume_error_devices={"A"}, volume_error_factor=0.5
+        )
+        flows = [
+            make_flow("A", "10.0.0.1", "203.0.113.5", volume=100.0),
+            make_flow("B", "10.0.0.1", "203.0.113.5", volume=100.0),
+        ]
+        records = monitor.collect_flows(flows)
+        assert records[0].volume == 50.0
+        assert records[1].volume == 100.0
+
+    def test_snmp_collection(self, ground_truth):
+        model, result = ground_truth
+        sim = TrafficSimulator(model, result.device_ribs, result.igp)
+        out = sim.simulate([make_flow("A", "10.0.0.1", "203.0.113.5", volume=10.0)])
+        observed = TrafficMonitor().collect_link_loads(out)
+        assert observed.loads == out.loads.loads or observed.total() == out.loads.total()
+
+    def test_snmp_noise_is_bounded_and_deterministic(self, ground_truth):
+        model, result = ground_truth
+        sim = TrafficSimulator(model, result.device_ribs, result.igp)
+        out = sim.simulate([make_flow("A", "10.0.0.1", "203.0.113.5", volume=100.0)])
+        monitor = TrafficMonitor(snmp_noise=0.05)
+        first = monitor.collect_link_loads(out)
+        second = monitor.collect_link_loads(out)
+        assert first.loads == second.loads
+        for key, volume in first.loads.items():
+            truth = out.loads.loads[key]
+            assert abs(volume - truth) <= truth * 0.05 + 1e-9
+
+
+class TestFaultLibrary:
+    def make_setup(self, ground_truth):
+        model, result = ground_truth
+        flows = [make_flow("A", "10.0.0.1", "203.0.113.5", volume=10.0)]
+        return HoyanSetup(
+            model=model.copy(),
+            input_routes=[
+                inject_external_route("B", PFX, (65010,)),
+                inject_external_route("B", "10.0.0.0/8", ()),
+            ],
+            input_flows=flows,
+            route_monitor=RouteMonitor(model),
+            traffic_monitor=TrafficMonitor(),
+        )
+
+    def test_table4_percentages_sum_to_100(self):
+        total = sum(f.percentage for f in FAULT_LIBRARY) + OTHERS_PERCENTAGE
+        assert total == pytest.approx(100.0, abs=0.2)
+
+    def test_nine_issue_classes(self):
+        assert len(FAULT_LIBRARY) == 9
+        classes = {f.table4_class for f in FAULT_LIBRARY}
+        assert classes == {"monitoring-data", "input-pre-processing", "simulation"}
+
+    def test_every_fault_injects(self, ground_truth):
+        for spec in FAULT_LIBRARY:
+            setup = self.make_setup(ground_truth)
+            detail = apply_fault(spec, setup, seed=1)
+            assert detail
+            assert setup.notes
+
+    def test_input_route_fault_drops_empty_aspath(self, ground_truth):
+        setup = self.make_setup(ground_truth)
+        apply_fault(fault_by_name("incorrect-input-route-building"), setup)
+        assert all(r.route.as_path for r in setup.input_routes)
+
+    def test_topology_fault_removes_link(self, ground_truth):
+        setup = self.make_setup(ground_truth)
+        before = len(setup.model.topology.links)
+        apply_fault(fault_by_name("inconsistent-topology-data"), setup)
+        assert len(setup.model.topology.links) == before - 1
+
+    def test_convergence_fault_limits_rounds(self, ground_truth):
+        setup = self.make_setup(ground_truth)
+        apply_fault(fault_by_name("bgp-convergence-divergence"), setup)
+        assert setup.max_rounds == 2
+
+    def test_unknown_fault_name(self):
+        with pytest.raises(KeyError):
+            fault_by_name("gremlins")
+
+
+class TestBmpDeployment:
+    """§2.1: BMP deployment closes the agent feed's ECMP blind spot."""
+
+    def test_bmp_feed_catches_ecmp_divergence(self):
+        from repro.diagnosis import AccuracyValidator
+        from repro.net.vendors import VENDOR_A, mismodel
+        from repro.routing.rib import ROUTE_TYPE_ECMP
+
+        def make(profile=None):
+            model = build_model(
+                routers=[("A", 100), ("B", 100), ("C", 100)],
+                links=[("A", "B", 10), ("A", "C", 10)],
+                vendor="vendor-a",
+            )
+            full_mesh_ibgp(model, ["A", "B", "C"])
+            model.device("A").add_sr_policy("TO-B", endpoint="B")
+            if profile is not None:
+                model.device("A").set_vendor_profile(profile)
+            return model
+
+        inputs = [
+            inject_external_route("B", PFX, (65010,)),
+            inject_external_route("C", PFX, (65010,)),
+        ]
+        truth_model = make()
+        truth = simulate_routes(truth_model, inputs)
+        wrong = simulate_routes(
+            make(mismodel(VENDOR_A, "sr_tunnel_zeroes_igp_cost")), inputs
+        )
+
+        # Agent feed (best-only): the divergence is invisible.
+        agent_records = RouteMonitor(truth_model, mode=MODE_AGENT).collect(
+            truth.device_ribs
+        )
+        agent_report = AccuracyValidator(truth_model).validate_routes(
+            wrong.device_ribs, agent_records
+        )
+        assert not any(
+            d.device == "A" and d.prefix == PFX
+            for d in agent_report.route_discrepancies
+        )
+
+        # BMP feed (full RIB): Hoyan's extra ECMP route shows up. The BMP
+        # comparison needs ECMP rows on the simulated side too, so compare
+        # full row sets.
+        bmp_records = RouteMonitor(truth_model, mode=MODE_BMP).collect(
+            truth.device_ribs
+        )
+        truth_ecmp = [
+            r for r in bmp_records if r.device == "A" and r.prefix == PFX
+        ]
+        wrong_ecmp = [
+            row
+            for row in wrong.device_ribs["A"].all_rows()
+            if str(row.route.prefix) == PFX
+            and row.route_type in ("BEST", ROUTE_TYPE_ECMP)
+        ]
+        assert len(truth_ecmp) == 1      # SR VSB collapses ECMP in reality
+        assert len(wrong_ecmp) == 2      # Hoyan's mis-model keeps both

@@ -1,0 +1,132 @@
+"""Tests for the distributed framework's components: store, MQ, DB, makespan."""
+
+import pytest
+
+from repro.distsim import Message, MessageQueue, ObjectStore, SubtaskDB, makespan
+from repro.distsim.storage import ObjectNotFound
+from repro.distsim.taskdb import FAILED, FINISHED, PENDING, RUNNING, SubtaskRecord
+
+
+class TestObjectStore:
+    def test_roundtrip(self):
+        store = ObjectStore()
+        size = store.put("k", {"a": [1, 2, 3]})
+        assert size > 0
+        assert store.get("k") == {"a": [1, 2, 3]}
+
+    def test_serialization_boundary(self):
+        # Mutating the original after put must not affect the stored copy.
+        store = ObjectStore()
+        data = [1, 2]
+        store.put("k", data)
+        data.append(3)
+        assert store.get("k") == [1, 2]
+
+    def test_missing_key(self):
+        with pytest.raises(ObjectNotFound):
+            ObjectStore().get("ghost")
+
+    def test_stats_track_reads(self):
+        store = ObjectStore()
+        store.put("a", 1)
+        store.get("a")
+        store.get("a")
+        assert store.stats.reads == 2
+        assert store.stats.read_counts["a"] == 2
+        assert store.stats.bytes_read > 0
+
+    def test_keys_prefix_and_delete(self):
+        store = ObjectStore()
+        store.put("task/one", 1)
+        store.put("task/two", 2)
+        store.put("other", 3)
+        assert store.keys("task/") == ["task/one", "task/two"]
+        store.delete("task/one")
+        assert len(store) == 2
+
+    def test_size_of(self):
+        store = ObjectStore()
+        store.put("k", "x" * 100)
+        assert store.size_of("k") >= 100
+
+
+class TestMessageQueue:
+    def test_fifo(self):
+        mq = MessageQueue()
+        mq.push(Message("a", "route"))
+        mq.push(Message("b", "route"))
+        assert mq.pop().subtask_id == "a"
+        assert mq.pop().subtask_id == "b"
+        assert mq.pop() is None
+
+    def test_retry_increments_attempt(self):
+        message = Message("a", "route", payload={"x": 1})
+        retried = message.retry()
+        assert retried.attempt == 2
+        assert retried.payload == {"x": 1}
+
+    def test_counters(self):
+        mq = MessageQueue()
+        mq.push(Message("a", "route"))
+        assert mq.pushed == 1
+        mq.pop()
+        assert mq.consumed == 1
+        assert mq.empty()
+
+
+class TestSubtaskDB:
+    def test_lifecycle(self):
+        db = SubtaskDB()
+        db.register(SubtaskRecord(subtask_id="s1", kind="route"))
+        assert db.get("s1").status == PENDING
+        db.update("s1", status=RUNNING)
+        db.update("s1", status=FINISHED, duration=1.5)
+        assert db.get("s1").duration == 1.5
+        assert db.all_finished()
+
+    def test_counts_and_failed(self):
+        db = SubtaskDB()
+        db.register(SubtaskRecord(subtask_id="s1", kind="route"))
+        db.register(SubtaskRecord(subtask_id="s2", kind="traffic"))
+        db.update("s2", status=FAILED, error="boom")
+        counts = db.counts()
+        assert counts == {PENDING: 1, FAILED: 1}
+        assert [r.subtask_id for r in db.failed()] == ["s2"]
+        assert not db.all_finished()
+
+    def test_kind_filter(self):
+        db = SubtaskDB()
+        db.register(SubtaskRecord(subtask_id="r1", kind="route"))
+        db.register(SubtaskRecord(subtask_id="t1", kind="traffic"))
+        assert [r.subtask_id for r in db.all(kind="route")] == ["r1"]
+
+
+class TestMakespan:
+    def test_single_server_sums(self):
+        assert makespan([1.0, 2.0, 3.0], 1) == 6.0
+
+    def test_many_servers(self):
+        # Messages consumed in order: [3] -> s0, [3] -> s1, [3] -> s2
+        assert makespan([3.0, 3.0, 3.0], 3) == 3.0
+
+    def test_straggler_limits_speedup(self):
+        # One long subtask dominates regardless of server count — the
+        # paper's "cause of the diminishing returns" (Figure 5(c)).
+        durations = [10.0] + [0.1] * 20
+        assert makespan(durations, 10) >= 10.0
+
+    def test_in_order_consumption(self):
+        # Long job first occupies server 0; the rest round-robin.
+        assert makespan([4.0, 1.0, 1.0], 2) == 4.0
+
+    def test_empty(self):
+        assert makespan([], 4) == 0.0
+
+    def test_invalid_servers(self):
+        with pytest.raises(ValueError):
+            makespan([1.0], 0)
+
+    def test_more_servers_never_slower(self):
+        durations = [0.5, 2.0, 1.0, 0.1, 3.0, 0.7]
+        times = [makespan(durations, s) for s in range(1, 8)]
+        assert all(a >= b for a, b in zip(times, times[1:]))

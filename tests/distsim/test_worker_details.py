@@ -1,0 +1,99 @@
+"""Unit tests for worker internals: RIB merging, result ranges, dependency
+selection."""
+
+import pytest
+
+from repro.distsim import Message, ObjectStore, SubtaskDB
+from repro.distsim.taskdb import SubtaskRecord
+from repro.distsim.worker import Worker, WorkerConfig, merge_device_ribs
+from repro.net.addr import IPAddress, Prefix, PrefixRange
+from repro.routing.attributes import Route
+from repro.routing.isis import compute_igp
+from repro.routing.rib import DeviceRib
+from repro.traffic.flow import make_flow
+
+from tests.helpers import build_model
+
+
+def rib_with(device, *prefixes):
+    rib = DeviceRib(device)
+    for prefix in prefixes:
+        rib.install(Route(prefix=Prefix.parse(prefix)))
+    return rib
+
+
+class TestMergeDeviceRibs:
+    def test_union_across_maps(self):
+        merged = merge_device_ribs([
+            {"A": rib_with("A", "10.0.0.0/24")},
+            {"A": rib_with("A", "10.0.1.0/24"), "B": rib_with("B", "20.0.0.0/24")},
+        ])
+        assert merged["A"].route_count() == 2
+        assert merged["B"].route_count() == 1
+
+    def test_empty(self):
+        assert merge_device_ribs([]) == {}
+
+
+class TestResultRanges:
+    def test_per_family_spans(self):
+        ribs = {
+            "A": rib_with("A", "10.0.0.0/24", "20.0.0.0/24", "2001:db8::/32"),
+        }
+        ranges = Worker._result_ranges(ribs)
+        by_family = {r.family: r for r in ranges}
+        assert str(by_family[4]) == "[10.0.0.0, 20.0.0.255]"
+        assert by_family[6].low == Prefix.parse("2001:db8::/32").first_value
+
+    def test_empty_ribs(self):
+        assert Worker._result_ranges({}) == []
+
+
+class TestSelectRibFiles:
+    def make_worker(self, load_all=False):
+        model = build_model(routers=[("A", 100)], links=[])
+        db = SubtaskDB()
+        for index, (low, high) in enumerate(
+            (("10.0.0.0", "10.255.255.255"), ("20.0.0.0", "20.255.255.255"))
+        ):
+            record = SubtaskRecord(subtask_id=f"r{index}", kind="route")
+            record.result_key = f"r{index}/result"
+            record.ranges = [
+                PrefixRange(4, int(IPAddress.parse(low).value),
+                            int(IPAddress.parse(high).value))
+            ]
+            db.register(record)
+        worker = Worker(
+            "w", model, compute_igp(model), ObjectStore(), db,
+            WorkerConfig(load_all_ribs=load_all),
+        )
+        return worker
+
+    def test_only_overlapping_files_selected(self):
+        worker = self.make_worker()
+        flows = [make_flow("A", "1.1.1.1", "10.0.0.5")]
+        selected = worker._select_rib_files(Message("t", "traffic"), flows)
+        assert selected == ["r0/result"]
+
+    def test_load_all_overrides(self):
+        worker = self.make_worker(load_all=True)
+        flows = [make_flow("A", "1.1.1.1", "10.0.0.5")]
+        selected = worker._select_rib_files(Message("t", "traffic"), flows)
+        assert selected == ["r0/result", "r1/result"]
+
+    def test_wide_flow_range_needs_both(self):
+        worker = self.make_worker()
+        flows = [
+            make_flow("A", "1.1.1.1", "10.0.0.5"),
+            make_flow("A", "1.1.1.1", "20.0.0.5"),
+        ]
+        selected = worker._select_rib_files(Message("t", "traffic"), flows)
+        assert selected == ["r0/result", "r1/result"]
+
+    def test_unknown_kind_fails_subtask(self):
+        worker = self.make_worker()
+        worker.db.register(SubtaskRecord(subtask_id="x", kind="mystery"))
+        ok = worker.handle(Message("x", "mystery"))
+        assert not ok
+        assert worker.db.get("x").status == "failed"
+        assert "mystery" in worker.db.get("x").error

@@ -1,0 +1,123 @@
+"""Tests for the prefix trie, including LPM correctness properties."""
+
+from hypothesis import given, strategies as st
+
+from repro.net.addr import IPAddress, Prefix
+from repro.net.trie import PrefixTrie
+
+
+def P(text):
+    return Prefix.parse(text)
+
+
+def A(text):
+    return IPAddress.parse(text)
+
+
+class TestBasics:
+    def test_empty(self):
+        trie = PrefixTrie()
+        assert len(trie) == 0
+        assert trie.lookup_lpm(A("10.0.0.1")) is None
+        assert trie.all_matches(A("10.0.0.1")) == []
+
+    def test_insert_and_exact(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/24"), "x")
+        trie.insert(P("10.0.0.0/24"), "y")
+        assert trie.exact(P("10.0.0.0/24")) == ["x", "y"]
+        assert trie.exact(P("10.0.0.0/25")) == []
+        assert len(trie) == 2
+
+    def test_lpm_prefers_longest(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "short")
+        trie.insert(P("10.0.0.0/24"), "long")
+        prefix, values = trie.lookup_lpm(A("10.0.0.1"))
+        assert prefix == P("10.0.0.0/24")
+        assert values == ["long"]
+        prefix2, values2 = trie.lookup_lpm(A("10.9.0.1"))
+        assert prefix2 == P("10.0.0.0/8")
+
+    def test_default_route(self):
+        trie = PrefixTrie()
+        trie.insert(P("0.0.0.0/0"), "default")
+        prefix, values = trie.lookup_lpm(A("203.0.113.9"))
+        assert prefix == P("0.0.0.0/0")
+        assert values == ["default"]
+
+    def test_all_matches_shortest_first(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), 8)
+        trie.insert(P("10.0.0.0/16"), 16)
+        trie.insert(P("10.0.0.0/24"), 24)
+        matches = trie.all_matches(A("10.0.0.1"))
+        assert [p.length for p, _ in matches] == [8, 16, 24]
+
+    def test_covering_prefixes(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/8"), "a")
+        trie.insert(P("10.0.0.0/24"), "b")
+        trie.insert(P("10.0.0.0/32"), "c")
+        covering = trie.covering_prefixes(P("10.0.0.0/24"))
+        assert [p.length for p in covering] == [8, 24]
+
+    def test_remove(self):
+        trie = PrefixTrie()
+        trie.insert(P("10.0.0.0/24"), "x")
+        assert trie.remove(P("10.0.0.0/24"), "x")
+        assert not trie.remove(P("10.0.0.0/24"), "x")
+        assert not trie.remove(P("99.0.0.0/8"), "x")
+        assert trie.lookup_lpm(A("10.0.0.1")) is None
+
+    def test_families_are_independent(self):
+        trie = PrefixTrie()
+        trie.insert(P("::/0"), "v6")
+        trie.insert(P("0.0.0.0/0"), "v4")
+        assert trie.lookup_lpm(A("1.2.3.4"))[1] == ["v4"]
+        assert trie.lookup_lpm(A("2001:db8::1"))[1] == ["v6"]
+
+    def test_items_roundtrip(self):
+        trie = PrefixTrie()
+        entries = {P("10.0.0.0/8"): "a", P("10.0.0.0/24"): "b", P("2001:db8::/32"): "c"}
+        for prefix, value in entries.items():
+            trie.insert(prefix, value)
+        assert {p: v for p, v in trie.items()} == entries
+
+
+prefixes = st.builds(
+    lambda v, l: Prefix.from_address(IPAddress(4, v), l),
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    st.integers(min_value=0, max_value=32),
+)
+
+
+@given(entries=st.lists(prefixes, min_size=1, max_size=30), probe=st.integers(0, (1 << 32) - 1))
+def test_lpm_matches_linear_scan(entries, probe):
+    """Trie LPM must agree with a brute-force longest-match scan."""
+    trie = PrefixTrie()
+    for p in entries:
+        trie.insert(p, str(p))
+    address = IPAddress(4, probe)
+    expected = max(
+        (p for p in entries if p.contains_address(address)),
+        key=lambda p: p.length,
+        default=None,
+    )
+    hit = trie.lookup_lpm(address)
+    if expected is None:
+        assert hit is None
+    else:
+        assert hit is not None
+        assert hit[0].length == expected.length
+
+
+@given(entries=st.lists(prefixes, min_size=1, max_size=30), probe=st.integers(0, (1 << 32) - 1))
+def test_all_matches_complete(entries, probe):
+    trie = PrefixTrie()
+    for p in entries:
+        trie.insert(p, str(p))
+    address = IPAddress(4, probe)
+    expected_lengths = sorted({p.length for p in entries if p.contains_address(address)})
+    got_lengths = [p.length for p, _ in trie.all_matches(address)]
+    assert got_lengths == expected_lengths

@@ -1,0 +1,92 @@
+"""Tests for vendor profiles and VSB knobs."""
+
+import pytest
+
+from repro.net.vendors import (
+    VENDOR_A,
+    VENDOR_B,
+    VSB_KNOBS,
+    VendorProfile,
+    get_profile,
+    iter_knob_differences,
+    mismodel,
+    register_profile,
+    registered_vendors,
+)
+
+
+class TestRegistry:
+    def test_builtin_vendors(self):
+        assert get_profile("vendor-a") is VENDOR_A
+        assert get_profile("vendor-b") is VENDOR_B
+        assert {"vendor-a", "vendor-b"} <= set(registered_vendors())
+
+    def test_unknown_vendor(self):
+        with pytest.raises(KeyError):
+            get_profile("vendor-z")
+
+    def test_register_custom(self):
+        custom = VendorProfile(name="vendor-test-xyz")
+        register_profile(custom)
+        assert get_profile("vendor-test-xyz") is custom
+
+
+class TestKnobs:
+    def test_knob_list_covers_table5_plus_case_study(self):
+        # 16 Table-5 VSBs + the §6.1 ip-prefix/IPv6 behaviour.
+        assert len(VSB_KNOBS) == 17
+
+    def test_every_knob_is_an_attribute(self):
+        for knob in VSB_KNOBS:
+            assert hasattr(VENDOR_A, knob)
+            assert hasattr(VENDOR_B, knob)
+
+    def test_describe_excludes_name(self):
+        desc = VENDOR_A.describe()
+        assert "name" not in desc
+        assert set(VSB_KNOBS) <= set(desc)
+
+    def test_vendors_differ_widely(self):
+        diffs = list(iter_knob_differences(VENDOR_A, VENDOR_B))
+        assert len(diffs) >= 12
+
+    def test_figure9_vsb_assignment(self):
+        # Vendor A is the SR-zeroes-IGP-cost vendor of Figure 9.
+        assert VENDOR_A.sr_tunnel_zeroes_igp_cost
+        assert not VENDOR_B.sr_tunnel_zeroes_igp_cost
+
+    def test_case_study_vsb_assignment(self):
+        # Vendor B is the ip-prefix-permits-IPv6 vendor of §6.1.
+        assert VENDOR_B.ip_prefix_permits_ipv6
+        assert not VENDOR_A.ip_prefix_permits_ipv6
+
+
+class TestMismodel:
+    def test_flips_bool_knob(self):
+        wrong = mismodel(VENDOR_A, "sr_tunnel_zeroes_igp_cost")
+        assert wrong.sr_tunnel_zeroes_igp_cost != VENDOR_A.sr_tunnel_zeroes_igp_cost
+        assert "mis:" in wrong.name
+
+    def test_flips_tuple_knob(self):
+        wrong = mismodel(VENDOR_A, "default_bgp_preference")
+        assert wrong.default_bgp_preference == tuple(
+            reversed(VENDOR_A.default_bgp_preference)
+        )
+
+    def test_flips_int_knob(self):
+        wrong = mismodel(VENDOR_B, "redistribution_weight")
+        assert wrong.redistribution_weight != VENDOR_B.redistribution_weight
+
+    def test_unknown_knob_rejected(self):
+        with pytest.raises(KeyError):
+            mismodel(VENDOR_A, "no_such_knob")
+
+    def test_every_knob_mismodellable(self):
+        for knob in VSB_KNOBS:
+            wrong = mismodel(VENDOR_A, knob)
+            assert getattr(wrong, knob) != getattr(VENDOR_A, knob)
+
+    def test_original_untouched(self):
+        before = VENDOR_A.describe()
+        mismodel(VENDOR_A, "missing_policy_accepts")
+        assert VENDOR_A.describe() == before

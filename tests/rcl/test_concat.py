@@ -1,0 +1,102 @@
+"""Tests for RIB concatenation ``++`` (the §4.4 future-work extension)."""
+
+import pytest
+
+from repro.net.addr import IPAddress, Prefix
+from repro.rcl import check, parse, verify
+from repro.rcl.ast import Concat, Filter
+from repro.routing.attributes import Route
+from repro.routing.rib import GlobalRib, RibRoute
+
+
+def row(device, prefix, nh="2.0.0.1", lp=100):
+    return RibRoute(
+        device=device,
+        vrf="global",
+        route=Route(
+            prefix=Prefix.parse(prefix),
+            nexthop=IPAddress.parse(nh),
+            local_pref=lp,
+        ),
+    )
+
+
+@pytest.fixture()
+def ribs():
+    base = GlobalRib([
+        row("A", "10.0.0.0/24", nh="1.1.1.1"),
+        row("B", "20.0.0.0/24", nh="2.2.2.2"),
+    ])
+    updated = GlobalRib([
+        row("A", "10.0.0.0/24", nh="3.3.3.3"),
+        row("B", "20.0.0.0/24", nh="2.2.2.2"),
+    ])
+    return base, updated
+
+
+class TestParsing:
+    def test_concat_node(self):
+        tree = parse("PRE ++ POST |> count() = 4")
+        assert isinstance(tree.left.source, Concat)
+
+    def test_binds_looser_than_filter(self):
+        tree = parse("PRE || device = A ++ POST |> count() = 2")
+        concat = tree.left.source
+        assert isinstance(concat, Concat)
+        assert isinstance(concat.left, Filter)
+
+    def test_parenthesized(self):
+        tree = parse("(PRE ++ POST) || device = A |> count() = 2")
+        filt = tree.left.source
+        assert isinstance(filt, Filter)
+        assert isinstance(filt.source, Concat)
+
+    def test_rib_compare_with_concat(self):
+        tree = parse("PRE ++ POST = POST ++ PRE")
+        assert isinstance(tree.left, Concat) and isinstance(tree.right, Concat)
+
+
+class TestSemantics:
+    def test_count_unions_rows(self, ribs):
+        base, updated = ribs
+        assert check("PRE ++ POST |> count() = 4", base, updated)
+
+    def test_concat_commutative_for_rib_compare(self, ribs):
+        base, updated = ribs
+        assert check("PRE ++ POST = POST ++ PRE", base, updated)
+
+    def test_cross_snapshot_distvals(self, ribs):
+        base, updated = ribs
+        # Across BOTH snapshots, prefix 10/24 has two distinct next hops
+        # (the change moved it) while 20/24 has one (unchanged).
+        assert check(
+            "(PRE ++ POST) || prefix = 10.0.0.0/24 |> distCnt(nexthop) = 2",
+            base,
+            updated,
+        )
+        assert check(
+            "(PRE ++ POST) || prefix = 20.0.0.0/24 |> distCnt(nexthop) = 1",
+            base,
+            updated,
+        )
+
+    def test_bounded_churn_intent(self, ribs):
+        """The intent family that motivated the extension: limit how many
+        distinct next hops a prefix sees across the change."""
+        base, updated = ribs
+        spec = "forall prefix: (PRE ++ POST) |> distCnt(nexthop) <= 2"
+        assert check(spec, base, updated)
+        churny = GlobalRib([
+            row("A", "10.0.0.0/24", nh="4.4.4.4"),
+            row("A", "10.0.0.0/24", nh="5.5.5.5"),
+            row("B", "20.0.0.0/24", nh="2.2.2.2"),
+        ])
+        result = verify(spec, base, churny)
+        assert not result.satisfied
+        assert "10.0.0.0/24" in result.violations[0].scope[0]
+
+    def test_filter_after_concat(self, ribs):
+        base, updated = ribs
+        assert check(
+            "(PRE ++ POST) || device = A |> count() = 2", base, updated
+        )

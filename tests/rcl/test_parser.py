@@ -1,0 +1,218 @@
+"""Tests for the RCL lexer and parser (Figure 7 grammar)."""
+
+import pytest
+
+from repro.rcl import parse, spec_size
+from repro.rcl.ast import (
+    Aggregate,
+    Arith,
+    FieldCompare,
+    FieldContains,
+    FieldIn,
+    FieldMatches,
+    Filter,
+    ForallField,
+    ForallIn,
+    Guarded,
+    IntentBinary,
+    IntentNot,
+    LiteralEval,
+    Post,
+    Pre,
+    PredBinary,
+    PredNot,
+    RibCompare,
+    ValueCompare,
+)
+from repro.rcl.errors import RclParseError
+from repro.rcl.lexer import tokenize
+
+
+class TestLexer:
+    def test_prefix_token(self):
+        tokens = tokenize("prefix = 10.0.0.0/24")
+        assert [t.kind for t in tokens[:3]] == ["ident", "=", "value"]
+        assert tokens[2].text == "10.0.0.0/24"
+
+    def test_community_token(self):
+        tokens = tokenize("communities contains 100:1")
+        assert tokens[2].text == "100:1"
+
+    def test_ipv6_token(self):
+        tokens = tokenize("nexthop = 2001:db8::1")
+        assert tokens[2].text == "2001:db8::1"
+
+    def test_ipv6_prefix_token(self):
+        tokens = tokenize("prefix = 2001:db8::/32")
+        assert tokens[2].text == "2001:db8::/32"
+
+    def test_number_vs_address(self):
+        tokens = tokenize("localPref = 300")
+        assert tokens[2].kind == "value"
+        assert tokens[2].text == "300"
+
+    def test_string_token(self):
+        tokens = tokenize('aspath matches ".* 123 .*"')
+        assert tokens[2].kind == "string"
+        assert tokens[2].text == ".* 123 .*"
+
+    def test_unicode_symbols(self):
+        ascii_form = [t.kind for t in tokenize("PRE |> count() >= 1")]
+        unicode_form = [t.kind for t in tokenize("PRE ▷ count() ≥ 1")]
+        assert ascii_form == unicode_form
+
+    def test_unexpected_character(self):
+        with pytest.raises(RclParseError):
+            tokenize("prefix = @")
+
+
+class TestParserConstructs:
+    def test_guarded_intent(self):
+        tree = parse("prefix = 10.0.0.0/24 => POST |> distVals(localPref) = {300}")
+        assert isinstance(tree, Guarded)
+        assert isinstance(tree.predicate, FieldCompare)
+        assert isinstance(tree.body, ValueCompare)
+        agg = tree.body.left
+        assert isinstance(agg, Aggregate)
+        assert agg.func == "distVals" and agg.field.name == "localPref"
+
+    def test_rib_compare(self):
+        tree = parse("PRE = POST")
+        assert isinstance(tree, RibCompare)
+        assert isinstance(tree.left, Pre) and isinstance(tree.right, Post)
+
+    def test_rib_not_equal(self):
+        assert parse("PRE != POST").op == "!="
+
+    def test_filter_transformation(self):
+        tree = parse("POST || (communities contains 100:1) |> count() = 0")
+        agg = tree.left
+        assert isinstance(agg.source, Filter)
+        assert isinstance(agg.source.predicate, FieldContains)
+
+    def test_chained_filters(self):
+        tree = parse("POST || device = A || vrf = global |> count() = 1")
+        inner = tree.left.source
+        assert isinstance(inner, Filter) and isinstance(inner.source, Filter)
+
+    def test_forall_field(self):
+        tree = parse("forall prefix: POST |> distCnt(nexthop) = 2")
+        assert isinstance(tree, ForallField)
+        assert tree.field.name == "prefix"
+
+    def test_forall_in(self):
+        tree = parse("forall device in {R1, R2}: PRE = POST")
+        assert isinstance(tree, ForallIn)
+        assert tree.values.values == ("R1", "R2")
+
+    def test_nested_forall(self):
+        tree = parse(
+            "forall device in {R1}: forall prefix in {10.0.0.0/24}: PRE = POST"
+        )
+        assert isinstance(tree.body, ForallIn)
+
+    def test_predicate_boolean_composition(self):
+        tree = parse("device = A and not vrf = global => PRE = POST")
+        assert isinstance(tree.predicate, PredBinary)
+        assert isinstance(tree.predicate.right, PredNot)
+
+    def test_predicate_in_and_matches(self):
+        tree = parse('device in {A, B} and aspath matches ".*" => PRE = POST')
+        left, right = tree.predicate.left, tree.predicate.right
+        assert isinstance(left, FieldIn)
+        assert isinstance(right, FieldMatches)
+
+    def test_intent_boolean_composition(self):
+        tree = parse("PRE = POST and not POST |> count() = 0")
+        assert isinstance(tree, IntentBinary)
+        assert isinstance(tree.right, IntentNot)
+
+    def test_intent_imply_sugar(self):
+        tree = parse(
+            "(PRE |> distVals(nexthop) = {1.2.3.4}) imply "
+            "(POST |> distVals(nexthop) = {10.2.3.4})"
+        )
+        assert isinstance(tree, IntentBinary) and tree.op == "imply"
+
+    def test_arithmetic(self):
+        tree = parse("PRE |> count() = POST |> count() + 1 * 2")
+        assert isinstance(tree.right, Arith)
+        assert tree.right.op == "+"
+        assert isinstance(tree.right.right, Arith)  # * binds tighter
+
+    def test_value_literals(self):
+        tree = parse("POST |> distVals(nexthop) = {1.2.3.4, 10.2.3.4}")
+        assert isinstance(tree.right, LiteralEval)
+        assert tree.right.literal.values == ("1.2.3.4", "10.2.3.4")
+
+    def test_has_alias_for_contains(self):
+        tree = parse("POST || (communities has 100:1) |> count() = 0")
+        assert isinstance(tree.left.source.predicate, FieldContains)
+
+    def test_roundtrip_through_str(self):
+        specs = [
+            "prefix = 10.0.0.0/24 => POST |> distVals(localPref) = {300}",
+            "forall device in {R1, R2}: PRE = POST",
+            "POST || (communities contains 100:1) |> count() = 0",
+            "PRE |> count() = POST |> count()",
+        ]
+        for spec in specs:
+            assert str(parse(str(parse(spec)))) == str(parse(spec))
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "PRE =",
+            "forall : PRE = POST",
+            "prefix = 10.0.0.0/24 =>",
+            "POST |> bogus() = 1",
+            "POST |> count( = 1",
+            "PRE = POST trailing",
+            "device ~ A => PRE = POST",
+            "{1, 2",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(RclParseError):
+            parse(bad)
+
+
+class TestSpecSize:
+    def test_leaf_counts_zero(self):
+        # PRE = POST: one internal node (the comparison).
+        assert spec_size(parse("PRE = POST")) == 1
+
+    def test_paper_example_size(self):
+        size = spec_size(
+            parse("prefix = 10.0.0.0/24 => POST |> distVals(localPref) = {300}")
+        )
+        # guarded + predicate-compare + value-compare + aggregate = 4
+        assert size == 4
+
+    def test_size_grows_with_nesting(self):
+        small = spec_size(parse("PRE = POST"))
+        large = spec_size(
+            parse("forall device in {R1}: forall prefix in {10.0.0.0/24}: PRE = POST")
+        )
+        assert large > small
+
+    def test_use_case_sizes_are_compact(self):
+        """The paper: >90% of real specs have size < 15."""
+        use_cases = [
+            # §4.3 use case 1
+            "forall device in {R1, R2}: forall prefix in "
+            "{10.0.0.0/24, 20.0.0.0/24}: routeType = BEST => "
+            "PRE |> distVals(nexthop) = POST |> distVals(nexthop)",
+            # §4.3 use case 2
+            "forall device in {R1, R2}: "
+            "POST || (communities has 100:1) |> count() = 0",
+            # §4.3 use case 3
+            "forall device in {R1, R2}: forall prefix: "
+            "(PRE |> distVals(nexthop) = {1.2.3.4}) imply "
+            "(POST |> distVals(nexthop) = {10.2.3.4})",
+        ]
+        for spec in use_cases:
+            assert spec_size(parse(spec)) < 15

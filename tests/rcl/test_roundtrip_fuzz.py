@@ -1,0 +1,119 @@
+"""Property-based round-trip fuzzing of the RCL parser.
+
+For randomly generated ASTs, rendering to concrete syntax and re-parsing
+must be a fixpoint: ``str(parse(str(tree))) == str(tree)``. This pins the
+parser and the renderer to the same grammar.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.rcl import ast, parse
+
+fields = st.sampled_from(["device", "vrf", "prefix", "nexthop", "localPref",
+                          "med", "communities", "routeType"])
+comparisons = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+values = st.one_of(
+    st.integers(min_value=0, max_value=9999),
+    st.sampled_from(["R1", "coreA", "BEST", "10.0.0.0/24", "100:1",
+                     "2001:db8::/32", "1.2.3.4"]),
+)
+value_sets = st.lists(values, min_size=1, max_size=3).map(
+    lambda vs: ast.SetLiteral(tuple(vs))
+)
+
+
+def predicates(depth: int):
+    atom = st.one_of(
+        st.builds(ast.FieldCompare, st.builds(ast.FieldName, fields),
+                  comparisons, st.builds(ast.Literal, values)),
+        st.builds(ast.FieldContains, st.builds(ast.FieldName, fields),
+                  st.builds(ast.Literal, values)),
+        st.builds(ast.FieldIn, st.builds(ast.FieldName, fields), value_sets),
+        st.builds(
+            ast.FieldMatches,
+            st.builds(ast.FieldName, fields),
+            st.from_regex(r"[A-Za-z0-9 .*]{1,8}", fullmatch=True),
+        ),
+    )
+    if depth <= 0:
+        return atom
+    sub = predicates(depth - 1)
+    return st.one_of(
+        atom,
+        st.builds(ast.PredBinary, st.sampled_from(["and", "or", "imply"]),
+                  sub, sub),
+        st.builds(ast.PredNot, sub),
+    )
+
+
+def transformations(depth: int):
+    atom = st.one_of(st.just(ast.Pre()), st.just(ast.Post()))
+    if depth <= 0:
+        return atom
+    sub = transformations(depth - 1)
+    return st.one_of(
+        atom,
+        st.builds(ast.Filter, sub, predicates(depth - 1)),
+        st.builds(ast.Concat, sub, sub),
+    )
+
+
+def evaluations(depth: int):
+    atom = st.one_of(
+        st.builds(ast.LiteralEval, st.builds(ast.Literal, values)),
+        st.builds(ast.LiteralEval, value_sets),
+        st.builds(
+            ast.Aggregate, transformations(max(0, depth - 1)),
+            st.just("count"), st.none(),
+        ),
+        st.builds(
+            ast.Aggregate, transformations(max(0, depth - 1)),
+            st.sampled_from(["distCnt", "distVals"]),
+            st.builds(ast.FieldName, fields),
+        ),
+    )
+    if depth <= 0:
+        return atom
+    sub = evaluations(depth - 1)
+    return st.one_of(
+        atom,
+        st.builds(ast.Arith, st.sampled_from(["+", "-", "*", "/"]), sub, sub),
+    )
+
+
+def intents(depth: int):
+    atom = st.one_of(
+        st.builds(ast.RibCompare, st.sampled_from(["=", "!="]),
+                  transformations(depth), transformations(depth)),
+        st.builds(ast.ValueCompare, comparisons, evaluations(depth),
+                  evaluations(depth)),
+    )
+    if depth <= 0:
+        return atom
+    sub = intents(depth - 1)
+    return st.one_of(
+        atom,
+        st.builds(ast.Guarded, predicates(depth - 1), sub),
+        st.builds(ast.ForallField, st.builds(ast.FieldName, fields), sub),
+        st.builds(ast.ForallIn, st.builds(ast.FieldName, fields),
+                  value_sets, sub),
+        st.builds(ast.IntentBinary, st.sampled_from(["and", "or", "imply"]),
+                  sub, sub),
+        st.builds(ast.IntentNot, sub),
+    )
+
+
+@given(tree=intents(2))
+@settings(max_examples=300, deadline=None)
+def test_render_parse_fixpoint(tree):
+    rendered = str(tree)
+    reparsed = parse(rendered)
+    assert str(reparsed) == rendered
+
+
+@given(tree=intents(2))
+@settings(max_examples=100, deadline=None)
+def test_size_stable_under_roundtrip(tree):
+    from repro.rcl import spec_size
+
+    assert spec_size(parse(str(tree))) == spec_size(tree)

@@ -1,0 +1,123 @@
+"""Tests for the BGP decision process."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import Prefix
+from repro.routing.attributes import (
+    ORIGIN_EGP,
+    ORIGIN_IGP,
+    ORIGIN_INCOMPLETE,
+    SOURCE_EBGP,
+    SOURCE_IBGP,
+    Route,
+)
+from repro.routing.decision import Candidate, select_best
+
+P = Prefix.parse("10.0.0.0/24")
+
+
+def cand(from_peer="X", **kwargs) -> Candidate:
+    defaults = dict(prefix=P, source=SOURCE_IBGP)
+    defaults.update(kwargs)
+    return Candidate(route=Route(**defaults), from_peer=from_peer)
+
+
+class TestDecisionSteps:
+    def test_requires_candidates(self):
+        with pytest.raises(ValueError):
+            select_best([])
+
+    def test_weight_wins(self):
+        a = cand("A", weight=100, local_pref=1)
+        b = cand("B", weight=0, local_pref=999)
+        assert select_best([a, b]).best is a
+
+    def test_local_pref_wins(self):
+        a = cand("A", local_pref=300)
+        b = cand("B", local_pref=200, as_path=())
+        assert select_best([b, a]).best is a
+
+    def test_local_origin_preferred(self):
+        local = Candidate(route=Route(prefix=P), from_peer="")
+        remote = cand("B")
+        assert select_best([remote, local]).best is local
+
+    def test_shorter_aspath_wins(self):
+        a = cand("A", as_path=(1, 2))
+        b = cand("B", as_path=(1, 2, 3))
+        assert select_best([b, a]).best is a
+
+    def test_origin_rank(self):
+        igp = cand("A", origin=ORIGIN_IGP, as_path=(1,))
+        egp = cand("B", origin=ORIGIN_EGP, as_path=(1,))
+        inc = cand("C", origin=ORIGIN_INCOMPLETE, as_path=(1,))
+        assert select_best([inc, egp, igp]).best is igp
+
+    def test_lower_med_wins(self):
+        a = cand("A", med=10)
+        b = cand("B", med=5)
+        assert select_best([a, b]).best is b
+
+    def test_ebgp_over_ibgp(self):
+        e = cand("A", source=SOURCE_EBGP)
+        i = cand("B", source=SOURCE_IBGP)
+        assert select_best([i, e]).best is e
+
+    def test_igp_cost_tiebreak(self):
+        near = cand("A", igp_cost=10)
+        far = cand("B", igp_cost=20)
+        selection = select_best([far, near])
+        assert selection.best is near
+        assert selection.ecmp == []
+        assert far in selection.rejected
+
+    def test_ecmp_on_full_tie(self):
+        a = cand("A", igp_cost=10)
+        b = cand("B", igp_cost=10)
+        selection = select_best([b, a])
+        assert selection.best is a  # deterministic peer-name tiebreak
+        assert selection.ecmp == [b]
+        assert selection.rejected == []
+
+    def test_max_paths_caps_ecmp(self):
+        cands = [cand(name) for name in "ABCDE"]
+        selection = select_best(cands, max_paths=2)
+        assert len(selection.multipath) == 2
+        assert len(selection.rejected) == 3
+
+    def test_max_paths_one_disables_ecmp(self):
+        selection = select_best([cand("A"), cand("B")], max_paths=1)
+        assert selection.ecmp == []
+        assert len(selection.rejected) == 1
+
+    def test_deterministic_across_input_order(self):
+        cands = [cand(name, med=m) for name, m in (("C", 5), ("A", 5), ("B", 5))]
+        forward = select_best(cands)
+        backward = select_best(list(reversed(cands)))
+        assert forward.best.from_peer == backward.best.from_peer == "A"
+
+
+@given(
+    weights=st.lists(st.integers(0, 1000), min_size=1, max_size=8),
+)
+def test_best_has_max_weight_property(weights):
+    cands = [cand(f"P{i}", weight=w) for i, w in enumerate(weights)]
+    best = select_best(cands).best
+    assert best.route.weight == max(weights)
+
+
+@given(
+    data=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3)), min_size=1, max_size=8
+    )
+)
+def test_multipath_all_share_decision_key_property(data):
+    cands = [
+        cand(f"P{i}", local_pref=lp, med=med) for i, (lp, med) in enumerate(data)
+    ]
+    selection = select_best(cands)
+    keys = {c.decision_key() for c in selection.multipath}
+    assert len(keys) == 1
+    for rejected in selection.rejected:
+        assert rejected.decision_key() >= selection.best.decision_key()

@@ -1,0 +1,62 @@
+"""Order-invariance and determinism properties of the BGP engine."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.net.device import BgpPeerConfig
+from repro.routing.inputs import inject_external_route
+from repro.routing.simulator import simulate_routes
+
+from tests.helpers import build_model, full_mesh_ibgp
+
+
+def make_world():
+    model = build_model(
+        routers=[("A", 100), ("B", 100), ("C", 100), ("D", 200)],
+        links=[("A", "B", 10), ("B", "C", 10), ("A", "C", 10), ("C", "D", 10)],
+    )
+    full_mesh_ibgp(model, ["A", "B", "C"])
+    model.device("C").add_peer(BgpPeerConfig(peer="D", remote_asn=200))
+    model.device("D").add_peer(BgpPeerConfig(peer="C", remote_asn=100))
+    return model
+
+
+def make_inputs():
+    inputs = []
+    for i in range(6):
+        inputs.append(inject_external_route("A", f"203.0.{i}.0/24", (65010, 65011)))
+        inputs.append(inject_external_route("B", f"203.0.{i}.0/24", (65020,)))
+    inputs.append(inject_external_route("D", "198.51.100.0/24", (200,)))
+    return inputs
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_input_order_does_not_change_results(seed):
+    """The fixpoint result is independent of input route ordering."""
+    model = make_world()
+    inputs = make_inputs()
+    shuffled = list(inputs)
+    random.Random(seed).shuffle(shuffled)
+    reference = simulate_routes(make_world(), inputs).global_rib().identity_set()
+    permuted = simulate_routes(model, shuffled).global_rib().identity_set()
+    assert reference == permuted
+
+
+def test_repeated_runs_identical():
+    results = {
+        simulate_routes(make_world(), make_inputs()).global_rib().identity_set()
+        for _ in range(3)
+    }
+    assert len(results) == 1
+
+
+def test_simulator_instance_reusable():
+    from repro.routing.simulator import RouteSimulator
+
+    model = make_world()
+    simulator = RouteSimulator(model)
+    first = simulator.simulate(make_inputs()).global_rib().identity_set()
+    second = simulator.simulate(make_inputs()).global_rib().identity_set()
+    assert first == second

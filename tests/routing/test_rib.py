@@ -1,0 +1,169 @@
+"""Tests for DeviceRib and the global RIB abstraction."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.addr import IPAddress, Prefix
+from repro.routing.attributes import Route
+from repro.routing.rib import (
+    DeviceRib,
+    GlobalRib,
+    RibRoute,
+    ROUTE_TYPE_BEST,
+    ROUTE_TYPE_CANDIDATE,
+    ROUTE_TYPE_ECMP,
+    RIB_FIELDS,
+    UnknownFieldError,
+)
+
+
+def route(prefix, nh="2.0.0.1", **kwargs):
+    return Route(
+        prefix=Prefix.parse(prefix),
+        nexthop=IPAddress.parse(nh) if nh else None,
+        **kwargs,
+    )
+
+
+class TestDeviceRib:
+    def test_install_and_query(self):
+        rib = DeviceRib("A")
+        rib.install(route("10.0.0.0/24"))
+        rib.install(route("10.0.0.0/24", nh="3.0.0.1"), route_type=ROUTE_TYPE_ECMP)
+        rib.install(route("10.0.0.0/24", nh="4.0.0.1"), route_type=ROUTE_TYPE_CANDIDATE)
+        best = rib.routes_for(Prefix.parse("10.0.0.0/24"))
+        assert len(best) == 2  # BEST + ECMP
+        everything = rib.routes_for(Prefix.parse("10.0.0.0/24"), best_only=False)
+        assert len(everything) == 3
+
+    def test_vrf_separation(self):
+        rib = DeviceRib("A")
+        rib.install(route("10.0.0.0/24"), vrf="global")
+        rib.install(route("10.0.0.0/24"), vrf="vrf1")
+        assert rib.prefixes("global") == [Prefix.parse("10.0.0.0/24")]
+        assert rib.prefixes("vrf1") == [Prefix.parse("10.0.0.0/24")]
+        assert rib.prefixes("ghost") == []
+        assert set(rib.vrfs) == {"global", "vrf1"}
+
+    def test_lpm_over_best_routes_only(self):
+        rib = DeviceRib("A")
+        rib.install(route("10.0.0.0/8"))
+        rib.install(route("10.0.0.0/24"), route_type=ROUTE_TYPE_CANDIDATE)
+        prefix, routes = rib.lpm(IPAddress.parse("10.0.0.5"))
+        # The /24 is only a candidate, so LPM resolves to the /8.
+        assert prefix == Prefix.parse("10.0.0.0/8")
+
+    def test_lpm_cache_invalidation(self):
+        rib = DeviceRib("A")
+        rib.install(route("10.0.0.0/8"))
+        assert rib.lpm(IPAddress.parse("10.1.2.3")) is not None
+        rib.install(route("10.1.0.0/16"))
+        prefix, _ = rib.lpm(IPAddress.parse("10.1.2.3"))
+        assert prefix == Prefix.parse("10.1.0.0/16")
+
+    def test_replace_prefix(self):
+        rib = DeviceRib("A")
+        rib.install(route("10.0.0.0/24"))
+        rib.replace_prefix(
+            "global", Prefix.parse("10.0.0.0/24"),
+            [(route("10.0.0.0/24", nh="9.9.9.9"), ROUTE_TYPE_BEST)],
+        )
+        assert str(rib.routes_for(Prefix.parse("10.0.0.0/24"))[0].nexthop) == "9.9.9.9"
+        rib.replace_prefix("global", Prefix.parse("10.0.0.0/24"), [])
+        assert rib.prefixes("global") == []
+
+    def test_route_count(self):
+        rib = DeviceRib("A")
+        rib.install(route("10.0.0.0/24"))
+        rib.install(route("10.0.1.0/24"), vrf="vrf1")
+        assert rib.route_count() == 2
+
+
+class TestRibRoute:
+    def test_field_access(self):
+        row = RibRoute(
+            "A", "global",
+            route("10.0.0.0/24", local_pref=300, communities=frozenset({"1:1"})),
+        )
+        assert row.field("device") == "A"
+        assert row.field("prefix") == "10.0.0.0/24"
+        assert row.field("localPref") == 300
+        assert row.field("communities") == frozenset({"1:1"})
+        assert row.field("routeType") == "BEST"
+
+    def test_all_fields_resolvable(self):
+        row = RibRoute("A", "global", route("10.0.0.0/24"))
+        for field in RIB_FIELDS:
+            row.field(field)  # must not raise
+
+    def test_unknown_field(self):
+        row = RibRoute("A", "global", route("10.0.0.0/24"))
+        with pytest.raises(UnknownFieldError):
+            row.field("bogus")
+
+    def test_identity_covers_attributes(self):
+        a = RibRoute("A", "global", route("10.0.0.0/24", local_pref=100))
+        b = RibRoute("A", "global", route("10.0.0.0/24", local_pref=200))
+        assert a.identity() != b.identity()
+
+
+class TestGlobalRib:
+    def rows(self):
+        return [
+            RibRoute("A", "global", route("10.0.0.0/24", local_pref=100)),
+            RibRoute("A", "vrf1", route("20.0.0.0/24")),
+            RibRoute(
+                "B", "global", route("10.0.0.0/24", nh="3.0.0.1"),
+                route_type=ROUTE_TYPE_CANDIDATE,
+            ),
+        ]
+
+    def test_from_device_ribs(self):
+        rib = DeviceRib("A")
+        rib.install(route("10.0.0.0/24"))
+        grib = GlobalRib.from_device_ribs([rib])
+        assert len(grib) == 1
+
+    def test_filter_and_distinct(self):
+        grib = GlobalRib(self.rows())
+        filtered = grib.filter(lambda r: r.device == "A")
+        assert len(filtered) == 2
+        assert grib.distinct_values("device") == {"A", "B"}
+
+    def test_best_routes_drops_candidates(self):
+        grib = GlobalRib(self.rows())
+        assert len(grib.best_routes()) == 2
+
+    def test_equality_is_set_based(self):
+        rows = self.rows()
+        assert GlobalRib(rows) == GlobalRib(list(reversed(rows)))
+        assert GlobalRib(rows) != GlobalRib(rows[:1])
+        assert (GlobalRib(rows) == object()) is NotImplemented or True
+
+    def test_merged_with(self):
+        left = GlobalRib(self.rows()[:1])
+        right = GlobalRib(self.rows()[1:])
+        assert len(left.merged_with(right)) == 3
+
+    def test_str_truncates(self):
+        grib = GlobalRib(
+            [RibRoute("A", "global", route(f"10.0.{i}.0/24")) for i in range(30)]
+        )
+        assert "and 10 more" in str(grib)
+
+
+@given(
+    prefix_count=st.integers(min_value=1, max_value=12),
+    probe=st.integers(min_value=0, max_value=(1 << 32) - 1),
+)
+def test_lpm_matches_most_specific_installed(prefix_count, probe):
+    rib = DeviceRib("A")
+    lengths = list(range(8, 8 + prefix_count * 2, 2))
+    installed = []
+    for length in lengths:
+        prefix = Prefix.from_address(IPAddress(4, probe), length)
+        rib.install(route(str(prefix)))
+        installed.append(prefix)
+    hit = rib.lpm(IPAddress(4, probe))
+    assert hit is not None
+    assert hit[0] == max(installed, key=lambda p: p.length)

@@ -1,0 +1,103 @@
+"""Tests for segment routing tunnel resolution and the IGP-cost VSB."""
+
+import pytest
+
+from repro.net.vendors import VENDOR_A, VENDOR_B
+from repro.routing.isis import compute_igp
+from repro.routing.sr import (
+    effective_igp_cost,
+    first_tunnel_hops,
+    tunnel_path,
+)
+
+from tests.helpers import build_model
+
+
+def diamond():
+    """A - B - D and A - C - D with an extra A - D shortcut."""
+    model = build_model(
+        routers=[("A", 100), ("B", 100), ("C", 100), ("D", 100)],
+        links=[
+            ("A", "B", 10), ("B", "D", 10),
+            ("A", "C", 10), ("C", "D", 10),
+            ("A", "D", 15),
+        ],
+    )
+    return model, compute_igp(model)
+
+
+class TestTunnelPath:
+    def test_direct_policy_follows_igp(self):
+        model, igp = diamond()
+        policy = model.device("A").add_sr_policy("P", endpoint="D")
+        path = tunnel_path(model, igp, "A", policy)
+        assert path == ["A", "D"]  # the 15-cost shortcut wins over 20-cost
+
+    def test_segments_force_waypoints(self):
+        model, igp = diamond()
+        policy = model.device("A").add_sr_policy("P", endpoint="D", segments=("C",))
+        path = tunnel_path(model, igp, "A", policy)
+        assert path == ["A", "C", "D"]
+
+    def test_multiple_segments(self):
+        model, igp = diamond()
+        policy = model.device("A").add_sr_policy(
+            "P", endpoint="D", segments=("B", "C")
+        )
+        path = tunnel_path(model, igp, "A", policy)
+        # A -> B, B -> C (via A or D), C -> D; waypoints appear in order.
+        assert path[0] == "A"
+        assert path[-1] == "D"
+        index_b = path.index("B")
+        index_c = path.index("C", index_b)
+        assert index_b < index_c
+
+    def test_unreachable_leg_returns_none(self):
+        model, igp0 = diamond()
+        model.topology.fail_router("C")
+        igp = compute_igp(model)
+        policy = model.device("A").add_sr_policy("P", endpoint="D", segments=("C",))
+        assert tunnel_path(model, igp, "A", policy) is None
+
+    def test_segment_equal_to_source_skipped(self):
+        model, igp = diamond()
+        policy = model.device("A").add_sr_policy("P", endpoint="D", segments=("A",))
+        assert tunnel_path(model, igp, "A", policy) == ["A", "D"]
+
+    def test_first_tunnel_hops(self):
+        model, igp = diamond()
+        policy = model.device("A").add_sr_policy("P", endpoint="D", segments=("C",))
+        assert first_tunnel_hops(model, igp, "A", policy) == ("C",)
+
+
+class TestEffectiveIgpCost:
+    def test_no_policy_keeps_cost(self):
+        model, igp = diamond()
+        device = model.device("A")
+        assert effective_igp_cost(device, igp, "D", 15.0) == 15.0
+
+    def test_vendor_a_zeroes_cost(self):
+        model, igp = diamond()
+        device = model.device("A")
+        device.add_sr_policy("P", endpoint="D")
+        device.set_vendor_profile(VENDOR_A)
+        assert effective_igp_cost(device, igp, "D", 15.0) == 0.0
+
+    def test_vendor_b_keeps_cost(self):
+        model, igp = diamond()
+        device = model.device("A")
+        device.add_sr_policy("P", endpoint="D")
+        device.set_vendor_profile(VENDOR_B)
+        assert effective_igp_cost(device, igp, "D", 15.0) == 15.0
+
+    def test_policy_to_other_endpoint_irrelevant(self):
+        model, igp = diamond()
+        device = model.device("A")
+        device.add_sr_policy("P", endpoint="B")
+        device.set_vendor_profile(VENDOR_A)
+        assert effective_igp_cost(device, igp, "D", 15.0) == 15.0
+
+    def test_none_owner_keeps_cost(self):
+        model, igp = diamond()
+        device = model.device("A")
+        assert effective_igp_cost(device, igp, None, 7.0) == 7.0

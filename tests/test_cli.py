@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def snapshot(tmp_path):
+    path = tmp_path / "wan.pkl"
+    code = main([
+        "generate", "--regions", "2", "--cores", "2", "--prefixes", "20",
+        "--flows", "100", "--output", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerateSimulate:
+    def test_generate_writes_snapshot(self, tmp_path, capsys):
+        path = tmp_path / "fresh.pkl"
+        assert main([
+            "generate", "--regions", "2", "--prefixes", "10",
+            "--flows", "10", "--output", str(path),
+        ]) == 0
+        assert "snapshot written" in capsys.readouterr().out
+        assert path.exists()
+
+    def test_simulate(self, snapshot, capsys):
+        assert main(["simulate", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "route simulation" in out
+        assert "converged=True" in out
+
+    def test_simulate_with_traffic(self, snapshot, capsys):
+        assert main(["simulate", str(snapshot), "--traffic"]) == 0
+        out = capsys.readouterr().out
+        assert "traffic simulation" in out
+        assert "Gb/s" in out
+
+
+class TestVerify:
+    def write_plan(self, tmp_path, data):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(data), encoding="utf-8")
+        return path
+
+    def test_passing_plan_exits_zero(self, snapshot, tmp_path, capsys):
+        plan = self.write_plan(tmp_path, {
+            "name": "noop",
+            "change_type": "os-patch",
+            "device_commands": {},
+            "rcl_intents": ["PRE = POST"],
+        })
+        assert main(["verify", str(snapshot), str(plan)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_risky_plan_exits_one(self, snapshot, tmp_path, capsys):
+        plan = self.write_plan(tmp_path, {
+            "name": "drop-link",
+            "change_type": "topology-adjustment",
+            "topology_ops": [
+                # Failing an eBGP-facing link takes the session down and
+                # loses that ISP's routes, so PRE = POST must fail.
+                {"op": "fail-link", "a": "region0-border0", "b": "isp1"}
+            ],
+            "rcl_intents": ["PRE = POST"],
+        })
+        assert main(["verify", str(snapshot), str(plan)]) == 1
+        assert "RISK DETECTED" in capsys.readouterr().out
+
+    def test_reachability_and_overload_intents(self, snapshot, tmp_path, capsys):
+        plan = self.write_plan(tmp_path, {
+            "name": "check",
+            "change_type": "os-patch",
+            "reachability_intents": [
+                {"prefix": "10.0.0.0/24", "devices": ["region0-rr0"]}
+            ],
+            "no_overload": True,
+        })
+        main(["verify", str(snapshot), str(plan)])
+        out = capsys.readouterr().out
+        assert "reaches" in out
+        assert "utilization" in out
+
+    def test_lint_flag(self, snapshot, tmp_path, capsys):
+        plan = self.write_plan(tmp_path, {
+            "name": "unlinted",
+            "change_type": "os-upgrade",
+            "device_commands": {},
+        })
+        main(["verify", str(snapshot), str(plan), "--lint"])
+        assert "lint:" in capsys.readouterr().out
+
+
+class TestAuditRclVsb:
+    def test_audit(self, snapshot, capsys):
+        assert main(["audit", str(snapshot)]) == 0
+        out = capsys.readouterr().out
+        assert "audit group-prefix-consistency" in out
+
+    def test_rcl_valid(self, capsys):
+        assert main(["rcl", "PRE = POST"]) == 0
+        out = capsys.readouterr().out
+        assert "valid RCL" in out and "size 1" in out
+
+    def test_rcl_invalid(self, capsys):
+        assert main(["rcl", "PRE = "]) == 1
+        assert "parse error" in capsys.readouterr().out
+
+    def test_vsb_table(self, capsys):
+        assert main(["vsb"]) == 0
+        out = capsys.readouterr().out
+        assert "DIFFERS" in out
+        assert "sr_tunnel_zeroes_igp_cost" in out

@@ -1,0 +1,32 @@
+"""Every example script must run clean — they carry the paper's case
+studies (Figures 9/10) as executable assertions."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs_clean(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script.name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+
+
+def test_example_inventory():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    # at least three runnable domain examples beyond the quickstart
+    assert len(names) >= 4

@@ -1,0 +1,131 @@
+"""Tests for link-load aggregation and flow primitives."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.traffic.flow import Flow, make_flow
+from repro.traffic.forwarding import FlowPath, STATUS_EXITED
+from repro.traffic.load import LinkLoadMap, aggregate_loads, link_key
+
+from tests.helpers import build_model
+
+
+class TestLinkKey:
+    def test_canonical_undirected(self):
+        assert link_key("A", "B") == link_key("B", "A") == ("A", "B")
+
+
+class TestLinkLoadMap:
+    def test_add_accumulates_both_directions(self):
+        loads = LinkLoadMap()
+        loads.add("A", "B", 10.0)
+        loads.add("B", "A", 5.0)
+        assert loads.get("A", "B") == 15.0
+        assert loads.get("B", "A") == 15.0
+        assert loads.get("A", "C") == 0.0
+
+    def test_merge(self):
+        a = LinkLoadMap()
+        a.add("A", "B", 10.0)
+        b = LinkLoadMap()
+        b.add("A", "B", 5.0)
+        b.add("B", "C", 1.0)
+        merged = a.merge(b)
+        assert merged.get("A", "B") == 15.0
+        assert merged.get("B", "C") == 1.0
+        assert a.get("A", "B") == 10.0  # inputs untouched
+
+    def test_utilization_pools_parallel_links(self):
+        model = build_model(routers=[("A", 1), ("B", 1)], links=[])
+        model.topology.connect("A", "B", bandwidth=100.0)
+        model.topology.connect("A", "B", bandwidth=100.0)
+        loads = LinkLoadMap()
+        loads.add("A", "B", 100.0)
+        util = loads.utilization(model.topology)
+        assert util[("A", "B")] == pytest.approx(0.5)
+
+    def test_overloaded_links_sorted_desc(self):
+        model = build_model(
+            routers=[("A", 1), ("B", 1), ("C", 1)], links=[]
+        )
+        model.topology.connect("A", "B", bandwidth=100.0)
+        model.topology.connect("B", "C", bandwidth=100.0)
+        loads = LinkLoadMap()
+        loads.add("A", "B", 150.0)
+        loads.add("B", "C", 300.0)
+        overloaded = loads.overloaded_links(model.topology)
+        assert [key for key, _ in overloaded] == [("B", "C"), ("A", "B")]
+
+    def test_compare(self):
+        a = LinkLoadMap()
+        a.add("A", "B", 10.0)
+        b = LinkLoadMap()
+        b.add("A", "B", 4.0)
+        b.add("B", "C", 1.0)
+        delta = a.compare(b)
+        assert delta[("A", "B")] == pytest.approx(6.0)
+        assert delta[("B", "C")] == pytest.approx(-1.0)
+
+    def test_total_and_len(self):
+        loads = LinkLoadMap()
+        loads.add("A", "B", 1.0)
+        loads.add("B", "C", 2.0)
+        assert loads.total() == 3.0
+        assert len(loads) == 2
+
+
+class TestAggregateLoads:
+    def path(self, flow, routers):
+        return FlowPath(flow=flow, routers=routers, status=STATUS_EXITED)
+
+    def test_volume_per_link(self):
+        flow = make_flow("A", "1.1.1.1", "2.2.2.2", volume=10.0)
+        loads = aggregate_loads([self.path(flow, ["A", "B", "C"])])
+        assert loads.get("A", "B") == 10.0
+        assert loads.get("B", "C") == 10.0
+
+    def test_weights_override(self):
+        flow = make_flow("A", "1.1.1.1", "2.2.2.2", volume=10.0)
+        loads = aggregate_loads(
+            [self.path(flow, ["A", "B"])], weights={flow: 99.0}
+        )
+        assert loads.get("A", "B") == 99.0
+
+    def test_single_router_path_adds_nothing(self):
+        flow = make_flow("A", "1.1.1.1", "2.2.2.2", volume=10.0)
+        loads = aggregate_loads([self.path(flow, ["A"])])
+        assert loads.total() == 0.0
+
+
+class TestFlow:
+    def test_five_tuple_and_hash_stable(self):
+        flow = make_flow("A", "1.1.1.1", "2.2.2.2", protocol=6, src_port=80,
+                         dst_port=443)
+        assert flow.five_tuple() == ("1.1.1.1", "2.2.2.2", 6, 80, 443)
+        assert flow.ecmp_hash() == flow.ecmp_hash()
+
+    def test_hash_differs_by_port(self):
+        a = make_flow("A", "1.1.1.1", "2.2.2.2", src_port=1)
+        b = make_flow("A", "1.1.1.1", "2.2.2.2", src_port=2)
+        assert a.ecmp_hash() != b.ecmp_hash()
+
+    def test_flow_is_hashable(self):
+        a = make_flow("A", "1.1.1.1", "2.2.2.2")
+        assert len({a, make_flow("A", "1.1.1.1", "2.2.2.2")}) == 1
+
+    def test_str(self):
+        text = str(make_flow("A", "1.1.1.1", "2.2.2.2", volume=5.0))
+        assert "1.1.1.1" in text and "@A" in text
+
+
+@given(
+    volumes=st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1, max_size=20)
+)
+def test_total_load_conserved_property(volumes):
+    """Sum of per-link loads == volume x hops for single-path flows."""
+    paths = []
+    for index, volume in enumerate(volumes):
+        flow = make_flow("A", "1.1.1.1", "2.2.2.2", src_port=index, volume=volume)
+        paths.append(FlowPath(flow=flow, routers=["A", "B", "C"], status=STATUS_EXITED))
+    loads = aggregate_loads(paths)
+    assert loads.total() == pytest.approx(2 * sum(volumes))

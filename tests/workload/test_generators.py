@@ -1,0 +1,157 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.core import ChangeVerifier
+from repro.rcl import check, parse, spec_size
+from repro.routing.simulator import simulate_routes
+from repro.workload import (
+    WanParams,
+    generate_change_corpus,
+    generate_flows,
+    generate_input_routes,
+    generate_spec_corpus,
+    generate_wan,
+)
+from repro.workload.changes import ROOT_CAUSES
+
+
+@pytest.fixture(scope="module")
+def wan():
+    return generate_wan(WanParams(regions=2, cores_per_region=2, seed=3))
+
+
+class TestWanGenerator:
+    def test_structure(self, wan):
+        model, inventory = wan
+        assert len(inventory.rrs) == 4  # 2 per region
+        assert len(inventory.cores) == 4
+        assert len(inventory.borders) == 4
+        assert len(inventory.isps) == 4
+        assert len(model.topology.routers) == len(model.devices)
+
+    def test_vendor_mix(self, wan):
+        model, _ = wan
+        vendors = {d.vendor_name for d in model.devices.values()}
+        assert vendors == {"vendor-a", "vendor-b"}
+
+    def test_deterministic(self):
+        a_model, a_inv = generate_wan(WanParams(regions=2, seed=3))
+        b_model, b_inv = generate_wan(WanParams(regions=2, seed=3))
+        assert a_inv.wan_routers == b_inv.wan_routers
+        assert a_model.stats() == b_model.stats()
+
+    def test_dcn_extension(self):
+        model, inventory = generate_wan(
+            WanParams(regions=2, dcn_cores_per_edge=3, seed=3)
+        )
+        assert len(inventory.dcn_cores) == 3 * len(inventory.dc_edges)
+        dcn = inventory.dcn_cores[0]
+        assert model.device(dcn).asn != 64500  # DCN is a different AS
+
+    def test_routes_propagate_on_generated_wan(self, wan):
+        model, inventory = wan
+        routes = generate_input_routes(inventory, n_prefixes=10, seed=5)
+        result = simulate_routes(model, routes)
+        assert result.stats.converged
+        # DC routes must reach the borders through the RR hierarchy.
+        dc_prefixes = [
+            r.route.prefix for r in routes if r.router in inventory.dc_edges
+        ]
+        assert dc_prefixes
+        border_rib = result.device_ribs[inventory.borders[0]]
+        reached = sum(
+            1 for p in dc_prefixes if border_rib.routes_for(p, "global")
+        )
+        assert reached == len(dc_prefixes)
+
+
+class TestRouteAndFlowGenerators:
+    def test_route_populations(self, wan):
+        _, inventory = wan
+        routes = generate_input_routes(
+            inventory, n_prefixes=40, isp_fraction=0.5, redundancy=2, seed=5
+        )
+        isp_routes = [r for r in routes if r.router in inventory.isps]
+        dc_routes = [r for r in routes if r.router in inventory.dc_edges]
+        assert isp_routes and dc_routes
+        # DC aggregates may carry empty AS paths (the §5.3 bug trigger).
+        assert any(not r.route.as_path for r in dc_routes)
+        assert all(len(r.route.as_path) >= 2 for r in isp_routes)
+
+    def test_redundancy_injects_same_prefix_twice(self, wan):
+        _, inventory = wan
+        routes = generate_input_routes(inventory, n_prefixes=10, redundancy=2, seed=5)
+        by_prefix = {}
+        for r in routes:
+            by_prefix.setdefault(str(r.route.prefix), set()).add(r.router)
+        assert any(len(routers) == 2 for routers in by_prefix.values())
+
+    def test_flows_target_route_prefixes(self, wan):
+        _, inventory = wan
+        routes = generate_input_routes(inventory, n_prefixes=10, seed=5)
+        flows = generate_flows(inventory, routes, n_flows=50, seed=7)
+        prefixes = [r.route.prefix for r in routes]
+        assert len(flows) == 50
+        assert all(
+            any(p.contains_address(f.dst) for p in prefixes) for f in flows
+        )
+
+    def test_flow_volumes_heavy_tailed(self, wan):
+        _, inventory = wan
+        routes = generate_input_routes(inventory, n_prefixes=10, seed=5)
+        flows = generate_flows(inventory, routes, n_flows=200, seed=7)
+        volumes = sorted(f.volume for f in flows)
+        # elephants exist and dwarf the median
+        assert volumes[-1] > 10 * volumes[len(volumes) // 2]
+
+
+class TestSpecCorpus:
+    def test_all_specs_parse(self, wan):
+        _, inventory = wan
+        specs = generate_spec_corpus(inventory, n_specs=50)
+        assert len(specs) == 50
+        for spec in specs:
+            parse(spec)
+
+    def test_size_distribution_matches_paper(self, wan):
+        """>90% of real-world specs have size < 15 (Figure 8 left)."""
+        _, inventory = wan
+        specs = generate_spec_corpus(inventory, n_specs=50)
+        sizes = sorted(spec_size(parse(s)) for s in specs)
+        small = sum(1 for s in sizes if s < 15)
+        assert small / len(sizes) > 0.9
+
+    def test_specs_checkable_on_ribs(self, wan):
+        model, inventory = wan
+        routes = generate_input_routes(inventory, n_prefixes=10, seed=5)
+        result = simulate_routes(model, routes)
+        rib = result.global_rib(best_only=True)
+        specs = generate_spec_corpus(inventory, n_specs=8)
+        for spec in specs:
+            check(spec, rib, rib)  # must evaluate without raising
+
+
+class TestChangeCorpus:
+    def test_root_cause_distribution(self, wan):
+        model, inventory = wan
+        corpus = generate_change_corpus(model, inventory, n_risky=40, n_correct=5)
+        causes = [c.root_cause for c in corpus if c.root_cause]
+        assert set(causes) <= set(ROOT_CAUSES)
+        assert len(causes) == 40
+        assert sum(1 for c in corpus if not c.expect_risk) == 5
+
+    def test_detection_end_to_end(self, wan):
+        model, inventory = wan
+        routes = generate_input_routes(inventory, n_prefixes=12, redundancy=1, seed=5)
+        corpus = generate_change_corpus(model, inventory, n_risky=6, n_correct=3, seed=4)
+        for change in corpus:
+            base = model.copy()
+            if change.prepare_base:
+                change.prepare_base(base)
+            verifier = ChangeVerifier(base, routes + change.extra_input_routes)
+            try:
+                risky = not verifier.verify(change.plan).ok
+            except Exception:
+                risky = True
+            assert risky == change.expect_risk, change.plan.name
