@@ -1,0 +1,262 @@
+"""Perf-regression harness for the simulation core.
+
+Times the three hot layers on small/medium synthetic WANs and writes
+``BENCH_perf.json`` at the repo root:
+
+* **route-sim** — one ``RouteSimulator.simulate`` pass (the BGP fixpoint
+  dominates), small and medium WAN;
+* **policy-eval** — ``apply_policy`` over a border-style policy with a large
+  prefix list, with the optimization flags on vs. off (trie + memo);
+* **distributed e2e** — ``DistributedRouteSimulation.run`` with thread
+  workers vs. ``processes=True``.
+
+Run ``python -m benchmarks.perf`` to regenerate the report, or
+``python -m benchmarks.perf --smoke`` (CI) to run the quick subset and fail
+if the small-WAN case regressed more than 2x against the committed report.
+
+All timings use ``time.process_time()`` (CPU time — immune to scheduler
+noise on shared machines) and keep the best of several repeats. The
+numbers in ``seed_baseline`` were measured against the pre-optimization
+seed revision with a stricter protocol (alternating fresh interpreters per
+revision); see ``docs/performance.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro import perfopts
+from repro.distsim.master import DistributedRouteSimulation
+from repro.net.policy import PolicyContext, apply_policy
+from repro.net.vendors import VENDOR_A
+from repro.routing.attributes import Route, SOURCE_EBGP
+from repro.net.addr import Prefix
+from repro.routing.simulator import RouteSimulator
+from repro.workload.routes import generate_input_routes
+from repro.workload.wan import WanParams, generate_wan
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+REPORT_PATH = REPO_ROOT / "BENCH_perf.json"
+
+#: Measured against the seed revision (commit cef375e) with alternating
+#: fresh-process A/B runs, best-of-3 ``process_time`` per process, four
+#: pairs per scenario, on the 1-core reference box. The harness cannot
+#: re-run the seed code, so the numbers are recorded here with their
+#: provenance; "optimized" columns are from the same protocol on this
+#: revision and are re-measurable with the scenarios below.
+SEED_BASELINE: Dict[str, Any] = {
+    "commit": "cef375e",
+    "method": (
+        "alternating fresh-process A/B (seed worktree vs this revision), "
+        "time.process_time(), best-of-3 per process, 4 pairs"
+    ),
+    "route_sim_medium": {
+        "seed_seconds": [0.887, 0.909, 0.788, 0.753],
+        "optimized_seconds": [0.412, 0.423, 0.394, 0.402],
+        "speedup_mean": 2.05,
+    },
+    "distributed_route_e2e_threads": {
+        "seed_seconds": [0.283, 0.258],
+        "optimized_seconds": [0.196, 0.206],
+        "speedup_mean": 1.35,
+    },
+}
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> Tuple[float, Any]:
+    """Best (minimum) CPU time over ``repeats`` calls, plus the last result."""
+    best: Optional[float] = None
+    result = None
+    for _ in range(max(1, repeats)):
+        started = time.process_time()
+        result = fn()
+        elapsed = time.process_time() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return float(best), result
+
+
+# -- scenarios -----------------------------------------------------------------
+
+
+def bench_route_sim(regions: int, n_prefixes: int, repeats: int) -> Dict[str, Any]:
+    """One full route-simulation pass on a synthetic WAN."""
+    model, inventory = generate_wan(WanParams(regions=regions, seed=7))
+    inputs = generate_input_routes(inventory, n_prefixes=n_prefixes, seed=7)
+
+    seconds, result = _best_of(
+        lambda: RouteSimulator(model).simulate(inputs), repeats
+    )
+    return {
+        "seconds": round(seconds, 4),
+        "regions": regions,
+        "prefixes": n_prefixes,
+        "messages": result.bgp.stats.messages,
+        "rounds": result.bgp.stats.rounds,
+    }
+
+
+def _border_policy_ctx() -> PolicyContext:
+    """A border-import-style policy over a large prefix list."""
+    ctx = PolicyContext(vendor=VENDOR_A)
+    plist = ctx.define_prefix_list("CUSTOMER-AGG")
+    for index in range(64):
+        plist.add(f"10.{index}.0.0/16", ge=16, le=24)
+    ctx.define_aspath_list("BOGON").add("65013")
+    policy = ctx.define_policy("ISP-IN")
+    policy.node(5, "deny").match("aspath-list", "BOGON")
+    node = policy.node(10, "permit")
+    node.match("prefix-list", "CUSTOMER-AGG")
+    node.set("community-add", "65000:100").set("local-pref", "120")
+    policy.node(20, "permit")
+    return ctx
+
+
+def _policy_routes(count: int) -> list:
+    routes = []
+    for index in range(count):
+        routes.append(
+            Route(
+                prefix=Prefix.parse(f"10.{index % 96}.{(index * 4) % 256}.0/24"),
+                as_path=(65100 + index % 7, 65013 + index % 3),
+                source=SOURCE_EBGP,
+                nexthop=None,
+            )
+        )
+    return routes
+
+
+def bench_policy_eval(repeats: int, rounds: int = 40) -> Dict[str, Any]:
+    """apply_policy over repeated route populations, flags on vs. off.
+
+    The fixpoint re-applies the same policies to the same routes every
+    round; ``rounds`` models that revisit ratio, which is what the memo
+    exploits. The trie matters even on the first pass.
+    """
+    routes = _policy_routes(256)
+
+    def run_all() -> int:
+        ctx = _border_policy_ctx()  # fresh context: no carried-over memo
+        permitted = 0
+        for _ in range(rounds):
+            for route in routes:
+                if apply_policy("ISP-IN", route, ctx).permitted:
+                    permitted += 1
+        return permitted
+
+    with perfopts.all_disabled():
+        unoptimized, check_off = _best_of(run_all, repeats)
+    optimized, check_on = _best_of(run_all, repeats)
+    assert check_on == check_off, "policy flags changed observable results"
+    return {
+        "optimized_seconds": round(optimized, 4),
+        "unoptimized_seconds": round(unoptimized, 4),
+        "speedup": round(unoptimized / optimized, 2) if optimized else None,
+        "applications": 256 * rounds,
+    }
+
+
+def bench_distributed_e2e(repeats: int) -> Dict[str, Any]:
+    """Distributed route simulation: thread pool vs. process pool."""
+    model, inventory = generate_wan(WanParams(regions=3, seed=7))
+    inputs = generate_input_routes(inventory, n_prefixes=120, seed=7)
+
+    def run(processes: bool) -> Any:
+        runner = DistributedRouteSimulation(model)
+        return runner.run(inputs, subtasks=8, workers=2, processes=processes)
+
+    # Wall-clock here, not CPU time: process mode moves the work into child
+    # processes, whose CPU the parent's process_time() cannot see.
+    def wall_best(processes: bool) -> float:
+        best: Optional[float] = None
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            run(processes)
+            elapsed = time.perf_counter() - started
+            if best is None or elapsed < best:
+                best = elapsed
+        return float(best)
+
+    threads = wall_best(False)
+    procs = wall_best(True)
+    return {
+        "thread_seconds": round(threads, 4),
+        "process_seconds": round(procs, 4),
+        "process_speedup": round(threads / procs, 2) if procs else None,
+        "cpu_cores": os.cpu_count(),
+        "note": (
+            "process-mode speedup requires real cores; on few-core machines "
+            "fork/pickle overhead dominates and threads win. The >=1.5x "
+            "acceptance criterion is conditional on >=4 cores."
+        ),
+    }
+
+
+# -- report --------------------------------------------------------------------
+
+
+def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
+    repeats = 2 if smoke else 3
+    scenarios: Dict[str, Any] = {
+        "route_sim_small": bench_route_sim(2, 50, repeats),
+        "policy_eval": bench_policy_eval(repeats, rounds=10 if smoke else 40),
+    }
+    if not smoke:
+        scenarios["route_sim_medium"] = bench_route_sim(4, 200, repeats)
+        scenarios["distributed_route_e2e"] = bench_distributed_e2e(repeats)
+    return {
+        "meta": {
+            "generated_by": "python -m benchmarks.perf"
+            + (" --smoke" if smoke else ""),
+            "python": platform.python_version(),
+            "cpu_cores": os.cpu_count(),
+            "timing": "time.process_time(), best-of-%d" % repeats,
+            "smoke": smoke,
+        },
+        "seed_baseline": SEED_BASELINE,
+        "scenarios": scenarios,
+    }
+
+
+def write_report(report: Dict[str, Any], path: pathlib.Path = REPORT_PATH) -> None:
+    path.write_text(json.dumps(report, indent=2, sort_keys=False) + "\n")
+
+
+def load_report(path: pathlib.Path = REPORT_PATH) -> Optional[Dict[str, Any]]:
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())
+
+
+def check_smoke(
+    current: Dict[str, Any], committed: Optional[Dict[str, Any]], threshold: float = 2.0
+) -> list:
+    """Regression check for CI: current runtimes vs. the committed report.
+
+    Returns a list of failure strings (empty = pass). Only scenarios present
+    in both reports are compared, so the smoke subset works against a full
+    report.
+    """
+    failures = []
+    if committed is None:
+        return failures  # first run: nothing to compare against
+    for name, data in current["scenarios"].items():
+        baseline = committed.get("scenarios", {}).get(name)
+        if baseline is None:
+            continue
+        for field in ("seconds", "optimized_seconds"):
+            now = data.get(field)
+            then = baseline.get(field)
+            if now is None or then is None or then <= 0:
+                continue
+            if now > then * threshold:
+                failures.append(
+                    f"{name}.{field}: {now:.4f}s > {threshold}x committed "
+                    f"{then:.4f}s"
+                )
+    return failures

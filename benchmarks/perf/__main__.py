@@ -1,0 +1,72 @@
+"""CLI for the perf harness: ``python -m benchmarks.perf [--smoke]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from benchmarks.perf import (
+    REPORT_PATH,
+    check_smoke,
+    load_report,
+    run_benchmarks,
+    write_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.perf",
+        description="Time the simulation hot paths and write BENCH_perf.json.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI subset; compares against the committed report and "
+        "fails on a >2x regression instead of rewriting it",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPORT_PATH,
+        help=f"report path (default: {REPORT_PATH})",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="smoke-mode regression factor (default: 2.0)",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(smoke=args.smoke)
+    print(json.dumps(report["scenarios"], indent=2))
+
+    if args.smoke:
+        committed = load_report(args.output)
+        if committed is None:
+            print(
+                f"no committed report at {args.output}; run a full "
+                "`python -m benchmarks.perf` and commit it first",
+                file=sys.stderr,
+            )
+            return 1
+        failures = check_smoke(report, committed, threshold=args.threshold)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print("smoke ok: no scenario regressed >"
+              f"{args.threshold}x vs {args.output}")
+        return 0
+
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ subtasks finish, results are collected and merged.
 Execution modes:
 
 * ``run(workers=N)`` — real thread pool of N workers draining the MQ.
+* ``run(workers=N, processes=True)`` — pool of N worker *processes*;
+  subtask inputs and results cross the process boundary as pickled store
+  objects, sidestepping the GIL for CPU-bound simulation subtasks.
 * ``run(workers=1)`` then :func:`makespan` — serial execution measuring each
   subtask's true duration, from which the list-scheduling model reports the
   end-to-end time for *any* server count (how the Figure 5(a)/(b) curves are
@@ -17,16 +20,25 @@ Execution modes:
 
 from __future__ import annotations
 
+import concurrent.futures
+import heapq
+import pickle
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.distsim.mq import Message, MessageQueue
 from repro.distsim.partition import OrderingPartitioner, ranges_of_prefixes
 from repro.distsim.storage import ObjectStore
 from repro.distsim.taskdb import FAILED, FINISHED, SubtaskDB, SubtaskRecord
-from repro.distsim.worker import Worker, WorkerConfig, merge_device_ribs
+from repro.distsim.worker import (
+    Worker,
+    WorkerConfig,
+    init_process_worker,
+    merge_device_ribs,
+    run_subtask_in_process,
+)
 from repro.net.model import NetworkModel
 from repro.routing.inputs import InputRoute
 from repro.routing.isis import IgpState, compute_igp
@@ -46,11 +58,15 @@ def makespan(durations: Sequence[float], servers: int) -> float:
     """
     if servers < 1:
         raise ValueError("servers must be >= 1")
+    if not durations:
+        return 0.0
+    # Min-heap of server free times: each message goes to the minimum,
+    # O(n log s) instead of the O(n*s) linear scan per message. A list of
+    # zeros is already a valid heap.
     free_at = [0.0] * servers
     for duration in durations:
-        earliest = min(range(servers), key=lambda i: free_at[i])
-        free_at[earliest] += duration
-    return max(free_at) if durations else 0.0
+        heapq.heapreplace(free_at, free_at[0] + duration)
+    return max(free_at)
 
 
 @dataclass
@@ -118,8 +134,13 @@ class _TaskRunner:
         self.worker_config = worker_config or WorkerConfig()
         self.max_retries = max_retries
 
-    def _drain(self, workers: int, task_ids: List[str]) -> None:
-        """Consume the queue with ``workers`` threads until all finish."""
+    def _drain(
+        self, workers: int, task_ids: List[str], processes: bool = False
+    ) -> None:
+        """Consume the queue until all subtasks finish (threads or processes)."""
+        if processes:
+            self._drain_processes(workers, task_ids)
+            return
         retries: Dict[str, int] = {}
 
         def loop(worker: Worker) -> None:
@@ -162,6 +183,123 @@ class _TaskRunner:
             details = "; ".join(f"{r.subtask_id}: {r.error}" for r in failed[:5])
             raise TaskFailed(f"{len(failed)} subtasks failed permanently ({details})")
 
+    # -- process mode ----------------------------------------------------------
+
+    def _drain_processes(self, workers: int, task_ids: List[str]) -> None:
+        """Consume the queue with a pool of worker processes.
+
+        The store, DB, and MQ live in the master; each job ships the message
+        plus every store object the subtask reads as pickled blobs, and the
+        child's result blob and record fields are applied back here. Failed
+        subtasks are resubmitted by the master (bounded retries), mirroring
+        the thread-mode resend-to-MQ behaviour.
+        """
+        try:
+            context_blob = pickle.dumps(
+                (self.model, self.igp, self.worker_config),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception as exc:
+            raise ValueError(
+                "processes=True requires a picklable model and worker config "
+                "(a closure failure_hook cannot cross the process boundary; "
+                "use a module-level hook or threads instead)"
+            ) from exc
+
+        retries: Dict[str, int] = {}
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=max(1, workers),
+            initializer=init_process_worker,
+            initargs=(context_blob,),
+        ) as pool:
+            pending: Dict[concurrent.futures.Future, Message] = {}
+
+            def submit(message: Message) -> None:
+                job_blob = pickle.dumps(
+                    self._process_job(message), protocol=pickle.HIGHEST_PROTOCOL
+                )
+                pending[pool.submit(run_subtask_in_process, job_blob)] = message
+
+            while True:
+                message = self.mq.pop()
+                if message is None:
+                    break
+                submit(message)
+
+            while pending:
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    message = pending.pop(future)
+                    outcome: Dict[str, Any] = pickle.loads(future.result())
+                    self._apply_outcome(message, outcome)
+                    if outcome["status"] == FAILED:
+                        attempts = retries.get(message.subtask_id, 1)
+                        if attempts >= self.max_retries:
+                            continue  # stays FAILED; surfaced below
+                        retries[message.subtask_id] = attempts + 1
+                        # Mirror thread mode's resend-to-MQ accounting.
+                        self.mq.push(message.retry())
+                        submit(self.mq.pop())
+
+        failed = [r for r in self.db.failed() if r.subtask_id in task_ids]
+        if failed:
+            details = "; ".join(f"{r.subtask_id}: {r.error}" for r in failed[:5])
+            raise TaskFailed(f"{len(failed)} subtasks failed permanently ({details})")
+
+    def _process_job(self, message: Message) -> Dict[str, Any]:
+        """Collect everything a subtask reads from the store into one job."""
+        input_key = message.payload["input_key"]
+        job: Dict[str, Any] = {
+            "message": message,
+            "input_blob": self.store.get_blob(input_key),
+        }
+        if message.kind == "traffic":
+            # Dependency pre-selection happens master-side (the child has no
+            # DB); the child re-runs the overlap check against the shipped
+            # records, which selects exactly this set.
+            selector = Worker(
+                "master-select", self.model, self.igp, self.store, self.db,
+                self.worker_config,
+            )
+            flows = pickle.loads(job["input_blob"])
+            keys = set(selector._select_rib_files(message, flows))
+            records = [
+                record
+                for record in self.db.all(kind="route")
+                if record.result_key in keys
+            ]
+            job["route_records"] = records
+            job["rib_blobs"] = {
+                record.result_key: self.store.get_blob(record.result_key)
+                for record in records
+            }
+        return job
+
+    def _apply_outcome(self, message: Message, outcome: Dict[str, Any]) -> None:
+        """Apply a process-mode subtask outcome to the master store and DB."""
+        if outcome["status"] == FINISHED:
+            self.store.put_blob(outcome["result_key"], outcome["result_blob"])
+            self.db.update(
+                message.subtask_id,
+                status=FINISHED,
+                attempts=message.attempt,
+                duration=outcome["duration"],
+                ranges=outcome["ranges"],
+                cost_units=outcome["cost_units"],
+                loaded_rib_files=outcome["loaded_rib_files"],
+                result_key=outcome["result_key"],
+            )
+        else:
+            self.db.update(
+                message.subtask_id,
+                status=FAILED,
+                attempts=message.attempt,
+                duration=outcome["duration"],
+                error=outcome["error"],
+            )
+
 
 class DistributedRouteSimulation(_TaskRunner):
     """Distributed route simulation (100 subtasks in the paper)."""
@@ -171,6 +309,7 @@ class DistributedRouteSimulation(_TaskRunner):
         input_routes: Sequence[InputRoute],
         subtasks: int = 100,
         workers: int = 1,
+        processes: bool = False,
         partitioner=None,
         task_name: str = "route-task",
     ) -> RouteTaskResult:
@@ -198,7 +337,7 @@ class DistributedRouteSimulation(_TaskRunner):
             )
             task_ids.append(subtask_id)
 
-        self._drain(workers, task_ids)
+        self._drain(workers, task_ids, processes=processes)
 
         rib_maps = [
             self.store.get(record.result_key)
@@ -232,6 +371,7 @@ class DistributedTrafficSimulation(_TaskRunner):
         flows: Sequence[Flow],
         subtasks: int = 128,
         workers: int = 1,
+        processes: bool = False,
         partitioner=None,
         task_name: str = "traffic-task",
     ) -> TrafficTaskResult:
@@ -257,7 +397,7 @@ class DistributedTrafficSimulation(_TaskRunner):
             )
             task_ids.append(subtask_id)
 
-        self._drain(workers, task_ids)
+        self._drain(workers, task_ids, processes=processes)
 
         loads = LinkLoadMap()
         paths: Dict = {}

@@ -45,6 +45,23 @@ class ObjectStore:
         return len(blob)
 
     def get(self, key: str) -> Any:
+        return pickle.loads(self.get_blob(key))
+
+    def put_blob(self, key: str, blob: bytes) -> int:
+        """Store an already-serialized object (process-mode transfers).
+
+        Process workers return their results as pickled bytes; storing the
+        blob as-is avoids a deserialize/re-serialize round trip while keeping
+        the write accounting identical to :meth:`put`.
+        """
+        with self._lock:
+            self._objects[key] = blob
+            self.stats.writes += 1
+            self.stats.bytes_written += len(blob)
+        return len(blob)
+
+    def get_blob(self, key: str) -> bytes:
+        """Fetch the raw serialized bytes of an object (counts as a read)."""
         with self._lock:
             blob = self._objects.get(key)
             if blob is None:
@@ -52,7 +69,7 @@ class ObjectStore:
             self.stats.reads += 1
             self.stats.bytes_read += len(blob)
             self.stats.read_counts[key] = self.stats.read_counts.get(key, 0) + 1
-        return pickle.loads(blob)
+        return blob
 
     def exists(self, key: str) -> bool:
         with self._lock:

@@ -9,13 +9,15 @@ can depend on (the ordering heuristic's payoff, Figure 5(d)).
 
 from __future__ import annotations
 
+import os
+import pickle
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.distsim.mq import Message, MessageQueue
 from repro.distsim.storage import ObjectStore
-from repro.distsim.taskdb import FAILED, FINISHED, RUNNING, SubtaskDB
+from repro.distsim.taskdb import FAILED, FINISHED, RUNNING, SubtaskDB, SubtaskRecord
 from repro.ec.route_ec import compute_prefix_group_ecs, expand_group_rows
 from repro.net.addr import PrefixRange
 from repro.net.model import NetworkModel
@@ -216,3 +218,66 @@ class Worker:
             if overlap:
                 selected.append(record.result_key)
         return selected
+
+
+# -- process-mode execution ----------------------------------------------------
+#
+# ``run(..., processes=True)`` executes subtasks in worker *processes*. The
+# master's store/DB/MQ are not shared across the process boundary; instead
+# each job ships the subtask message plus every store object it needs as
+# pickled blobs, and the child returns its result and DB record fields the
+# same way. The entry points below are module-level so they pickle under any
+# multiprocessing start method (spawn included).
+
+#: per-process (model, igp, worker config), set once by the pool initializer.
+_PROCESS_CONTEXT: Optional[Tuple] = None
+
+
+def init_process_worker(context_blob: bytes) -> None:
+    """Pool initializer: install the shared simulation context."""
+    global _PROCESS_CONTEXT
+    _PROCESS_CONTEXT = pickle.loads(context_blob)
+
+
+def run_subtask_in_process(job_blob: bytes) -> bytes:
+    """Execute one subtask inside a worker process.
+
+    The job carries the message, its input object, and — for traffic
+    subtasks — the route records and RIB result files the master
+    pre-selected. A private store/DB are populated with those objects so the
+    regular :meth:`Worker.handle` path runs unchanged; the resulting record
+    fields and result blob are pickled back to the master.
+    """
+    if _PROCESS_CONTEXT is None:
+        raise RuntimeError("worker process used before init_process_worker")
+    model, igp, config = _PROCESS_CONTEXT
+    job: Dict[str, Any] = pickle.loads(job_blob)
+    message: Message = job["message"]
+
+    store = ObjectStore()
+    db = SubtaskDB()
+    store.put_blob(message.payload["input_key"], job["input_blob"])
+    for record in job.get("route_records", []):
+        db.register(record)
+        store.put_blob(record.result_key, job["rib_blobs"][record.result_key])
+    db.register(SubtaskRecord(subtask_id=message.subtask_id, kind=message.kind))
+
+    worker = Worker(f"proc-{os.getpid()}", model, igp, store, db, config)
+    ok = worker.handle(message)
+    record = db.get(message.subtask_id)
+    result_blob = (
+        store.get_blob(record.result_key) if ok and record.result_key else None
+    )
+    return pickle.dumps(
+        {
+            "status": record.status,
+            "error": record.error,
+            "duration": record.duration,
+            "ranges": record.ranges,
+            "cost_units": record.cost_units,
+            "loaded_rib_files": record.loaded_rib_files,
+            "result_key": record.result_key,
+            "result_blob": result_blob,
+        },
+        protocol=pickle.HIGHEST_PROTOCOL,
+    )

@@ -52,8 +52,13 @@ class RouteEcIndex:
 
     @property
     def reduction_factor(self) -> float:
-        """input routes per simulated route (the paper reports ~4x)."""
-        if not self.classes:
+        """input routes per simulated route (the paper reports ~4x).
+
+        An empty input set (``total_routes == 0``, hence no classes) reduces
+        nothing: the factor is 1.0, never 0.0 — callers divide durations by
+        this value.
+        """
+        if not self.classes or not self.total_routes:
             return 1.0
         return self.total_routes / len(self.classes)
 
@@ -161,7 +166,8 @@ class PrefixGroupEcIndex:
 
     @property
     def reduction_factor(self) -> float:
-        if not self.classes:
+        """prefix groups per simulated group; 1.0 for an empty input set."""
+        if not self.classes or not self.total_groups:
             return 1.0
         return self.total_groups / len(self.classes)
 

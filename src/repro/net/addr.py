@@ -15,13 +15,22 @@ from __future__ import annotations
 
 import ipaddress
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, Optional, Tuple, Union
+
+from repro import perfopts
 
 V4 = 4
 V6 = 6
 
 _MAX_LEN = {V4: 32, V6: 128}
 _MAX_VAL = {V4: (1 << 32) - 1, V6: (1 << 128) - 1}
+
+# Interning tables for parse results (text -> instance). Bounded by a crude
+# clear-on-overflow so pathological workloads cannot grow them without limit;
+# gated by ``perfopts.OPTS.intern_parse``.
+_PARSE_CACHE_LIMIT = 1 << 16
+_ADDRESS_PARSE_CACHE: Dict[str, "IPAddress"] = {}
+_PREFIX_PARSE_CACHE: Dict[str, "Prefix"] = {}
 
 
 def family_bits(family: int) -> int:
@@ -53,17 +62,53 @@ class IPAddress:
 
     @classmethod
     def parse(cls, text: str) -> "IPAddress":
-        """Parse dotted-quad or colon-hex text into an address."""
+        """Parse dotted-quad or colon-hex text into an address.
+
+        Results are interned: repeated parses of the same text share one
+        immutable instance (and its cached string rendering).
+        """
+        if perfopts.OPTS.intern_parse:
+            cached = _ADDRESS_PARSE_CACHE.get(text)
+            if cached is not None:
+                return cached
         addr = ipaddress.ip_address(text.strip())
-        return cls(addr.version, int(addr))
+        result = cls(addr.version, int(addr))
+        if perfopts.OPTS.intern_parse:
+            if len(_ADDRESS_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+                _ADDRESS_PARSE_CACHE.clear()
+            _ADDRESS_PARSE_CACHE[text] = result
+        return result
 
     def __str__(self) -> str:
         return self._text()
 
     def _text(self) -> str:
-        if self.family == V4:
-            return str(ipaddress.IPv4Address(self.value))
-        return str(ipaddress.IPv6Address(self.value))
+        # Rendering through the ipaddress module is surprisingly expensive
+        # and shows up in sort keys and log lines; cache per instance.
+        text = self.__dict__.get("_text_cache")
+        if text is None:
+            if self.family == V4:
+                text = str(ipaddress.IPv4Address(self.value))
+            else:
+                text = str(ipaddress.IPv6Address(self.value))
+            self.__dict__["_text_cache"] = text
+        return text
+
+    def sort_key(self) -> Tuple[int, int]:
+        """Cheap deterministic ordering key (no text rendering)."""
+        return (self.family, self.value)
+
+    def __hash__(self) -> int:
+        # Addresses key IGP-cost caches and adjacency maps; the generated
+        # dataclass hash rebuilds a field tuple per call, so cache it.
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.family, self.value))
+            self.__dict__["_hash"] = h
+        return h
+
+    def __getstate__(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
 
     def __repr__(self) -> str:
         return f"IPAddress({self._text()!r})"
@@ -92,14 +137,35 @@ class Prefix:
             raise ValueError(
                 f"prefix {self.value:#x}/{self.length} has nonzero host bits"
             )
+        # Unique int identity (length needs 8 bits, family flag 1 bit).
+        # Ints hash at C speed, so the simulator keys its internal hot
+        # tables by ``ident`` instead of paying a Python-level
+        # ``Prefix.__hash__`` call per dictionary operation.
+        self.__dict__["ident"] = (
+            self.value << 9 | self.length << 1 | (1 if self.family == V6 else 0)
+        )
 
     # -- construction ------------------------------------------------------
 
     @classmethod
     def parse(cls, text: str) -> "Prefix":
-        """Parse ``"10.0.0.0/24"`` or ``"2001:db8::/32"`` into a prefix."""
+        """Parse ``"10.0.0.0/24"`` or ``"2001:db8::/32"`` into a prefix.
+
+        Results are interned: workloads parse the same prefix strings over
+        and over (route feeds, policy definitions), and sharing one frozen
+        instance also shares its cached hash.
+        """
+        if perfopts.OPTS.intern_parse:
+            cached = _PREFIX_PARSE_CACHE.get(text)
+            if cached is not None:
+                return cached
         net = ipaddress.ip_network(text.strip(), strict=True)
-        return cls(net.version, int(net.network_address), net.prefixlen)
+        result = cls(net.version, int(net.network_address), net.prefixlen)
+        if perfopts.OPTS.intern_parse:
+            if len(_PREFIX_PARSE_CACHE) >= _PARSE_CACHE_LIMIT:
+                _PREFIX_PARSE_CACHE.clear()
+            _PREFIX_PARSE_CACHE[text] = result
+        return result
 
     @classmethod
     def from_address(cls, address: IPAddress, length: Optional[int] = None) -> "Prefix":
@@ -191,6 +257,28 @@ class Prefix:
         requirement that routes with the same prefix land in the same subtask.
         """
         return (self.family, self.last_value, self.length)
+
+    def sort_key(self) -> Tuple[int, int, int]:
+        """Cheap deterministic ordering key (no text rendering).
+
+        Matches ``__lt__``'s ``(family, value, length)`` order; hot paths
+        that only need *a* deterministic order use this instead of
+        ``str(prefix)``, which would round-trip the ipaddress module.
+        """
+        return (self.family, self.value, self.length)
+
+    def __hash__(self) -> int:
+        # Prefixes key every RIB table, adjacency slot, and worklist in the
+        # simulator; the generated dataclass hash rebuilds a field tuple per
+        # call, so cache it (equal prefixes hash equal either way).
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash((self.family, self.value, self.length))
+            self.__dict__["_hash"] = h
+        return h
+
+    def __getstate__(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
 
     def __str__(self) -> str:
         return f"{self.first_address._text()}/{self.length}"

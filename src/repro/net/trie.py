@@ -122,6 +122,30 @@ class PrefixTrie(Generic[V]):
                 found.append((Prefix.from_address(address, i + 1), list(node.values)))
         return found
 
+    def covering_values(self, prefix: Prefix) -> List[V]:
+        """Values stored at prefixes that contain ``prefix`` (including equal).
+
+        Walk order is shortest prefix first; values under one prefix keep
+        insertion order. This is the O(prefix-length) primitive behind the
+        compiled prefix-list filters: every prefix-list entry that could
+        match a candidate prefix lies on the candidate's bit path.
+        """
+        node = self._roots.get(prefix.family)
+        if node is None:
+            return []
+        bits = prefix.bits
+        found: List[V] = []
+        if node.values:
+            found.extend(node.values)
+        value = prefix.value
+        for i in range(prefix.length):
+            node = node.children[(value >> (bits - 1 - i)) & 1]
+            if node is None:
+                break
+            if node.values:
+                found.extend(node.values)
+        return found
+
     def covering_prefixes(self, prefix: Prefix) -> List[Prefix]:
         """Stored prefixes that contain ``prefix`` (including equal)."""
         node = self._roots.get(prefix.family)

@@ -1,0 +1,80 @@
+"""Global switches for the hot-path optimizations.
+
+The simulation core carries several caching layers (policy-result
+memoization, compiled prefix-list tries, per-run IGP-cost memoization,
+parse-time interning of addresses and prefixes). They are all *semantically
+transparent*: enabled or disabled, a simulation must produce byte-identical
+RIBs and statistics. This module is the single switchboard that turns them
+off, which exists for two reasons:
+
+* the perf harness (``benchmarks/perf``) measures the unoptimized baseline
+  by disabling the caches, so ``BENCH_perf.json`` carries true
+  before/after numbers on the same code revision; and
+* the soundness test suite re-runs seeded simulations with every cache
+  disabled and asserts the results are identical to the cached run.
+
+Use :func:`all_disabled` as a context manager, or flip individual flags on
+:data:`OPTS` (tests should always restore them).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from typing import Iterator
+
+
+@dataclass
+class PerfOptions:
+    """Feature flags for each optimization layer (all on by default)."""
+
+    #: memoize ``apply_policy`` results per policy context
+    policy_cache: bool = True
+    #: compile large prefix lists into a binary trie for O(prefix-length)
+    #: matching instead of a linear entry scan
+    policy_trie: bool = True
+    #: memoize next-hop IGP-cost resolution per BGP run
+    igp_cost_cache: bool = True
+    #: intern ``Prefix.parse`` / ``IPAddress.parse`` results
+    intern_parse: bool = True
+
+
+#: The process-wide option set consulted by the hot paths.
+OPTS = PerfOptions()
+
+
+def reset() -> None:
+    """Restore every flag to its default (all optimizations on)."""
+    defaults = PerfOptions()
+    for f in fields(PerfOptions):
+        setattr(OPTS, f.name, getattr(defaults, f.name))
+
+
+@contextmanager
+def all_disabled() -> Iterator[PerfOptions]:
+    """Temporarily disable every optimization layer."""
+    saved = {f.name: getattr(OPTS, f.name) for f in fields(PerfOptions)}
+    try:
+        for name in saved:
+            setattr(OPTS, name, False)
+        yield OPTS
+    finally:
+        for name, value in saved.items():
+            setattr(OPTS, name, value)
+
+
+@contextmanager
+def configured(**flags: bool) -> Iterator[PerfOptions]:
+    """Temporarily set the given flags (by field name)."""
+    valid = {f.name for f in fields(PerfOptions)}
+    unknown = set(flags) - valid
+    if unknown:
+        raise ValueError(f"unknown perf option(s): {sorted(unknown)}")
+    saved = {name: getattr(OPTS, name) for name in flags}
+    try:
+        for name, value in flags.items():
+            setattr(OPTS, name, value)
+        yield OPTS
+    finally:
+        for name, value in saved.items():
+            setattr(OPTS, name, value)

@@ -14,7 +14,7 @@ stay interchangeable throughout the simulation.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
 from repro.net.addr import IPAddress, Prefix
@@ -76,8 +76,26 @@ class Route:
     flags: FrozenSet[str] = frozenset()
 
     def evolve(self, **changes) -> "Route":
-        """Return a copy with the given attribute changes."""
-        return replace(self, **changes)
+        """Return a copy with the given attribute changes.
+
+        Equivalent to ``dataclasses.replace`` but without re-running the
+        generated ``__init__`` — route copies happen per delivered message
+        in the BGP fixpoint and ``replace`` dominated its profile. ``Route``
+        has no ``__post_init__`` validation, so a direct field copy is safe.
+        """
+        unknown = changes.keys() - _ROUTE_FIELDS
+        if unknown:
+            raise TypeError(f"unknown Route field(s): {sorted(unknown)}")
+        clone = object.__new__(Route)
+        state = clone.__dict__
+        state.update(self.__dict__)
+        # Cached derivatives (hash, attribute/canonical keys) are stale on
+        # the clone; drop them so they recompute lazily.
+        state.pop("_hash", None)
+        state.pop("_attribute_key", None)
+        state.pop("_canonical_key", None)
+        state.update(changes)
+        return clone
 
     # -- helpers used by policies and RCL ------------------------------------
 
@@ -104,19 +122,70 @@ class Route:
 
     def attribute_key(self) -> Tuple:
         """The BGP-attribute identity used for route-EC grouping (§3.1)."""
-        return (
-            self.nexthop,
-            self.as_path,
-            self.origin,
-            self.local_pref,
-            self.med,
-            tuple(sorted(self.communities)),
-            self.weight,
-            self.preference,
-            self.protocol,
-            self.source,
-            tuple(sorted(self.flags)),
-        )
+        key = self.__dict__.get("_attribute_key")
+        if key is None:
+            key = (
+                self.nexthop,
+                self.as_path,
+                self.origin,
+                self.local_pref,
+                self.med,
+                tuple(sorted(self.communities)),
+                self.weight,
+                self.preference,
+                self.protocol,
+                self.source,
+                tuple(sorted(self.flags)),
+            )
+            self.__dict__["_attribute_key"] = key
+        return key
+
+    def canonical_key(self) -> Tuple:
+        """The full-identity key of this route (every field, hashable).
+
+        Two routes with equal canonical keys are indistinguishable to any
+        pure function of the route — this is what the policy-result memo
+        cache keys on. Unlike :meth:`attribute_key` it also carries the
+        prefix, injection point, aggregator, and IGP cost.
+        """
+        key = self.__dict__.get("_canonical_key")
+        if key is None:
+            key = (
+                self.prefix,
+                self.origin_router,
+                self.origin_vrf,
+                self.aggregator,
+                self.igp_cost,
+                self.attribute_key(),
+            )
+            self.__dict__["_canonical_key"] = key
+        return key
+
+    def __hash__(self) -> int:
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = hash(self.canonical_key())
+            self.__dict__["_hash"] = h
+        return h
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if other.__class__ is not Route:
+            return NotImplemented
+        # Routes are compared constantly (adjacency slots, advertisement
+        # dedup); the cached hash rejects most mismatches in O(1), and the
+        # cached canonical key — which covers every field (communities and
+        # flags as sorted tuples) — settles the rest with one C-level tuple
+        # comparison.
+        if hash(self) != hash(other):
+            return False
+        return self.canonical_key() == other.canonical_key()
+
+    def __getstate__(self) -> dict:
+        # Drop cached keys/hash: Python string hashes are per-process, so a
+        # pickled cache would be wrong in another interpreter (process mode).
+        return {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
 
     def __str__(self) -> str:
         nh = str(self.nexthop) if self.nexthop else "-"
@@ -125,3 +194,7 @@ class Route:
             f"{self.prefix} nh={nh} lp={self.local_pref} med={self.med} "
             f"aspath=[{self.as_path_str()}] comm={comms} src={self.source}"
         )
+
+
+#: Field-name set used by :meth:`Route.evolve` for its fast copy path.
+_ROUTE_FIELDS = frozenset(f.name for f in Route.__dataclass_fields__.values())

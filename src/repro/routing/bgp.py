@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro import perfopts
 from repro.net.addr import IPAddress, Prefix
 from repro.net.device import BgpPeerConfig, DeviceConfig, GLOBAL_VRF
 from repro.net.model import NetworkModel
@@ -30,7 +31,7 @@ from repro.routing.attributes import (
     SOURCE_LOCAL,
     Route,
 )
-from repro.routing.decision import Candidate, Selection, select_best
+from repro.routing.decision import Candidate, Selection, make_candidate, select_best
 from repro.routing.inputs import InputRoute
 from repro.routing.isis import IgpState, INFINITY
 from repro.routing.sr import effective_igp_cost
@@ -73,6 +74,20 @@ class Session:
     sender_cfg: BgpPeerConfig
     receiver_cfg: BgpPeerConfig
 
+    def __post_init__(self) -> None:
+        # Egress processing is fully determined by these sender-side
+        # parameters; sessions with an equal class advertise identical
+        # route sets, which _advertise exploits to compute adverts once
+        # per class instead of once per session.
+        cfg = self.sender_cfg
+        self.__dict__["egress_class"] = (
+            self.ebgp,
+            cfg.export_policy,
+            cfg.next_hop_self,
+            cfg.route_reflector_client,
+            cfg.addpath,
+        )
+
     @property
     def key(self) -> Tuple[str, str, str, str]:
         return (self.sender, self.sender_vrf, self.receiver, self.receiver_vrf)
@@ -88,6 +103,17 @@ def build_sessions(model: NetworkModel, igp: IgpState) -> List[Session]:
     """
     sessions: List[Session] = []
     topology = model.topology
+    # Per-device reverse-peer index keyed by (peer name, remote asn). The
+    # naive inner scan made session derivation O(devices x peers^2); the
+    # index keeps the first matching enabled peer config, preserving the
+    # original first-match semantics.
+    peer_index: Dict[str, Dict[Tuple[str, int], BgpPeerConfig]] = {}
+    for device in model.devices.values():
+        index: Dict[Tuple[str, int], BgpPeerConfig] = {}
+        for q in device.peers:
+            if q.enabled:
+                index.setdefault((q.peer, q.remote_asn), q)
+        peer_index[device.name] = index
     for device in model.devices.values():
         if not topology.router_is_up(device.name):
             continue
@@ -104,16 +130,7 @@ def build_sessions(model: NetworkModel, igp: IgpState) -> List[Session]:
                 continue
             if pc.remote_asn != peer_device.asn:
                 continue
-            qc = next(
-                (
-                    q
-                    for q in peer_device.peers
-                    if q.peer == device.name
-                    and q.enabled
-                    and q.remote_asn == device.asn
-                ),
-                None,
-            )
+            qc = peer_index[pc.peer].get((device.name, device.asn))
             if qc is None:
                 continue
             ebgp = device.asn != peer_device.asn
@@ -138,6 +155,48 @@ def build_sessions(model: NetworkModel, igp: IgpState) -> List[Session]:
                 )
             )
     return sessions
+
+
+class DirtyWorklist:
+    """Deduplicating worklist of dirty ``(device, vrf, prefix)`` slots.
+
+    ``drain()`` hands back the pending slots in a deterministic order —
+    device name, VRF, then numeric prefix identity — so fixpoint rounds stay
+    reproducible without rendering every prefix to text the way the old
+    ``sorted(dirty, key=...str(prefix))`` did.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        # Deduplicated by (device, vrf, prefix.ident) — an all-C-hash key —
+        # mapping back to the original slot tuple.
+        self._pending: Dict[Tuple[str, str, int], Tuple[str, str, Prefix]] = {}
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __bool__(self) -> bool:
+        return bool(self._pending)
+
+    def add(self, item: Tuple[str, str, Prefix]) -> None:
+        self._pending[(item[0], item[1], item[2].ident)] = item
+
+    def update(self, items: Iterable[Tuple[str, str, Prefix]]) -> None:
+        pending = self._pending
+        for item in items:
+            pending[(item[0], item[1], item[2].ident)] = item
+
+    @staticmethod
+    def _key(item: Tuple[str, str, Prefix]) -> Tuple:
+        device, vrf, prefix = item
+        return (device, vrf, prefix.family, prefix.value, prefix.length)
+
+    def drain(self) -> List[Tuple[str, str, Prefix]]:
+        """Remove and return all pending slots in deterministic order."""
+        items = sorted(self._pending.values(), key=self._key)
+        self._pending.clear()
+        return items
 
 
 @dataclass
@@ -180,21 +239,36 @@ class BgpSimulator:
         self.igp = igp
         self.max_rounds = max_rounds
         self.sessions = build_sessions(model, igp)
-        self._sessions_from: Dict[str, List[Session]] = {}
+        # Indexed by (sender, sender_vrf): _advertise previously filtered a
+        # per-sender list by VRF on every dirty slot.
+        self._sessions_from: Dict[Tuple[str, str], List[Session]] = {}
         for session in self.sessions:
-            self._sessions_from.setdefault(session.sender, []).append(session)
+            self._sessions_from.setdefault(
+                (session.sender, session.sender_vrf), []
+            ).append(session)
 
         # Mutable per-run state.
-        # adj-rib-in indexed device -> (vrf, prefix) -> sender -> candidates,
-        # so decision recomputation touches only the affected slot.
+        # adj-rib-in indexed device -> (vrf, prefix.ident) -> sender ->
+        # candidates, so decision recomputation touches only the affected
+        # slot. Internal tables key prefixes by their int ``ident`` (a
+        # C-speed hash); the Prefix-keyed observable views (``selections``,
+        # ``suppressed``, per-prefix message counts) are materialized once at
+        # the end of ``run()``.
         self._adj_in: Dict[
-            str, Dict[LocKey, Dict[str, Tuple[Candidate, ...]]]
+            str, Dict[Tuple[str, int], Dict[str, Tuple[Candidate, ...]]]
         ] = {}
-        self._inputs: Dict[str, Dict[LocKey, List[Candidate]]] = {}
-        self._derived: Dict[str, Dict[LocKey, List[Candidate]]] = {}
-        self._locs: Dict[str, Dict[LocKey, Selection]] = {}
+        self._inputs: Dict[str, Dict[Tuple[str, int], List[Candidate]]] = {}
+        self._derived: Dict[str, Dict[Tuple[str, int], List[Candidate]]] = {}
+        self._locs: Dict[str, Dict[Tuple[str, int], Selection]] = {}
         self._suppressed: Dict[str, Dict[str, Set[Prefix]]] = {}
-        self._last_sent: Dict[Tuple, Tuple] = {}
+        # id(session) -> prefix.ident -> last advertised route tuple
+        self._last_sent: Dict[int, Dict[int, Tuple[Route, ...]]] = {}
+        self._igp_cost_cache: Dict[Tuple[str, IPAddress], int] = {}
+        # prefix.ident -> delivered message count / representative Prefix
+        self._pm_count: Dict[int, int] = {}
+        self._pm_prefix: Dict[int, Prefix] = {}
+        # Snapshot of the igp_cost_cache flag, refreshed per run by _reset.
+        self._igp_cache_on = perfopts.OPTS.igp_cost_cache
         self._stats = BgpStats()
 
     # -- public API -----------------------------------------------------------
@@ -202,36 +276,57 @@ class BgpSimulator:
     def run(self, input_routes: Iterable[InputRoute]) -> BgpResult:
         """Simulate the propagation of the input routes to a fixpoint."""
         self._reset()
-        dirty: Set[Tuple[str, str, Prefix]] = set()
+        dirty: Dict[Tuple[str, str, int], Tuple[str, str, Prefix]] = {}
         for item in input_routes:
             if item.router not in self.model.devices:
                 continue
-            key = (item.vrf, item.route.prefix)
+            prefix = item.route.prefix
             route = item.route
             if route.source == SOURCE_EBGP and route.igp_cost == 0:
                 # External routes resolve directly out of the AS border.
                 route = route.evolve(igp_cost=0)
             candidate = Candidate(route=route, from_peer="")
-            self._inputs.setdefault(item.router, {}).setdefault(key, []).append(
-                candidate
+            self._inputs.setdefault(item.router, {}).setdefault(
+                (item.vrf, prefix.ident), []
+            ).append(candidate)
+            dirty[(item.router, item.vrf, prefix.ident)] = (
+                item.router,
+                item.vrf,
+                prefix,
             )
-            dirty.add((item.router,) + key)
 
-        for device, vrf, prefix in set(dirty):
+        for device, vrf, prefix in dirty.values():
             self._recompute(device, vrf, prefix)
-        dirty |= self._settle_local({d for d, _, _ in dirty})
 
+        worklist = DirtyWorklist()
+        worklist.update(dirty.values())
+        worklist.update(self._settle_local({d for d, _, _ in dirty.values()}))
         rounds = 0
-        while dirty:
+        while worklist:
             rounds += 1
             if rounds > self.max_rounds:
                 self._stats.converged = False
                 break
-            deliveries = self._advertise(dirty)
-            dirty = self._deliver(deliveries)
+            deliveries = self._advertise(worklist.drain())
+            worklist.update(self._deliver(deliveries))
         self._stats.rounds = rounds
+        # Materialize the Prefix-keyed observable views. Every candidate in a
+        # slot carries the slot's prefix, so the key's Prefix is recovered
+        # from the selection itself; per-prefix message counts were
+        # accumulated by ident alongside a representative Prefix.
+        self._stats.prefix_messages = {
+            self._pm_prefix[ident]: count
+            for ident, count in self._pm_count.items()
+        }
+        selections: Dict[str, Dict[LocKey, Selection]] = {
+            device: {
+                (key[0], sel.best.route.prefix): sel
+                for key, sel in locs.items()
+            }
+            for device, locs in self._locs.items()
+        }
         return BgpResult(
-            selections=self._locs,
+            selections=selections,
             suppressed=self._suppressed,
             stats=self._stats,
         )
@@ -245,10 +340,14 @@ class BgpSimulator:
         self._locs = {}
         self._suppressed = {}
         self._last_sent = {}
+        self._igp_cost_cache = {}
+        self._pm_count = {}
+        self._pm_prefix = {}
+        self._igp_cache_on = perfopts.OPTS.igp_cost_cache
         self._stats = BgpStats()
 
     def _candidates(self, device: str, vrf: str, prefix: Prefix) -> List[Candidate]:
-        key = (vrf, prefix)
+        key = (vrf, prefix.ident)
         found: List[Candidate] = []
         found.extend(self._inputs.get(device, {}).get(key, []))
         found.extend(self._derived.get(device, {}).get(key, []))
@@ -258,7 +357,7 @@ class BgpSimulator:
 
     def _recompute(self, device: str, vrf: str, prefix: Prefix) -> bool:
         """Re-run decision; True if the multipath selection changed."""
-        key = (vrf, prefix)
+        key = (vrf, prefix.ident)
         candidates = self._candidates(device, vrf, prefix)
         locs = self._locs.setdefault(device, {})
         old = locs.get(key)
@@ -267,7 +366,7 @@ class BgpSimulator:
                 return False
             del locs[key]
             return True
-        config = self.model.device(device)
+        config = self.model.devices[device]
         max_paths = config.max_paths
         if vrf != GLOBAL_VRF and not config.vendor.subview_inherits_options:
             # "Inheriting views" VSB: on vendors whose sub-views do not
@@ -277,44 +376,83 @@ class BgpSimulator:
         locs[key] = selection
         if old is None:
             return True
-        return [c.route for c in old.multipath] != [
-            c.route for c in selection.multipath
-        ]
+        # Route-level multipath comparison without materializing the
+        # old/new multipath lists (Route.__eq__ short-circuits on identity).
+        if old.best.route != selection.best.route:
+            return True
+        if len(old.ecmp) != len(selection.ecmp):
+            return True
+        for prev, new in zip(old.ecmp, selection.ecmp):
+            if prev.route != new.route:
+                return True
+        return False
 
     # -- advertisement -------------------------------------------------------------
 
     def _advertise(
-        self, dirty: Set[Tuple[str, str, Prefix]]
+        self, dirty: Sequence[Tuple[str, str, Prefix]]
     ) -> List[Tuple[Session, Prefix, Tuple[Route, ...]]]:
+        """Advertise the (already deterministically ordered) dirty slots."""
         deliveries: List[Tuple[Session, Prefix, Tuple[Route, ...]]] = []
-        for device, vrf, prefix in sorted(
-            dirty, key=lambda k: (k[0], k[1], str(k[2]))
-        ):
-            for session in self._sessions_from.get(device, []):
-                if session.sender_vrf != vrf:
-                    continue
-                routes = self._advert_routes(session, vrf, prefix)
-                sent_key = session.key + (prefix,)
-                if self._last_sent.get(sent_key, ()) != routes:
-                    self._last_sent[sent_key] = routes
+        last_sent = self._last_sent
+        sessions_from = self._sessions_from
+        devices = self.model.devices
+        locs = self._locs
+        suppressed_all = self._suppressed
+        for device, vrf, prefix in dirty:
+            sessions = sessions_from.get((device, vrf), ())
+            if not sessions:
+                continue
+            dev = devices[device]
+            vendor = dev.vendor
+            if dev.isolated and vendor.isolation_via_policy:
+                # Policy-style isolation: sessions stay up but advertise
+                # nothing (the device still *learns* routes — the observable
+                # difference from config-style isolation).
+                selection = None
+            else:
+                selection = locs.get(device, {}).get((vrf, prefix.ident))
+                if selection is not None and prefix in suppressed_all.get(
+                    device, {}
+                ).get(vrf, ()):
+                    selection = None
+            # An RR fans identical adverts out to every client: sessions
+            # sharing an egress class advertise the same route set, so the
+            # egress computation runs once per class per dirty slot.
+            by_class: Dict[Tuple, Tuple[Route, ...]] = {}
+            for session in sessions:
+                if selection is None:
+                    routes = ()
+                else:
+                    routes = by_class.get(session.egress_class)
+                    if routes is None:
+                        routes = self._advert_routes(session, dev, vendor, selection)
+                        by_class[session.egress_class] = routes
+                # Per-session sub-dict keyed by the session's id: sessions
+                # are held alive by self.sessions, and an int key plus a
+                # prefix key hash far cheaper than a 5-tuple of strings.
+                sent = last_sent.get(id(session))
+                if sent is None:
+                    sent = {}
+                    last_sent[id(session)] = sent
+                ident = prefix.ident
+                if sent.get(ident, ()) != routes:
+                    sent[ident] = routes
                     deliveries.append((session, prefix, routes))
         return deliveries
 
     def _advert_routes(
-        self, session: Session, vrf: str, prefix: Prefix
+        self,
+        session: Session,
+        device: DeviceConfig,
+        vendor,
+        selection: Selection,
     ) -> Tuple[Route, ...]:
-        device = self.model.device(session.sender)
-        vendor = device.vendor
-        if device.isolated and vendor.isolation_via_policy:
-            # Policy-style isolation: sessions stay up but advertise nothing
-            # (the device still *learns* routes — the observable difference
-            # from config-style isolation).
-            return ()
-        selection = self._locs.get(session.sender, {}).get((vrf, prefix))
-        if selection is None:
-            return ()
-        if prefix in self._suppressed.get(session.sender, {}).get(vrf, set()):
-            return ()
+        """Egress route set for one session class of an unsuppressed slot.
+
+        The caller (``_advertise``) resolves the device, its isolation
+        state, the selection, and aggregate suppression once per dirty slot.
+        """
         adverts: List[Route] = []
         for candidate in selection.multipath[: max(1, session.sender_cfg.addpath)]:
             route = candidate.route
@@ -324,50 +462,80 @@ class BgpSimulator:
             if not session.ebgp and route.source == SOURCE_IBGP:
                 if not (candidate.from_client or session.sender_cfg.route_reflector_client):
                     continue
-            # /32 direct-route advertisement VSB
-            if "direct32" in route.flags and not vendor.sends_direct_slash32_to_peer:
-                continue
+            out = self._export_transform(session, device, vendor, route)
+            if out is not None:
+                adverts.append(out)
+        return tuple(adverts)
+
+    def _export_transform(
+        self, session: Session, device: DeviceConfig, vendor, route: Route
+    ) -> Optional[Route]:
+        """Egress policy + attribute rewrite for one route on one session."""
+        # /32 direct-route advertisement VSB
+        if "direct32" in route.flags and not vendor.sends_direct_slash32_to_peer:
+            return None
+        policy_name = session.sender_cfg.export_policy
+        if policy_name is None:
+            # Missing export policy permits unconditionally on every
+            # modelled vendor (see _session_policy); skip the call and the
+            # PolicyResult allocation on this very hot default path.
+            out = route
+            aspath_overwritten = False
+        else:
             result = _session_policy(
-                session.sender_cfg.export_policy,
+                policy_name,
                 route,
                 device.policy_ctx,
                 ebgp=session.ebgp,
                 direction="export",
             )
             if not result.permitted:
-                continue
+                return None
             out = result.route
-            if session.ebgp:
-                if not result.aspath_overwritten or vendor.adds_own_asn_after_overwrite:
-                    out = out.prepend_as_path(device.asn)
-                nexthop = self.model.loopback_of(device.name)
+            aspath_overwritten = result.aspath_overwritten
+        if session.ebgp:
+            nexthop = self.model.loopback_of(device.name)
+            if not aspath_overwritten or vendor.adds_own_asn_after_overwrite:
+                out = out.evolve(
+                    as_path=(device.asn,) + out.as_path, nexthop=nexthop
+                )
+            else:
                 out = out.evolve(nexthop=nexthop)
-            elif session.sender_cfg.next_hop_self or out.nexthop is None:
-                # next-hop-self, or a locally injected route without a next
-                # hop yet: the sender becomes the next hop.
-                out = out.evolve(nexthop=self.model.loopback_of(device.name))
-            adverts.append(out)
-        return tuple(adverts)
+        elif session.sender_cfg.next_hop_self or out.nexthop is None:
+            # next-hop-self, or a locally injected route without a next
+            # hop yet: the sender becomes the next hop.
+            out = out.evolve(nexthop=self.model.loopback_of(device.name))
+        return out
 
     # -- delivery / ingress ------------------------------------------------------------
 
     def _deliver(
         self, deliveries: Sequence[Tuple[Session, Prefix, Tuple[Route, ...]]]
-    ) -> Set[Tuple[str, str, Prefix]]:
-        touched: Set[Tuple[str, str, Prefix]] = set()
+    ) -> List[Tuple[str, str, Prefix]]:
+        # Keyed by (receiver, vrf, prefix.ident) — C-speed hashes — mapping
+        # back to the slot tuple carried through the rest of the round.
+        touched: Dict[Tuple[str, str, int], Tuple[str, str, Prefix]] = {}
+        pm_count = self._pm_count
+        pm_prefix = self._pm_prefix
+        devices = self.model.devices
+        adj_all = self._adj_in
+        ingress = self._ingress
         for session, prefix, routes in deliveries:
-            self._stats.messages += 1
-            self._stats.prefix_messages[prefix] = (
-                self._stats.prefix_messages.get(prefix, 0) + 1
-            )
-            receiver = self.model.device(session.receiver)
+            ident = prefix.ident
+            count = pm_count.get(ident)
+            if count is None:
+                pm_count[ident] = 1
+                pm_prefix[ident] = prefix
+            else:
+                pm_count[ident] = count + 1
+            receiver = devices[session.receiver]
             accepted: List[Candidate] = []
             for path_id, route in enumerate(routes):
-                candidate = self._ingress(session, receiver, route, path_id)
+                candidate = ingress(session, receiver, route, path_id)
                 if candidate is not None:
                     accepted.append(candidate)
-            adj = self._adj_in.setdefault(session.receiver, {})
-            slot = adj.setdefault((session.receiver_vrf, prefix), {})
+            adj = adj_all.setdefault(session.receiver, {})
+            slot = adj.setdefault((session.receiver_vrf, ident), {})
             old = slot.get(session.sender, ())
             new = tuple(accepted)
             if old == new:
@@ -376,13 +544,20 @@ class BgpSimulator:
                 slot[session.sender] = new
             else:
                 slot.pop(session.sender, None)
-            touched.add((session.receiver, session.receiver_vrf, prefix))
+            touched[(session.receiver, session.receiver_vrf, ident)] = (
+                session.receiver,
+                session.receiver_vrf,
+                prefix,
+            )
+        self._stats.messages += len(deliveries)
 
-        dirty: Set[Tuple[str, str, Prefix]] = set()
-        for device, vrf, prefix in touched:
+        # `touched` is already deduplicated, so the changed slots form a
+        # plain list; the worklist dedups against the settle results.
+        dirty: List[Tuple[str, str, Prefix]] = []
+        for device, vrf, prefix in touched.values():
             if self._recompute(device, vrf, prefix):
-                dirty.add((device, vrf, prefix))
-        dirty |= self._settle_local({d for d, _, _ in dirty})
+                dirty.append((device, vrf, prefix))
+        dirty.extend(self._settle_local({d for d, _, _ in dirty}))
         return dirty
 
     def _settle_local(self, devices: Set[str]) -> Set[Tuple[str, str, Prefix]]:
@@ -419,37 +594,62 @@ class BgpSimulator:
         if session.ebgp:
             if receiver.asn in route.as_path:
                 return None  # AS loop prevention
-            route = route.evolve(local_pref=100)  # local pref not transitive
-        result = _session_policy(
-            session.receiver_cfg.import_policy,
-            route,
-            receiver.policy_ctx,
-            ebgp=session.ebgp,
-            direction="import",
-        )
-        if not result.permitted:
-            return None
-        processed = result.route
+            if route.local_pref != 100:
+                route = route.evolve(local_pref=100)  # local pref not transitive
+        policy_name = session.receiver_cfg.import_policy
+        if policy_name is None and not session.ebgp:
+            # Missing iBGP import policy permits unconditionally on every
+            # modelled vendor (the missing-policy VSB is an eBGP-import
+            # question); skip the call on this very hot default path.
+            processed = route
+        else:
+            result = _session_policy(
+                policy_name,
+                route,
+                receiver.policy_ctx,
+                ebgp=session.ebgp,
+                direction="import",
+            )
+            if not result.permitted:
+                return None
+            processed = result.route
         source = SOURCE_EBGP if session.ebgp else SOURCE_IBGP
         ebgp_pref, ibgp_pref = vendor.default_bgp_preference
-        processed = processed.evolve(
-            source=source,
-            protocol=PROTO_BGP,
-            preference=ebgp_pref if session.ebgp else ibgp_pref,
-            igp_cost=self._resolve_igp_cost(receiver, processed.nexthop),
-        )
-        return Candidate(
+        preference = ebgp_pref if session.ebgp else ibgp_pref
+        # Inlined _resolve_igp_cost: one memo lookup per accepted route.
+        nexthop = processed.nexthop
+        if nexthop is None:
+            igp_cost = 0
+        elif self._igp_cache_on:
+            cache_key = (receiver.name, nexthop)
+            igp_cost = self._igp_cost_cache.get(cache_key)
+            if igp_cost is None:
+                igp_cost = self._resolve_igp_cost_uncached(receiver, nexthop)
+                self._igp_cost_cache[cache_key] = igp_cost
+        else:
+            igp_cost = self._resolve_igp_cost_uncached(receiver, nexthop)
+        if (
+            processed.source != source
+            or processed.protocol != PROTO_BGP
+            or processed.preference != preference
+            or processed.igp_cost != igp_cost
+        ):
+            processed = processed.evolve(
+                source=source,
+                protocol=PROTO_BGP,
+                preference=preference,
+                igp_cost=igp_cost,
+            )
+        return make_candidate(
             route=processed,
             from_peer=session.sender,
             from_client=session.receiver_cfg.route_reflector_client,
             path_id=path_id,
         )
 
-    def _resolve_igp_cost(
-        self, device: DeviceConfig, nexthop: Optional[IPAddress]
+    def _resolve_igp_cost_uncached(
+        self, device: DeviceConfig, nexthop: IPAddress
     ) -> int:
-        if nexthop is None:
-            return 0
         owner = self.model.owner_of_address(nexthop)
         if owner is None:
             return UNREACHABLE_COST
@@ -465,18 +665,21 @@ class BgpSimulator:
     def _refresh_derived(self, device: str) -> Set[Tuple[str, str, Prefix]]:
         """Recompute aggregates and leaks on a device after loc changes."""
         config = self.model.device(device)
-        derived: Dict[LocKey, List[Candidate]] = {}
+        derived: Dict[Tuple[str, int], List[Candidate]] = {}
         suppressed: Dict[str, Set[Prefix]] = {}
         locs = self._locs.get(device, {})
 
-        # Aggregation (§3.1: prefixes trigger aggregate prefixes on devices)
+        # Aggregation (§3.1: prefixes trigger aggregate prefixes on devices).
+        # Loc keys are (vrf, prefix.ident); every candidate in a slot carries
+        # the slot's prefix, so it is recovered from the best route.
         for agg in config.aggregates:
+            agg_ident = agg.prefix.ident
             contributors = [
                 selection
-                for (vrf, prefix), selection in locs.items()
+                for (vrf, ident), selection in locs.items()
                 if vrf == agg.vrf
-                and prefix != agg.prefix
-                and agg.prefix.contains_prefix(prefix)
+                and ident != agg_ident
+                and agg.prefix.contains_prefix(selection.best.route.prefix)
                 and not any(c.route.aggregator == device for c in selection.multipath)
             ]
             if not contributors:
@@ -501,18 +704,16 @@ class BgpSimulator:
                 aggregator=device,
                 nexthop=self.model.loopback_of(device),
             )
-            derived.setdefault((agg.vrf, agg.prefix), []).append(
+            derived.setdefault((agg.vrf, agg.prefix.ident), []).append(
                 Candidate(route=agg_route, from_peer="")
             )
             if agg.summary_only:
                 marks = suppressed.setdefault(agg.vrf, set())
-                for (vrf, prefix) in locs:
-                    if (
-                        vrf == agg.vrf
-                        and prefix != agg.prefix
-                        and agg.prefix.contains_prefix(prefix)
-                    ):
-                        marks.add(prefix)
+                for (vrf, ident), selection in locs.items():
+                    if vrf == agg.vrf and ident != agg_ident:
+                        prefix = selection.best.route.prefix
+                        if agg.prefix.contains_prefix(prefix):
+                            marks.add(prefix)
 
         # VRF route leaking by route-target intersection
         vrf_list = list(config.vrfs.values())
@@ -522,7 +723,7 @@ class BgpSimulator:
                     continue
                 if not (src_vrf.export_rts & dst_vrf.import_rts):
                     continue
-                for (vrf, prefix), selection in locs.items():
+                for (vrf, ident), selection in locs.items():
                     if vrf != src_vrf.name:
                         continue
                     for candidate in selection.multipath:
@@ -546,7 +747,7 @@ class BgpSimulator:
                             if not result.permitted:
                                 continue
                             leaked_route = result.route
-                        derived.setdefault((dst_vrf.name, prefix), []).append(
+                        derived.setdefault((dst_vrf.name, ident), []).append(
                             Candidate(
                                 route=leaked_route.evolve(origin_vrf=src_vrf.name),
                                 from_peer=f"leak:{src_vrf.name}",
@@ -558,8 +759,13 @@ class BgpSimulator:
         old_suppressed = self._suppressed.get(device, {})
         changed: Set[Tuple[str, str, Prefix]] = set()
         for key in set(old_derived) | set(derived):
-            if old_derived.get(key) != derived.get(key):
-                changed.add((device,) + key)
+            old_entries = old_derived.get(key)
+            new_entries = derived.get(key)
+            if old_entries != new_entries:
+                # Internal keys are (vrf, prefix.ident); recover the Prefix
+                # from whichever side has entries for the dirty tuple.
+                entries = new_entries or old_entries
+                changed.add((device, key[0], entries[0].route.prefix))
         if old_suppressed != suppressed:
             # Suppression changes what is advertised: mark affected prefixes.
             for vrf in set(old_suppressed) | set(suppressed):

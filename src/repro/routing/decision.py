@@ -45,22 +45,43 @@ class Candidate:
     suppressed: bool = False
 
     def decision_key(self) -> Tuple:
-        """Sort key: lower is better. Steps 1-8 of the decision process."""
-        r = self.route
-        return (
-            -r.weight,                         # 1. highest weight
-            -r.local_pref,                     # 2. highest local pref
-            0 if self.from_peer == "" else 1,  # 3. prefer locally originated
-            len(r.as_path),                    # 4. shortest AS path
-            _ORIGIN_RANK.get(r.origin, 3),     # 5. lowest origin
-            r.med,                             # 6. lowest MED
-            0 if r.source == SOURCE_EBGP else 1,  # 7. eBGP over iBGP
-            r.igp_cost,                        # 8. lowest IGP cost to next hop
-        )
+        """Sort key: lower is better. Steps 1-8 of the decision process.
+
+        Candidates are immutable and re-ranked on every recomputation of
+        their (vrf, prefix) slot, so both keys are computed once and cached
+        on the instance.
+        """
+        key = self.__dict__.get("_decision_key")
+        if key is None:
+            r = self.route
+            key = (
+                -r.weight,                         # 1. highest weight
+                -r.local_pref,                     # 2. highest local pref
+                0 if self.from_peer == "" else 1,  # 3. prefer locally originated
+                len(r.as_path),                    # 4. shortest AS path
+                _ORIGIN_RANK.get(r.origin, 3),     # 5. lowest origin
+                r.med,                             # 6. lowest MED
+                0 if r.source == SOURCE_EBGP else 1,  # 7. eBGP over iBGP
+                r.igp_cost,                        # 8. lowest IGP cost to next hop
+            )
+            self.__dict__["_decision_key"] = key
+        return key
 
     def tiebreak_key(self) -> Tuple:
         """Deterministic final tiebreak among ECMP-equal candidates."""
-        return (self.from_peer, self.path_id, str(self.route.nexthop or ""))
+        key = self.__dict__.get("_tiebreak_key")
+        if key is None:
+            nexthop = self.route.nexthop
+            key = (
+                self.from_peer,
+                self.path_id,
+                nexthop._text() if nexthop is not None else "",
+            )
+            self.__dict__["_tiebreak_key"] = key
+        return key
+
+    def __getstate__(self) -> dict:
+        return {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
 
 
 @dataclass
@@ -80,15 +101,59 @@ class Selection:
         return [c.route for c in self.multipath]
 
 
+def make_candidate(
+    route: Route,
+    from_peer: str = "",
+    from_client: bool = False,
+    path_id: int = 0,
+    leaked: bool = False,
+    suppressed: bool = False,
+) -> Candidate:
+    """Build a Candidate without the frozen-dataclass ``__init__`` overhead.
+
+    The generated ``__init__`` assigns every field through
+    ``object.__setattr__``; one candidate is built per accepted route per
+    delivered message, so the hot ingress path uses this direct-``__dict__``
+    constructor instead (``Candidate`` has no ``__post_init__``).
+    """
+    candidate = object.__new__(Candidate)
+    candidate.__dict__.update(
+        route=route,
+        from_peer=from_peer,
+        from_client=from_client,
+        path_id=path_id,
+        leaked=leaked,
+        suppressed=suppressed,
+    )
+    return candidate
+
+
+def _rank_key(candidate: Candidate) -> Tuple:
+    # Candidates are re-ranked every time their (vrf, prefix) slot is
+    # recomputed, which happens across many fixpoint rounds; cache the
+    # combined rank tuple alongside the per-part caches.
+    key = candidate.__dict__.get("_rank")
+    if key is None:
+        key = (candidate.decision_key(), candidate.tiebreak_key())
+        candidate.__dict__["_rank"] = key
+    return key
+
+
 def select_best(
     candidates: Sequence[Candidate], max_paths: int = 8
 ) -> Selection:
     """Run the decision process over the candidates (must be non-empty)."""
     if not candidates:
         raise ValueError("select_best requires at least one candidate")
-    ranked = sorted(candidates, key=lambda c: (c.decision_key(), c.tiebreak_key()))
+    if len(candidates) == 1:
+        return Selection(best=candidates[0], ecmp=[], rejected=[])
+    ranked = sorted(candidates, key=_rank_key)
     top_key = ranked[0].decision_key()
-    equal_count = sum(1 for c in ranked if c.decision_key() == top_key)
+    equal_count = 1
+    for c in ranked[1:]:
+        if c.decision_key() != top_key:
+            break  # ranked is sorted: equals are a leading run
+        equal_count += 1
     keep = min(equal_count, max(1, max_paths))
     multipath = ranked[:keep]
     return Selection(best=multipath[0], ecmp=multipath[1:], rejected=ranked[keep:])

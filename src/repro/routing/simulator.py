@@ -150,6 +150,11 @@ class RouteSimulator:
                         entries.append((candidate.route, ROUTE_TYPE_CANDIDATE))
 
             for (vrf, prefix), entries in contenders.items():
+                if len(entries) == 1 and entries[0][1] == ROUTE_TYPE_BEST:
+                    # Overwhelmingly common case: a single BGP best route
+                    # with no competing protocol — nothing to demote.
+                    rib.replace_prefix(vrf, prefix, entries)
+                    continue
                 best_pref = min(r.preference for r, t in entries if t != ROUTE_TYPE_CANDIDATE)
                 final: List[Tuple[Route, str]] = []
                 for route, route_type in entries:

@@ -154,3 +154,30 @@ class TestSoundness:
         expanded = expand_rib_rows(ec, [foreign, rep_row])
         prefixes = sorted(str(r.route.prefix) for r in expanded)
         assert prefixes == ["10.0.0.0/8", "203.0.0.0/24", "203.0.1.0/24"]
+
+
+class TestReductionFactorEdgeCases:
+    """Regression: an empty input set must report a 1.0 reduction factor.
+
+    Callers divide measured durations by the factor; 0.0 (or a
+    ZeroDivisionError) from the no-routes case would poison the Figure 5
+    series for empty subtasks.
+    """
+
+    def test_empty_route_index_is_neutral(self):
+        from repro.ec import RouteEcIndex
+
+        index = RouteEcIndex(classes=[], total_routes=0)
+        assert index.reduction_factor == 1.0
+
+    def test_empty_group_index_is_neutral(self):
+        from repro.ec import PrefixGroupEcIndex
+
+        index = PrefixGroupEcIndex(classes=[], total_groups=0, total_routes=0)
+        assert index.reduction_factor == 1.0
+
+    def test_empty_inputs_through_compute(self):
+        model = simple_model()
+        index = compute_route_ecs(model, [])
+        assert index.total_routes == 0
+        assert index.reduction_factor == 1.0
