@@ -10,7 +10,8 @@ high-risk, manually designed changes) and a REST API (for automated ones)
 * ``repro verify`` — verify a change plan (JSON) against a snapshot;
 * ``repro audit`` — run the daily configuration audits;
 * ``repro rcl`` — parse/size-check an RCL specification;
-* ``repro vsb`` — print the vendor-behaviour differential-test table.
+* ``repro vsb`` — print the vendor-behaviour differential-test table;
+* ``repro chaos`` — run the seeded fault-injection invariant check.
 
 Run ``python -m repro <command> --help`` for per-command options.
 """
@@ -203,6 +204,80 @@ def cmd_rcl(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos smoke: the invariant check the CI job runs.
+
+    For each seed and executor mode, runs the distributed route simulation
+    under uniform fault injection and checks the chaos invariant: a run
+    that completes must produce merged RIBs byte-identical to the
+    fault-free centralized run, and a run that exhausts its retries must
+    surface dead-letter entries. Writes per-run ``RunReport`` dumps to
+    ``--report`` (even when the check fails) so failures can be replayed
+    from the recorded seed.
+    """
+    from repro.distsim import (
+        CentralizedRunner,
+        ChaosPolicy,
+        DistributedRouteSimulation,
+        RetryPolicy,
+        TaskFailed,
+        rib_fingerprint,
+    )
+
+    model, inventory = generate_wan(
+        WanParams(regions=2, cores_per_region=2, seed=args.wan_seed)
+    )
+    routes = generate_input_routes(
+        inventory, n_prefixes=args.prefixes, redundancy=2,
+        seed=args.wan_seed + 1,
+    )
+    baseline = rib_fingerprint(CentralizedRunner(model).run(routes).device_ribs)
+
+    modes = {"thread": [False], "process": [True], "both": [False, True]}
+    retry = RetryPolicy(
+        max_retries=args.max_retries, backoff_base=0.001, backoff_cap=0.01
+    )
+    runs = []
+    failures = 0
+    for seed in range(args.seeds):
+        for processes in modes[args.mode]:
+            mode = "process" if processes else "thread"
+            policy = ChaosPolicy.uniform(seed=seed, probability=args.probability)
+            sim = DistributedRouteSimulation(model, chaos=policy, retry=retry)
+            entry = {"seed": seed, "mode": mode, "probability": args.probability}
+            try:
+                result = sim.run(
+                    routes, subtasks=args.subtasks, workers=args.workers,
+                    processes=processes,
+                )
+            except TaskFailed as exc:
+                report = exc.report
+                entry["outcome"] = "dead-lettered"
+                ok = report is not None and bool(report.dead_letters)
+                if not ok:
+                    entry["outcome"] = "failed without dead letters"
+            else:
+                report = result.report
+                ok = rib_fingerprint(result.device_ribs) == baseline
+                entry["outcome"] = (
+                    "completed" if ok else "completed with divergent RIBs"
+                )
+            entry["ok"] = ok
+            entry["report"] = report.to_dict() if report is not None else None
+            runs.append(entry)
+            failures += 0 if ok else 1
+            print(f"seed={seed} mode={mode:7s} {entry['outcome']}"
+                  f"{'' if ok else '  INVARIANT VIOLATED'}")
+
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as handle:
+            json.dump({"baseline": baseline.hex(), "runs": runs}, handle,
+                      indent=2)
+        print(f"report written to {args.report}")
+    print(f"chaos check: {len(runs) - failures}/{len(runs)} runs ok")
+    return 0 if failures == 0 else 1
+
+
 def cmd_vsb(args: argparse.Namespace) -> int:
     from repro.diagnosis.difftest import detect_vsbs
     from repro.net.vendors import get_profile
@@ -256,6 +331,23 @@ def build_parser() -> argparse.ArgumentParser:
     rcl = sub.add_parser("rcl", help="parse and size an RCL specification")
     rcl.add_argument("spec", help="specification text, or '-' for stdin")
     rcl.set_defaults(func=cmd_rcl)
+
+    chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection invariant check"
+    )
+    chaos.add_argument("--seeds", type=int, default=3,
+                       help="number of chaos seeds to sweep (0..N-1)")
+    chaos.add_argument("--probability", type=float, default=0.2,
+                       help="per-site fault probability")
+    chaos.add_argument("--mode", choices=["thread", "process", "both"],
+                       default="thread")
+    chaos.add_argument("--max-retries", type=int, default=10)
+    chaos.add_argument("--subtasks", type=int, default=4)
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--prefixes", type=int, default=20)
+    chaos.add_argument("--wan-seed", type=int, default=3)
+    chaos.add_argument("--report", help="write per-run JSON reports here")
+    chaos.set_defaults(func=cmd_chaos)
 
     vsb = sub.add_parser("vsb", help="vendor differential-test table")
     vsb.add_argument("--vendor-a", default="vendor-a")

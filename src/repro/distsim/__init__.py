@@ -13,8 +13,15 @@ reduction (the ordering heuristic), and a list-scheduling makespan model
 that reports end-to-end run time for any number of working servers.
 """
 
-from repro.distsim.storage import ObjectStore
-from repro.distsim.mq import Message, MessageQueue
+from repro.distsim.storage import ObjectStore, StorageFault
+from repro.distsim.mq import DeadLetter, DeadLetterQueue, Message, MessageQueue
+from repro.distsim.chaos import (
+    ChaosEngine,
+    ChaosPolicy,
+    SubtaskTimeout,
+    WorkerCrash,
+    rib_fingerprint,
+)
 from repro.distsim.taskdb import SubtaskDB, SubtaskRecord
 from repro.distsim.partition import (
     BalancedPartitioner,
@@ -24,7 +31,10 @@ from repro.distsim.partition import (
 from repro.distsim.master import (
     DistributedRouteSimulation,
     DistributedTrafficSimulation,
+    RetryPolicy,
     RouteTaskResult,
+    RunReport,
+    TaskFailed,
     TrafficTaskResult,
     makespan,
 )
@@ -32,8 +42,11 @@ from repro.distsim.centralized import CentralizedRunner, MemoryExhausted
 
 __all__ = [
     "ObjectStore",
+    "StorageFault",
     "Message",
     "MessageQueue",
+    "DeadLetter",
+    "DeadLetterQueue",
     "SubtaskDB",
     "SubtaskRecord",
     "OrderingPartitioner",
@@ -41,9 +54,17 @@ __all__ = [
     "BalancedPartitioner",
     "DistributedRouteSimulation",
     "DistributedTrafficSimulation",
+    "RetryPolicy",
     "RouteTaskResult",
+    "RunReport",
+    "TaskFailed",
     "TrafficTaskResult",
     "makespan",
     "CentralizedRunner",
     "MemoryExhausted",
+    "ChaosEngine",
+    "ChaosPolicy",
+    "SubtaskTimeout",
+    "WorkerCrash",
+    "rib_fingerprint",
 ]

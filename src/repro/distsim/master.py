@@ -26,12 +26,13 @@ import pickle
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.distsim.mq import Message, MessageQueue
+from repro.distsim.chaos import ChaosEngine, ChaosMessageQueue, ChaosObjectStore, ChaosPolicy
+from repro.distsim.mq import DeadLetter, DeadLetterQueue, Message, MessageQueue
 from repro.distsim.partition import OrderingPartitioner, ranges_of_prefixes
 from repro.distsim.storage import ObjectStore
-from repro.distsim.taskdb import FAILED, FINISHED, SubtaskDB, SubtaskRecord
+from repro.distsim.taskdb import FINISHED, SubtaskDB, SubtaskRecord
 from repro.distsim.worker import (
     Worker,
     WorkerConfig,
@@ -48,7 +49,76 @@ from repro.traffic.load import LinkLoadMap
 
 
 class TaskFailed(RuntimeError):
-    """A subtask exhausted its retries."""
+    """A subtask exhausted its retries.
+
+    Carries the :class:`RunReport` (when available) so callers can inspect
+    the dead-letter queue and fault counters of the failed run instead of
+    receiving partial results silently.
+    """
+
+    def __init__(self, message: str, report: Optional["RunReport"] = None) -> None:
+        super().__init__(message)
+        self.report = report
+
+
+@dataclass
+class RetryPolicy:
+    """Retry budget and capped exponential backoff for failed subtasks.
+
+    ``max_retries`` bounds the *total* attempts per subtask (matching the
+    historical ``max_retries`` constructor argument). The delay before
+    attempt ``n`` is ``backoff_base * 2**(n-2)`` capped at ``backoff_cap``;
+    ``sleep`` is injectable so tests can run without real waiting.
+    """
+
+    max_retries: int = 3
+    backoff_base: float = 0.05
+    backoff_cap: float = 1.0
+    sleep: Callable[[float], None] = time.sleep
+
+    def backoff_delay(self, attempt: int) -> float:
+        if attempt <= 1:
+            return 0.0
+        return min(self.backoff_cap, self.backoff_base * (2.0 ** (attempt - 2)))
+
+
+@dataclass
+class RunReport:
+    """Recovery telemetry for one distributed run.
+
+    Returned on every result (and attached to :class:`TaskFailed`), so both
+    completed and dead-lettered runs expose how many retries fired, how long
+    backoff slept, which subtasks were poisoned, and — under chaos — how
+    many faults each injection site produced.
+    """
+
+    seed: Optional[int] = None
+    rounds: int = 0
+    retries: int = 0
+    backoff_seconds: float = 0.0
+    #: final attempt count per subtask id
+    attempts: Dict[str, int] = field(default_factory=dict)
+    dead_letters: List[DeadLetter] = field(default_factory=list)
+    #: injected-fault counts per chaos site (empty without a chaos policy)
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def duplicate_skips(self) -> int:
+        return self.fault_counters.get("worker.duplicate_skip", 0)
+
+    def max_attempts(self) -> int:
+        return max(self.attempts.values(), default=0)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "rounds": self.rounds,
+            "retries": self.retries,
+            "backoff_seconds": self.backoff_seconds,
+            "attempts": dict(self.attempts),
+            "dead_letters": [entry.to_dict() for entry in self.dead_letters],
+            "fault_counters": dict(self.fault_counters),
+        }
 
 
 def makespan(durations: Sequence[float], servers: int) -> float:
@@ -78,6 +148,7 @@ class RouteTaskResult:
     store: ObjectStore
     subtask_durations: List[float]
     elapsed_seconds: float
+    report: Optional[RunReport] = None
 
     def global_rib(self, best_only: bool = False) -> GlobalRib:
         rib = GlobalRib.from_device_ribs(self.device_ribs.values())
@@ -97,6 +168,7 @@ class TrafficTaskResult:
     store: ObjectStore
     subtask_durations: List[float]
     elapsed_seconds: float
+    report: Optional[RunReport] = None
 
     def makespan(self, servers: int) -> float:
         return makespan(self.subtask_durations, servers)
@@ -125,78 +197,167 @@ class _TaskRunner:
         db: Optional[SubtaskDB] = None,
         worker_config: Optional[WorkerConfig] = None,
         max_retries: int = 3,
+        chaos: Optional[ChaosPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.model = model
         self.igp = igp if igp is not None else compute_igp(model)
         self.store = store if store is not None else ObjectStore()
         self.db = db if db is not None else SubtaskDB()
-        self.mq = MessageQueue()
         self.worker_config = worker_config or WorkerConfig()
-        self.max_retries = max_retries
+        self.retry_policy = retry if retry is not None else RetryPolicy(
+            max_retries=max_retries
+        )
+        self.max_retries = self.retry_policy.max_retries
+        self.chaos_policy = chaos
+        self.chaos = ChaosEngine(chaos) if chaos is not None else None
+        self.mq = ChaosMessageQueue(self.chaos) if self.chaos else MessageQueue()
+        self.dlq = DeadLetterQueue()
+
+    # -- supervised drain ------------------------------------------------------
 
     def _drain(
-        self, workers: int, task_ids: List[str], processes: bool = False
-    ) -> None:
-        """Consume the queue until all subtasks finish (threads or processes)."""
+        self, workers: int, messages: Dict[str, Message], processes: bool = False
+    ) -> RunReport:
+        """Run subtasks until each is finished or dead-lettered.
+
+        Workers (threads or processes) drain the queue; between rounds the
+        master inspects the DB and re-pushes every subtask that is neither
+        finished nor dead-lettered — covering worker failures *and* messages
+        lost before any worker saw them. Retries obey the retry policy's
+        capped exponential backoff; poison subtasks land in the DLQ with the
+        last failure reason, and the run raises :class:`TaskFailed` rather
+        than silently returning partial results.
+        """
+        self.dlq = DeadLetterQueue()
+        report = RunReport(
+            seed=self.chaos_policy.seed if self.chaos_policy is not None else None
+        )
         if processes:
-            self._drain_processes(workers, task_ids)
-            return
-        retries: Dict[str, int] = {}
+            self._drain_processes(workers, messages, report)
+        else:
+            self._drain_threads(workers, messages, report)
+
+        for subtask_id, message in messages.items():
+            report.attempts[subtask_id] = message.attempt
+        report.dead_letters = self.dlq.entries()
+        if self.chaos is not None:
+            report.fault_counters = self.chaos.counters()
+
+        failed = [r for r in self.db.failed() if r.subtask_id in messages]
+        if failed:
+            details = "; ".join(f"{r.subtask_id}: {r.error}" for r in failed[:5])
+            raise TaskFailed(
+                f"{len(failed)} subtasks failed permanently ({details})",
+                report=report,
+            )
+        return report
+
+    def _supervise(self, messages: Dict[str, Message], report: RunReport) -> bool:
+        """Re-dispatch unfinished subtasks; returns True while work remains."""
+        to_retry: List[str] = []
+        for subtask_id, message in messages.items():
+            if self.dlq.contains(subtask_id):
+                continue
+            record = self.db.get(subtask_id)
+            if record.status == FINISHED:
+                continue
+            if message.attempt >= self.retry_policy.max_retries:
+                reason = record.error or (
+                    "message lost in transit before any attempt ran"
+                )
+                self.dlq.add(message, reason=reason)
+                self.db.mark_failed(
+                    subtask_id,
+                    message.kind,
+                    f"retries exhausted after {message.attempt} attempts: {reason}",
+                    attempts=message.attempt,
+                )
+                continue
+            to_retry.append(subtask_id)
+        if not to_retry:
+            return False
+        delay = max(
+            self.retry_policy.backoff_delay(messages[i].attempt + 1)
+            for i in to_retry
+        )
+        if delay > 0:
+            self.retry_policy.sleep(delay)
+            report.backoff_seconds += delay
+        for subtask_id in to_retry:
+            retried = messages[subtask_id].retry()
+            messages[subtask_id] = retried
+            report.retries += 1
+            self.mq.push(retried)  # a chaos MQ may lose this push too
+        return True
+
+    def _drain_threads(
+        self, workers: int, messages: Dict[str, Message], report: RunReport
+    ) -> None:
+        worker_store = (
+            ChaosObjectStore(self.store, self.chaos) if self.chaos else self.store
+        )
+        pool = [
+            Worker(
+                f"worker-{index}",
+                self.model,
+                self.igp,
+                worker_store,
+                self.db,
+                self.worker_config,
+                chaos=self.chaos,
+            )
+            for index in range(max(1, workers))
+        ]
 
         def loop(worker: Worker) -> None:
             while True:
                 message = self.mq.pop()
                 if message is None:
                     return
-                ok = worker.handle(message)
-                if not ok:
-                    attempts = retries.get(message.subtask_id, 1)
-                    if attempts >= self.max_retries:
-                        continue  # stays FAILED; surfaced below
-                    retries[message.subtask_id] = attempts + 1
-                    self.mq.push(message.retry())
+                try:
+                    worker.handle(message)
+                except Exception as exc:  # noqa: BLE001 - never lose a failure
+                    # handle() records its own failures; this guards crashes
+                    # outside it so a worker thread can't die silently.
+                    self.db.mark_failed(
+                        message.subtask_id,
+                        message.kind,
+                        f"worker loop error: {type(exc).__name__}: {exc}",
+                        attempts=message.attempt,
+                    )
 
-        pool = [
-            Worker(
-                f"worker-{index}",
-                self.model,
-                self.igp,
-                self.store,
-                self.db,
-                self.worker_config,
-            )
-            for index in range(max(1, workers))
-        ]
-        if len(pool) == 1:
-            loop(pool[0])
-        else:
-            threads = [
-                threading.Thread(target=loop, args=(worker,)) for worker in pool
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-
-        failed = [r for r in self.db.failed() if r.subtask_id in task_ids]
-        if failed:
-            details = "; ".join(f"{r.subtask_id}: {r.error}" for r in failed[:5])
-            raise TaskFailed(f"{len(failed)} subtasks failed permanently ({details})")
+        while True:
+            report.rounds += 1
+            if len(pool) == 1:
+                loop(pool[0])
+            else:
+                threads = [
+                    threading.Thread(target=loop, args=(worker,)) for worker in pool
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            if not self._supervise(messages, report):
+                return
 
     # -- process mode ----------------------------------------------------------
 
-    def _drain_processes(self, workers: int, task_ids: List[str]) -> None:
+    def _drain_processes(
+        self, workers: int, messages: Dict[str, Message], report: RunReport
+    ) -> None:
         """Consume the queue with a pool of worker processes.
 
         The store, DB, and MQ live in the master; each job ships the message
         plus every store object the subtask reads as pickled blobs, and the
-        child's result blob and record fields are applied back here. Failed
-        subtasks are resubmitted by the master (bounded retries), mirroring
-        the thread-mode resend-to-MQ behaviour.
+        child's result blob and record fields are applied back here. The
+        same supervision loop as thread mode re-dispatches failed or lost
+        subtasks between rounds, reusing one process pool throughout.
         """
         try:
             context_blob = pickle.dumps(
-                (self.model, self.igp, self.worker_config),
+                (self.model, self.igp, self.worker_config, self.chaos_policy),
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
         except Exception as exc:
@@ -206,47 +367,42 @@ class _TaskRunner:
                 "use a module-level hook or threads instead)"
             ) from exc
 
-        retries: Dict[str, int] = {}
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=max(1, workers),
             initializer=init_process_worker,
             initargs=(context_blob,),
         ) as pool:
-            pending: Dict[concurrent.futures.Future, Message] = {}
-
-            def submit(message: Message) -> None:
-                job_blob = pickle.dumps(
-                    self._process_job(message), protocol=pickle.HIGHEST_PROTOCOL
-                )
-                pending[pool.submit(run_subtask_in_process, job_blob)] = message
-
             while True:
-                message = self.mq.pop()
-                if message is None:
-                    break
-                submit(message)
-
-            while pending:
-                done, _ = concurrent.futures.wait(
-                    pending, return_when=concurrent.futures.FIRST_COMPLETED
-                )
-                for future in done:
-                    message = pending.pop(future)
-                    outcome: Dict[str, Any] = pickle.loads(future.result())
-                    self._apply_outcome(message, outcome)
-                    if outcome["status"] == FAILED:
-                        attempts = retries.get(message.subtask_id, 1)
-                        if attempts >= self.max_retries:
-                            continue  # stays FAILED; surfaced below
-                        retries[message.subtask_id] = attempts + 1
-                        # Mirror thread mode's resend-to-MQ accounting.
-                        self.mq.push(message.retry())
-                        submit(self.mq.pop())
-
-        failed = [r for r in self.db.failed() if r.subtask_id in task_ids]
-        if failed:
-            details = "; ".join(f"{r.subtask_id}: {r.error}" for r in failed[:5])
-            raise TaskFailed(f"{len(failed)} subtasks failed permanently ({details})")
+                report.rounds += 1
+                pending: Dict[concurrent.futures.Future, Message] = {}
+                while True:
+                    message = self.mq.pop()
+                    if message is None:
+                        break
+                    record = self.db.get(message.subtask_id)
+                    if record.status == FINISHED and record.result_key:
+                        # Duplicate delivery of a finished subtask: skip the
+                        # dispatch entirely (idempotent upload).
+                        if self.chaos is not None:
+                            self.chaos.count("worker.duplicate_skip")
+                        continue
+                    job_blob = pickle.dumps(
+                        self._process_job(message),
+                        protocol=pickle.HIGHEST_PROTOCOL,
+                    )
+                    pending[pool.submit(run_subtask_in_process, job_blob)] = message
+                while pending:
+                    done, _ = concurrent.futures.wait(
+                        pending, return_when=concurrent.futures.FIRST_COMPLETED
+                    )
+                    for future in done:
+                        message = pending.pop(future)
+                        outcome: Dict[str, Any] = pickle.loads(future.result())
+                        if self.chaos is not None and outcome.get("chaos_counters"):
+                            self.chaos.merge_counters(outcome["chaos_counters"])
+                        self._apply_outcome(message, outcome)
+                if not self._supervise(messages, report):
+                    return
 
     def _process_job(self, message: Message) -> Dict[str, Any]:
         """Collect everything a subtask reads from the store into one job."""
@@ -278,7 +434,17 @@ class _TaskRunner:
         return job
 
     def _apply_outcome(self, message: Message, outcome: Dict[str, Any]) -> None:
-        """Apply a process-mode subtask outcome to the master store and DB."""
+        """Apply a process-mode subtask outcome to the master store and DB.
+
+        Idempotent: once a subtask is FINISHED with a result, later outcomes
+        for the same subtask (duplicate deliveries racing in one round) are
+        dropped rather than downgrading or re-writing the record.
+        """
+        record = self.db.get(message.subtask_id)
+        if record.status == FINISHED and record.result_key:
+            if self.chaos is not None:
+                self.chaos.count("worker.duplicate_skip")
+            return
         if outcome["status"] == FINISHED:
             self.store.put_blob(outcome["result_key"], outcome["result_blob"])
             self.db.update(
@@ -292,12 +458,12 @@ class _TaskRunner:
                 result_key=outcome["result_key"],
             )
         else:
-            self.db.update(
+            self.db.mark_failed(
                 message.subtask_id,
-                status=FAILED,
+                message.kind,
+                outcome["error"],
                 attempts=message.attempt,
                 duration=outcome["duration"],
-                error=outcome["error"],
             )
 
 
@@ -317,7 +483,7 @@ class DistributedRouteSimulation(_TaskRunner):
         partitioner = partitioner or OrderingPartitioner()
         chunks = partitioner.split_routes(list(input_routes), subtasks)
 
-        task_ids: List[str] = []
+        messages: Dict[str, Message] = {}
         for index, chunk in enumerate(chunks):
             if not chunk:
                 continue
@@ -328,16 +494,16 @@ class DistributedRouteSimulation(_TaskRunner):
             record = SubtaskRecord(subtask_id=subtask_id, kind="route")
             record.ranges = ranges_of_prefixes([r.route.prefix for r in chunk])
             self.db.register(record)
-            self.mq.push(
-                Message(
-                    subtask_id=subtask_id,
-                    kind="route",
-                    payload={"input_key": input_key, "result_key": result_key},
-                )
+            message = Message(
+                subtask_id=subtask_id,
+                kind="route",
+                payload={"input_key": input_key, "result_key": result_key},
             )
-            task_ids.append(subtask_id)
+            messages[subtask_id] = message
+            self.mq.push(message)
 
-        self._drain(workers, task_ids, processes=processes)
+        report = self._drain(workers, messages, processes=processes)
+        task_ids = list(messages)
 
         rib_maps = [
             self.store.get(record.result_key)
@@ -356,6 +522,7 @@ class DistributedRouteSimulation(_TaskRunner):
             store=self.store,
             subtask_durations=durations,
             elapsed_seconds=time.perf_counter() - started,
+            report=report,
         )
 
 
@@ -379,7 +546,7 @@ class DistributedTrafficSimulation(_TaskRunner):
         partitioner = partitioner or OrderingPartitioner()
         chunks = partitioner.split_flows(list(flows), subtasks)
 
-        task_ids: List[str] = []
+        messages: Dict[str, Message] = {}
         for index, chunk in enumerate(chunks):
             if not chunk:
                 continue
@@ -388,16 +555,16 @@ class DistributedTrafficSimulation(_TaskRunner):
             result_key = f"{subtask_id}/result"
             self.store.put(input_key, chunk)
             self.db.register(SubtaskRecord(subtask_id=subtask_id, kind="traffic"))
-            self.mq.push(
-                Message(
-                    subtask_id=subtask_id,
-                    kind="traffic",
-                    payload={"input_key": input_key, "result_key": result_key},
-                )
+            message = Message(
+                subtask_id=subtask_id,
+                kind="traffic",
+                payload={"input_key": input_key, "result_key": result_key},
             )
-            task_ids.append(subtask_id)
+            messages[subtask_id] = message
+            self.mq.push(message)
 
-        self._drain(workers, task_ids, processes=processes)
+        report = self._drain(workers, messages, processes=processes)
+        task_ids = list(messages)
 
         loads = LinkLoadMap()
         paths: Dict = {}
@@ -419,4 +586,5 @@ class DistributedTrafficSimulation(_TaskRunner):
             store=self.store,
             subtask_durations=durations,
             elapsed_seconds=time.perf_counter() - started,
+            report=report,
         )

@@ -2,7 +2,10 @@
 
 FIFO delivery with explicit acknowledgement: a consumed but unacknowledged
 message can be re-queued (the master "resends a message back to the MQ" when
-a subtask fails, §3.2).
+a subtask fails, §3.2). Poison subtasks — those that exhaust their retry
+budget — land in a :class:`DeadLetterQueue` instead of being silently
+dropped, so a run can never return partial results without surfacing which
+subtasks went missing and why.
 """
 
 from __future__ import annotations
@@ -10,7 +13,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 
 @dataclass(frozen=True)
@@ -59,3 +62,52 @@ class MessageQueue:
 
     def empty(self) -> bool:
         return len(self) == 0
+
+
+@dataclass(frozen=True)
+class DeadLetter:
+    """A subtask message that exhausted its retry budget."""
+
+    subtask_id: str
+    kind: str
+    reason: str
+    attempts: int
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "subtask_id": self.subtask_id,
+            "kind": self.kind,
+            "reason": self.reason,
+            "attempts": self.attempts,
+        }
+
+
+class DeadLetterQueue:
+    """Thread-safe sink for poison subtasks (retries exhausted)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, DeadLetter] = {}
+        self._lock = threading.Lock()
+
+    def add(self, message: Message, reason: str) -> DeadLetter:
+        entry = DeadLetter(
+            subtask_id=message.subtask_id,
+            kind=message.kind,
+            reason=reason or "unknown failure",
+            attempts=message.attempt,
+        )
+        with self._lock:
+            self._entries[message.subtask_id] = entry
+        return entry
+
+    def contains(self, subtask_id: str) -> bool:
+        with self._lock:
+            return subtask_id in self._entries
+
+    def entries(self) -> List[DeadLetter]:
+        with self._lock:
+            return sorted(self._entries.values(), key=lambda e: e.subtask_id)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

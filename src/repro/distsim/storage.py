@@ -18,6 +18,15 @@ class ObjectNotFound(KeyError):
     """Raised when reading a key that was never written."""
 
 
+class StorageFault(IOError):
+    """A transient storage I/O failure (raised by fault-injecting wrappers).
+
+    Workers treat it like any other subtask crash: the attempt is recorded
+    as failed with this reason and the master's retry machinery re-dispatches
+    the subtask.
+    """
+
+
 @dataclass
 class StorageStats:
     reads: int = 0

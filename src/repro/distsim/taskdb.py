@@ -55,6 +55,33 @@ class SubtaskDB:
             for key, value in changes.items():
                 setattr(record, key, value)
 
+    def ensure(self, subtask_id: str, kind: str) -> SubtaskRecord:
+        """Fetch a record, registering a fresh one if the id is unknown.
+
+        Workers use this so a message for a subtask the DB never saw (e.g.
+        delivered after a master restart) still gets tracked instead of
+        crashing the worker loop with a KeyError.
+        """
+        with self._lock:
+            record = self._records.get(subtask_id)
+            if record is None:
+                record = SubtaskRecord(subtask_id=subtask_id, kind=kind)
+                self._records[subtask_id] = record
+            return record
+
+    def mark_failed(self, subtask_id: str, kind: str, reason: str, **fields) -> None:
+        """Record a failure with a guaranteed non-empty reason string."""
+        reason = (reason or "").strip() or "unknown failure"
+        with self._lock:
+            record = self._records.get(subtask_id)
+            if record is None:
+                record = SubtaskRecord(subtask_id=subtask_id, kind=kind)
+                self._records[subtask_id] = record
+            record.status = FAILED
+            record.error = reason
+            for key, value in fields.items():
+                setattr(record, key, value)
+
     def get(self, subtask_id: str) -> SubtaskRecord:
         with self._lock:
             return self._records[subtask_id]

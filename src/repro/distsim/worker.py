@@ -17,7 +17,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.distsim.mq import Message, MessageQueue
 from repro.distsim.storage import ObjectStore
-from repro.distsim.taskdb import FAILED, FINISHED, RUNNING, SubtaskDB, SubtaskRecord
+from repro.distsim.taskdb import FINISHED, RUNNING, SubtaskDB, SubtaskRecord
 from repro.ec.route_ec import compute_prefix_group_ecs, expand_group_rows
 from repro.net.addr import PrefixRange
 from repro.net.model import NetworkModel
@@ -72,6 +72,7 @@ class Worker:
         store: ObjectStore,
         db: SubtaskDB,
         config: Optional[WorkerConfig] = None,
+        chaos=None,
     ) -> None:
         self.name = name
         self.model = model
@@ -79,16 +80,36 @@ class Worker:
         self.store = store
         self.db = db
         self.config = config or WorkerConfig()
+        #: optional repro.distsim.chaos.ChaosEngine injecting faults
+        self.chaos = chaos
 
     # -- message handling -----------------------------------------------------
 
     def handle(self, message: Message) -> bool:
-        """Run one subtask; returns False (and marks FAILED) on failure."""
-        self.db.update(
-            message.subtask_id, status=RUNNING, attempts=message.attempt
-        )
+        """Run one subtask; returns False (and marks FAILED) on failure.
+
+        Every failure path — injected crash, storage fault, unknown kind,
+        missing payload key, even a message for an unregistered subtask —
+        lands in the DB with a non-empty reason string; nothing is silently
+        swallowed. Duplicate deliveries of an already-finished subtask are
+        acknowledged without re-running it (idempotent result upload).
+        """
         started = time.perf_counter()
+        if self.chaos is not None:
+            self.chaos.enter(message)
         try:
+            record = self.db.ensure(message.subtask_id, message.kind)
+            if record.status == FINISHED and record.result_key:
+                # Duplicate delivery: the result object is already uploaded.
+                if self.chaos is not None:
+                    self.chaos.count("worker.duplicate_skip")
+                return True
+            self.db.update(
+                message.subtask_id, status=RUNNING, attempts=message.attempt
+            )
+            if self.chaos is not None:
+                self.chaos.crash_point("worker.crash_before", message)
+                self.chaos.maybe_slow(message)
             if self.config.failure_hook is not None and self.config.failure_hook(
                 message
             ):
@@ -100,13 +121,22 @@ class Worker:
             else:
                 raise ValueError(f"unknown subtask kind {message.kind!r}")
         except Exception as exc:  # noqa: BLE001 - status must reflect any crash
-            self.db.update(
+            current = self.db.ensure(message.subtask_id, message.kind)
+            if current.status == FINISHED and current.result_key:
+                # A concurrent duplicate delivery already finished the
+                # subtask; this attempt's failure must not downgrade it.
+                return True
+            self.db.mark_failed(
                 message.subtask_id,
-                status=FAILED,
-                error=f"{type(exc).__name__}: {exc}",
+                message.kind,
+                f"{type(exc).__name__}: {exc}",
                 duration=time.perf_counter() - started,
+                attempts=message.attempt,
             )
             return False
+        finally:
+            if self.chaos is not None:
+                self.chaos.exit()
         self.db.update(
             message.subtask_id,
             status=FINISHED,
@@ -146,6 +176,10 @@ class Worker:
             ribs = result.device_ribs
 
         self.store.put(result_key, ribs)
+        if self.chaos is not None:
+            # Crash *after* the result object is uploaded but before the DB
+            # learns about it — the retry must tolerate the orphaned upload.
+            self.chaos.crash_point("worker.crash_after", message)
         self.db.update(
             message.subtask_id,
             ranges=self._result_ranges(ribs),
@@ -185,6 +219,8 @@ class Worker:
             result_key,
             {"loads": result.loads, "paths": result.paths, "ec_index": result.ec_index},
         )
+        if self.chaos is not None:
+            self.chaos.crash_point("worker.crash_after", message)
         self.db.update(
             message.subtask_id,
             cost_units=result.cost_units,
@@ -229,7 +265,8 @@ class Worker:
 # same way. The entry points below are module-level so they pickle under any
 # multiprocessing start method (spawn included).
 
-#: per-process (model, igp, worker config), set once by the pool initializer.
+#: per-process (model, igp, worker config, chaos policy), set once by the
+#: pool initializer.
 _PROCESS_CONTEXT: Optional[Tuple] = None
 
 
@@ -247,10 +284,15 @@ def run_subtask_in_process(job_blob: bytes) -> bytes:
     pre-selected. A private store/DB are populated with those objects so the
     regular :meth:`Worker.handle` path runs unchanged; the resulting record
     fields and result blob are pickled back to the master.
+
+    When a chaos policy is in the context, the child builds its own engine
+    from it. Decisions are keyed on (seed, site, event), not an RNG stream,
+    so the child injects exactly the faults the thread-mode engine would;
+    its fault counters travel back in the outcome for the master to merge.
     """
     if _PROCESS_CONTEXT is None:
         raise RuntimeError("worker process used before init_process_worker")
-    model, igp, config = _PROCESS_CONTEXT
+    model, igp, config, chaos_policy = _PROCESS_CONTEXT
     job: Dict[str, Any] = pickle.loads(job_blob)
     message: Message = job["message"]
 
@@ -262,7 +304,17 @@ def run_subtask_in_process(job_blob: bytes) -> bytes:
         store.put_blob(record.result_key, job["rib_blobs"][record.result_key])
     db.register(SubtaskRecord(subtask_id=message.subtask_id, kind=message.kind))
 
-    worker = Worker(f"proc-{os.getpid()}", model, igp, store, db, config)
+    chaos = None
+    worker_store = store
+    if chaos_policy is not None:
+        from repro.distsim.chaos import ChaosEngine, ChaosObjectStore
+
+        chaos = ChaosEngine(chaos_policy)
+        worker_store = ChaosObjectStore(store, chaos)
+
+    worker = Worker(
+        f"proc-{os.getpid()}", model, igp, worker_store, db, config, chaos=chaos
+    )
     ok = worker.handle(message)
     record = db.get(message.subtask_id)
     result_blob = (
@@ -278,6 +330,7 @@ def run_subtask_in_process(job_blob: bytes) -> bytes:
             "loaded_rib_files": record.loaded_rib_files,
             "result_key": record.result_key,
             "result_blob": result_blob,
+            "chaos_counters": chaos.counters() if chaos is not None else {},
         },
         protocol=pickle.HIGHEST_PROTOCOL,
     )

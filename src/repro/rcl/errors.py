@@ -8,15 +8,27 @@ class RclError(Exception):
 
 
 class RclParseError(RclError):
-    """Raised on malformed specification text."""
+    """Raised on malformed specification text.
+
+    The message always names the location as ``line N, column M`` (both
+    1-based, derived from the offending token's offset) so multi-line
+    specifications report where the problem is, and the parser's messages
+    name the offending token itself.
+    """
 
     def __init__(self, message: str, position: int = 0, text: str = "") -> None:
+        line = text.count("\n", 0, position) + 1
+        column = position - text.rfind("\n", 0, position)
         context = ""
         if text:
             snippet = text[max(0, position - 20) : position + 20].replace("\n", " ")
             context = f" near ...{snippet!r}..."
-        super().__init__(f"{message} (at offset {position}){context}")
+        super().__init__(
+            f"{message} (line {line}, column {column}, offset {position}){context}"
+        )
         self.position = position
+        self.line = line
+        self.column = column
 
 
 class RclTypeError(RclError):

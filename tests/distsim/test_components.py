@@ -1,10 +1,23 @@
-"""Tests for the distributed framework's components: store, MQ, DB, makespan."""
+"""Tests for the distributed framework's components: store, MQ, DB, makespan,
+dead-letter queue, and the retry semantics of the supervised drain loop."""
 
 import pytest
 
-from repro.distsim import Message, MessageQueue, ObjectStore, SubtaskDB, makespan
+from repro.distsim import (
+    DeadLetterQueue,
+    DistributedRouteSimulation,
+    Message,
+    MessageQueue,
+    ObjectStore,
+    RetryPolicy,
+    SubtaskDB,
+    TaskFailed,
+    makespan,
+)
 from repro.distsim.storage import ObjectNotFound
 from repro.distsim.taskdb import FAILED, FINISHED, PENDING, RUNNING, SubtaskRecord
+from repro.distsim.worker import WorkerConfig
+from repro.workload import WanParams, generate_input_routes, generate_wan
 
 
 class TestObjectStore:
@@ -74,6 +87,147 @@ class TestMessageQueue:
         assert mq.empty()
 
 
+class TestMessageQueueRetrySemantics:
+    def test_attempt_counting_is_monotonic(self):
+        message = Message("a", "route", payload={"input_key": "k"})
+        assert message.attempt == 1
+        second = message.retry()
+        third = second.retry()
+        assert (second.attempt, third.attempt) == (2, 3)
+        # Identity and payload survive every retry hop.
+        for retried in (second, third):
+            assert retried.subtask_id == "a"
+            assert retried.kind == "route"
+            assert retried.payload == {"input_key": "k"}
+
+    def test_fifo_order_preserved_across_retry(self):
+        mq = MessageQueue()
+        for name in ("a", "b", "c"):
+            mq.push(Message(name, "route"))
+        failed = mq.pop()  # "a" fails and is resent
+        mq.push(failed.retry())
+        order = [mq.pop().subtask_id for _ in range(3)]
+        assert order == ["b", "c", "a"]  # retry goes to the back of the queue
+        assert mq.pop() is None
+
+    def test_push_pop_counters_include_retries(self):
+        mq = MessageQueue()
+        mq.push(Message("a", "route"))
+        mq.push(mq.pop().retry())
+        mq.pop()
+        assert mq.pushed == 2
+        assert mq.consumed == 2
+
+
+class TestDeadLetterQueue:
+    def test_add_contains_entries(self):
+        dlq = DeadLetterQueue()
+        assert not dlq.contains("a")
+        entry = dlq.add(Message("a", "route", attempt=4), reason="boom")
+        assert dlq.contains("a")
+        assert len(dlq) == 1
+        assert entry.attempts == 4
+        assert dlq.entries()[0].reason == "boom"
+
+    def test_empty_reason_normalized(self):
+        dlq = DeadLetterQueue()
+        entry = dlq.add(Message("a", "route"), reason="")
+        assert entry.reason == "unknown failure"
+
+    def test_entries_sorted_and_deduplicated_per_subtask(self):
+        dlq = DeadLetterQueue()
+        dlq.add(Message("b", "route"), reason="first")
+        dlq.add(Message("a", "route"), reason="x")
+        dlq.add(Message("b", "route", attempt=2), reason="second")
+        entries = dlq.entries()
+        assert [e.subtask_id for e in entries] == ["a", "b"]
+        assert entries[1].reason == "second"
+
+    def test_to_dict_round_trip(self):
+        dlq = DeadLetterQueue()
+        entry = dlq.add(Message("a", "traffic", attempt=3), reason="poison")
+        assert entry.to_dict() == {
+            "subtask_id": "a",
+            "kind": "traffic",
+            "reason": "poison",
+            "attempts": 3,
+        }
+
+
+def _tiny_workload():
+    model, inventory = generate_wan(
+        WanParams(regions=2, cores_per_region=1, seed=1)
+    )
+    routes = generate_input_routes(inventory, n_prefixes=8, seed=2)
+    return model, routes
+
+
+class TestMaxAttemptBoundary:
+    """The retry budget bounds *total* attempts, with DLQ exactly at the cap."""
+
+    def test_permanent_failure_stops_exactly_at_max_attempts(self):
+        model, routes = _tiny_workload()
+        sim = DistributedRouteSimulation(
+            model,
+            worker_config=WorkerConfig(failure_hook=lambda message: True),
+            retry=RetryPolicy(max_retries=3, backoff_base=0.0),
+        )
+        with pytest.raises(TaskFailed) as excinfo:
+            sim.run(routes, subtasks=2)
+        report = excinfo.value.report
+        assert report.max_attempts() == 3  # never a 4th attempt
+        assert len(report.dead_letters) == 2
+        for entry in report.dead_letters:
+            assert entry.attempts == 3
+        for record in sim.db.all(kind="route"):
+            assert record.attempts == 3
+            assert record.status == FAILED
+            assert "retries exhausted" in record.error
+
+    def test_success_on_final_attempt_is_not_dead_lettered(self):
+        model, routes = _tiny_workload()
+        sim = DistributedRouteSimulation(
+            model,
+            worker_config=WorkerConfig(
+                failure_hook=lambda message: message.attempt < 3
+            ),
+            retry=RetryPolicy(max_retries=3, backoff_base=0.0),
+        )
+        result = sim.run(routes, subtasks=2)
+        assert result.report.max_attempts() == 3
+        assert not result.report.dead_letters
+        assert all(r.status == FINISHED for r in sim.db.all(kind="route"))
+
+    def test_backoff_is_capped_exponential(self):
+        delays = []
+        policy = RetryPolicy(
+            max_retries=6, backoff_base=0.01, backoff_cap=0.03,
+            sleep=delays.append,
+        )
+        assert policy.backoff_delay(1) == 0.0
+        assert policy.backoff_delay(2) == pytest.approx(0.01)
+        assert policy.backoff_delay(3) == pytest.approx(0.02)
+        assert policy.backoff_delay(4) == pytest.approx(0.03)  # capped
+        assert policy.backoff_delay(6) == pytest.approx(0.03)
+
+    def test_backoff_sleeps_between_retries(self):
+        model, routes = _tiny_workload()
+        delays = []
+        sim = DistributedRouteSimulation(
+            model,
+            worker_config=WorkerConfig(
+                failure_hook=lambda message: message.attempt < 3
+            ),
+            retry=RetryPolicy(
+                max_retries=4, backoff_base=0.01, backoff_cap=0.04,
+                sleep=delays.append,
+            ),
+        )
+        result = sim.run(routes, subtasks=2)
+        assert delays == [pytest.approx(0.01), pytest.approx(0.02)]
+        assert result.report.backoff_seconds == pytest.approx(sum(delays))
+
+
 class TestSubtaskDB:
     def test_lifecycle(self):
         db = SubtaskDB()
@@ -99,6 +253,25 @@ class TestSubtaskDB:
         db.register(SubtaskRecord(subtask_id="r1", kind="route"))
         db.register(SubtaskRecord(subtask_id="t1", kind="traffic"))
         assert [r.subtask_id for r in db.all(kind="route")] == ["r1"]
+
+    def test_ensure_registers_unknown_subtasks(self):
+        db = SubtaskDB()
+        record = db.ensure("ghost", "route")
+        assert record.status == PENDING
+        assert db.get("ghost") is record
+        # Re-ensuring returns the same record, it does not reset it.
+        db.update("ghost", status=RUNNING)
+        assert db.ensure("ghost", "route").status == RUNNING
+
+    def test_mark_failed_always_records_a_reason(self):
+        db = SubtaskDB()
+        db.mark_failed("s1", "route", "", attempts=2)
+        record = db.get("s1")
+        assert record.status == FAILED
+        assert record.error == "unknown failure"
+        assert record.attempts == 2
+        db.mark_failed("s1", "route", "StorageFault: injected")
+        assert db.get("s1").error == "StorageFault: injected"
 
 
 class TestMakespan:

@@ -1,16 +1,19 @@
 """Unit tests for worker internals: RIB merging, result ranges, dependency
-selection."""
+selection, and the audited failure paths (every failure must land in the DB
+with a non-empty reason string — nothing silently swallowed)."""
 
 import pytest
 
 from repro.distsim import Message, ObjectStore, SubtaskDB
-from repro.distsim.taskdb import SubtaskRecord
+from repro.distsim.chaos import ChaosEngine, ChaosObjectStore, ChaosPolicy
+from repro.distsim.taskdb import FAILED, FINISHED, SubtaskRecord
 from repro.distsim.worker import Worker, WorkerConfig, merge_device_ribs
 from repro.net.addr import IPAddress, Prefix, PrefixRange
 from repro.routing.attributes import Route
 from repro.routing.isis import compute_igp
 from repro.routing.rib import DeviceRib
 from repro.traffic.flow import make_flow
+from repro.workload import WanParams, generate_input_routes, generate_wan
 
 from tests.helpers import build_model
 
@@ -97,3 +100,124 @@ class TestSelectRibFiles:
         assert not ok
         assert worker.db.get("x").status == "failed"
         assert "mystery" in worker.db.get("x").error
+
+
+@pytest.fixture(scope="module")
+def route_workload():
+    model, inventory = generate_wan(
+        WanParams(regions=2, cores_per_region=1, seed=4)
+    )
+    routes = generate_input_routes(inventory, n_prefixes=6, seed=5)
+    return model, compute_igp(model), routes
+
+
+def make_route_worker(route_workload, config=None, chaos=None, store=None):
+    model, igp, routes = route_workload
+    base = ObjectStore()
+    db = SubtaskDB()
+    base.put("s1/input", routes)
+    db.register(SubtaskRecord(subtask_id="s1", kind="route"))
+    worker_store = store if store is not None else base
+    if chaos is not None and store is None:
+        worker_store = ChaosObjectStore(base, chaos)
+    worker = Worker("w", model, igp, worker_store, db, config, chaos=chaos)
+    message = Message(
+        "s1", "route", payload={"input_key": "s1/input", "result_key": "s1/result"}
+    )
+    return worker, db, base, message
+
+
+class TestFailurePathsRecorded:
+    """Audit of Worker.handle: each failure path records status + reason."""
+
+    def test_message_for_unregistered_subtask_is_tracked(self, route_workload):
+        """A message the DB never saw must not crash the worker loop: the
+        subtask is registered on the fly and its failure recorded."""
+        worker, db, _, _ = make_route_worker(route_workload)
+        ok = worker.handle(Message("never-registered", "route", payload={}))
+        assert not ok
+        record = db.get("never-registered")
+        assert record.status == FAILED
+        assert "KeyError" in record.error and "input_key" in record.error
+
+    def test_missing_input_object_named_in_reason(self, route_workload):
+        worker, db, _, _ = make_route_worker(route_workload)
+        db.register(SubtaskRecord(subtask_id="s2", kind="route"))
+        ok = worker.handle(
+            Message("s2", "route",
+                    payload={"input_key": "ghost/input", "result_key": "x"})
+        )
+        assert not ok
+        record = db.get("s2")
+        assert record.status == FAILED
+        assert "ObjectNotFound" in record.error
+        assert "ghost/input" in record.error
+
+    def test_injected_subtask_failure_names_subtask(self, route_workload):
+        worker, db, _, message = make_route_worker(
+            route_workload, config=WorkerConfig(failure_hook=lambda m: True)
+        )
+        assert not worker.handle(message)
+        record = db.get("s1")
+        assert "SubtaskFailure" in record.error
+        assert "s1" in record.error
+
+    def test_raising_failure_hook_is_recorded_not_swallowed(self, route_workload):
+        def exploding_hook(message):
+            raise RuntimeError("hook exploded")
+
+        worker, db, _, message = make_route_worker(
+            route_workload, config=WorkerConfig(failure_hook=exploding_hook)
+        )
+        assert not worker.handle(message)
+        record = db.get("s1")
+        assert record.status == FAILED
+        assert record.error == "RuntimeError: hook exploded"
+
+    def test_storage_write_fault_recorded_with_reason(self, route_workload):
+        chaos = ChaosEngine(ChaosPolicy(seed=1, storage_write_fault=1.0))
+        worker, db, base, message = make_route_worker(route_workload, chaos=chaos)
+        assert not worker.handle(message)
+        record = db.get("s1")
+        assert record.status == FAILED
+        assert "StorageFault" in record.error
+        assert "s1/result" in record.error
+        assert not base.exists("s1/result")
+
+    def test_storage_read_fault_recorded_with_reason(self, route_workload):
+        chaos = ChaosEngine(ChaosPolicy(seed=1, storage_read_fault=1.0))
+        worker, db, _, message = make_route_worker(route_workload, chaos=chaos)
+        assert not worker.handle(message)
+        assert "StorageFault" in db.get("s1").error
+
+    def test_every_failure_records_attempt_and_duration(self, route_workload):
+        worker, db, _, message = make_route_worker(
+            route_workload, config=WorkerConfig(failure_hook=lambda m: True)
+        )
+        assert not worker.handle(message.retry())
+        record = db.get("s1")
+        assert record.attempts == 2
+        assert record.duration >= 0.0
+        assert record.error  # never empty
+
+
+class TestIdempotentResultUpload:
+    def test_duplicate_delivery_skips_rerun(self, route_workload):
+        worker, db, base, message = make_route_worker(route_workload)
+        assert worker.handle(message)
+        record = db.get("s1")
+        assert record.status == FINISHED
+        writes_after_first = base.stats.writes
+        duration_after_first = record.duration
+        # Same message delivered again (MQ duplication): acknowledged
+        # without recomputing or re-uploading.
+        assert worker.handle(message)
+        assert base.stats.writes == writes_after_first
+        assert db.get("s1").duration == duration_after_first
+
+    def test_duplicate_skip_counted_under_chaos(self, route_workload):
+        chaos = ChaosEngine(ChaosPolicy(seed=1))
+        worker, db, _, message = make_route_worker(route_workload, chaos=chaos)
+        assert worker.handle(message)
+        assert worker.handle(message)
+        assert chaos.counters().get("worker.duplicate_skip") == 1

@@ -3,11 +3,16 @@
 For randomly generated ASTs, rendering to concrete syntax and re-parsing
 must be a fixpoint: ``str(parse(str(tree))) == str(tree)``. This pins the
 parser and the renderer to the same grammar.
+
+A hand-written negative corpus pins the *error* surface too: malformed
+specifications must raise :class:`RclParseError` whose message names the
+offending token and the line it appears on.
 """
 
+import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.rcl import ast, parse
+from repro.rcl import RclParseError, ast, parse
 
 fields = st.sampled_from(["device", "vrf", "prefix", "nexthop", "localPref",
                           "med", "communities", "routeType"])
@@ -117,3 +122,34 @@ def test_size_stable_under_roundtrip(tree):
     from repro.rcl import spec_size
 
     assert spec_size(parse(str(tree))) == spec_size(tree)
+
+
+#: (malformed spec, token the error must name, line it must point at)
+NEGATIVE_CORPUS = [
+    ("PRE ? POST", "'?'", 1),
+    ("PRE = PO$T", "'$'", 1),
+    ("count(PRE) @ 3", "'@'", 1),
+    ("PRE = POST extra", "'extra'", 1),
+    ("PRE = ", "'='", 1),
+    ("forall device in", "end of input", 1),
+    ("PRE =\nPO$T", "'$'", 2),
+    ("PRE =\nPOST extra", "'extra'", 2),
+    ("forall device in {R1, R2}:\nPRE = POST trailing", "'trailing'", 2),
+    ("PRE |> filter(device = R1) =\nPOST ?", "'?'", 2),
+    ("count(PRE) >=\ncount(POST) @", "'@'", 2),
+]
+
+
+@pytest.mark.parametrize("text, token, line", NEGATIVE_CORPUS)
+def test_parse_errors_name_token_and_line(text, token, line):
+    with pytest.raises(RclParseError) as excinfo:
+        parse(text)
+    error = excinfo.value
+    message = str(error)
+    assert token in message
+    assert f"line {line}" in message
+    assert error.line == line
+    assert error.column >= 1
+    # The reported column is consistent with the reported offset.
+    last_newline = text.rfind("\n", 0, error.position)
+    assert error.column == error.position - last_newline

@@ -115,3 +115,37 @@ class TestAuditRclVsb:
         out = capsys.readouterr().out
         assert "DIFFERS" in out
         assert "sr_tunnel_zeroes_igp_cost" in out
+
+
+class TestChaos:
+    def test_chaos_invariant_holds_and_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--seeds", "2", "--probability", "0.2",
+            "--mode", "thread", "--prefixes", "10", "--subtasks", "3",
+            "--report", str(report_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 runs ok" in out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert len(report["runs"]) == 2
+        for run in report["runs"]:
+            assert run["ok"]
+            assert run["report"]["seed"] == run["seed"]
+            assert run["report"]["fault_counters"]
+
+    def test_chaos_reports_dead_letters_on_exhaustion(self, tmp_path, capsys):
+        # probability 1.0 crashes every attempt: retries exhaust, the run
+        # dead-letters, and that still satisfies the surfaced-failure
+        # invariant — but the command exits non-zero only on violations,
+        # so a fully dead-lettered sweep is still "ok".
+        report_path = tmp_path / "chaos.json"
+        assert main([
+            "chaos", "--seeds", "1", "--probability", "1.0",
+            "--mode", "thread", "--prefixes", "10", "--subtasks", "2",
+            "--max-retries", "2", "--report", str(report_path),
+        ]) == 0
+        assert "dead-lettered" in capsys.readouterr().out
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+        assert report["runs"][0]["outcome"] == "dead-lettered"
+        assert report["runs"][0]["report"]["dead_letters"]
