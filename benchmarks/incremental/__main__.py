@@ -1,0 +1,55 @@
+"""CLI for the incremental bench: ``python -m benchmarks.incremental``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from benchmarks.incremental import (
+    POLICY_DELTA_SPEEDUP_MIN,
+    REPORT_PATH,
+    run_benchmarks,
+    write_report,
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m benchmarks.incremental",
+        description="Time incremental vs. full change verification and "
+        "write BENCH_incremental.json.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="quick CI pass on the small WAN; still writes the report "
+        "(uploaded as a CI artifact) but does not enforce the speedup floor",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=REPORT_PATH,
+        help=f"report path (default: {REPORT_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    report = run_benchmarks(smoke=args.smoke)
+    print(json.dumps(report["scenarios"], indent=2))
+    write_report(report, args.output)
+    print(f"wrote {args.output}")
+
+    if not args.smoke and not report["criterion"]["met"]:
+        print(
+            "SPEEDUP CRITERION NOT MET: single_device_policy_delta "
+            f"{report['criterion']['measured']}x < "
+            f"{POLICY_DELTA_SPEEDUP_MIN}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -171,6 +171,7 @@ def cmd_verify(args: argparse.Namespace) -> int:
         snapshot["routes"],
         snapshot.get("flows", []),
         distributed=args.distributed,
+        incremental=args.incremental,
     )
     report = verifier.verify(plan)
     print(report.summary())
@@ -320,6 +321,12 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("snapshot")
     verify.add_argument("plan")
     verify.add_argument("--distributed", action="store_true")
+    verify.add_argument("--incremental", dest="incremental",
+                        action="store_true", default=True,
+                        help="blast-radius-bounded re-simulation (default)")
+    verify.add_argument("--no-incremental", dest="incremental",
+                        action="store_false",
+                        help="always re-simulate the full updated network")
     verify.add_argument("--lint", action="store_true",
                         help="print intent-completeness warnings")
     verify.set_defaults(func=cmd_verify)

@@ -29,6 +29,7 @@ from repro.core.intents import (
     RclIntent,
 )
 from repro.core.pipeline import ChangeVerifier, VerificationReport
+from repro.incremental import BlastRadius, IncrementalStats, ModelDiff
 from repro.core.kfailure import KFailureChecker, KFailureViolation
 from repro.core.audit import AuditResult, Auditor
 from repro.core.localize import LocalizationResult, MisconfigurationLocalizer
@@ -56,7 +57,10 @@ __all__ = [
     "NoOverloadedLinks",
     "PrefixReaches",
     "RclIntent",
+    "BlastRadius",
     "ChangeVerifier",
+    "IncrementalStats",
+    "ModelDiff",
     "VerificationReport",
     "KFailureChecker",
     "KFailureViolation",

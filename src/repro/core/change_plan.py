@@ -67,12 +67,22 @@ class TopologyOp:
     def apply(self, model: NetworkModel) -> None:
         if self.kind == "add-router":
             name, vendor, asn, region, loopback = self.args
+            if model.topology.has_router(name) or name in model.devices:
+                raise TopologyError(
+                    f"add-router op: router {name!r} already exists in the model"
+                )
+            address = IPAddress.parse(loopback)
+            owner = model.owner_of_loopback(address)
+            if owner is not None:
+                raise TopologyError(
+                    f"add-router op: loopback {loopback} of new router "
+                    f"{name!r} is already assigned to {owner!r}"
+                )
             model.topology.add_router(
                 Router(name=name, vendor=vendor, asn=asn, region=region)
             )
             model.add_device(
-                DeviceConfig(name, vendor=vendor, asn=asn),
-                loopback=IPAddress.parse(loopback),
+                DeviceConfig(name, vendor=vendor, asn=asn), loopback=address
             )
         elif self.kind == "remove-router":
             (name,) = self.args

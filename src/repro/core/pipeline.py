@@ -1,20 +1,25 @@
 """The change verification pipeline (Figure 2, left side).
 
 Pre-processing phase (run once, daily): build the base network model's
-simulation results — base RIBs, flow paths, and link loads.
+simulation results — base RIBs, flow paths, and link loads — plus the
+incremental-verification state: the base IGP, per-device local input
+routes, and content-addressed RIB snapshots.
 
 Change verification phase (per request): parse the change plan's commands,
-build the updated model incrementally from the pre-computed base, run route
-and traffic simulation for the updated network (distributed when configured),
-check the operator's intents against the simulated results, and emit
-counter-examples for violations.
+build the updated model incrementally from the pre-computed base, diff it
+against the base and bound the blast radius, re-simulate only the affected
+prefixes (splicing unaffected base state back in), check the operator's
+intents against the simulated results, and emit counter-examples for
+violations. When the blast radius cannot be bounded — or with
+``incremental=False`` — the verifier falls back to a full re-simulation of
+the updated network (distributed when configured).
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.change_plan import ChangePlan
 from repro.core.intents import IntentResult, VerificationContext
@@ -22,9 +27,22 @@ from repro.distsim.master import (
     DistributedRouteSimulation,
     DistributedTrafficSimulation,
 )
+from repro.distsim.partition import CoveredSubsetPartitioner
+from repro.incremental.engine import (
+    IncrementalEngine,
+    IncrementalStats,
+    MODE_FULL,
+    MODE_INCREMENTAL,
+    MODE_NOOP,
+    MODE_WIDENED,
+)
 from repro.net.model import NetworkModel
-from repro.routing.inputs import InputRoute, build_local_input_routes
-from repro.routing.isis import compute_igp
+from repro.routing.inputs import (
+    InputRoute,
+    build_local_input_routes,
+    build_local_inputs_for_device,
+)
+from repro.routing.isis import IgpState, compute_igp
 from repro.routing.rib import DeviceRib, GlobalRib
 from repro.routing.simulator import simulate_routes
 from repro.traffic.flow import Flow
@@ -40,6 +58,11 @@ class VerificationReport:
     elapsed_seconds: float = 0.0
     route_sim_seconds: float = 0.0
     traffic_sim_seconds: float = 0.0
+    #: blast-radius / cache-hit statistics of this verification
+    incremental: Optional[IncrementalStats] = None
+    #: simulated updated-network state (kept for downstream consumers such
+    #: as the equivalence harness; not part of the textual summary)
+    updated_world: Optional["_World"] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -56,6 +79,8 @@ class VerificationReport:
             f"in {self.elapsed_seconds:.2f}s "
             f"({len(self.intent_results)} intents checked)"
         ]
+        if self.incremental is not None:
+            lines.append(self.incremental.describe())
         for result in self.intent_results:
             lines.append(str(result))
         return "\n".join(lines)
@@ -84,6 +109,7 @@ class ChangeVerifier:
         traffic_subtasks: int = 128,
         workers: int = 1,
         max_rounds: int = 50,
+        incremental: bool = True,
     ) -> None:
         self.base_model = base_model
         self.input_routes = list(input_routes)
@@ -93,13 +119,38 @@ class ChangeVerifier:
         self.traffic_subtasks = traffic_subtasks
         self.workers = workers
         self.max_rounds = max_rounds
+        self.incremental = incremental
         self._base_world: Optional[_World] = None
+        self._base_igp: Optional[IgpState] = None
+        self._base_local_inputs: Optional[Dict[str, List[InputRoute]]] = None
+        self._engine = IncrementalEngine(base_model)
 
     # -- pre-processing phase ---------------------------------------------------
 
     def prepare_base(self) -> None:
-        """Simulate the base network (the daily pre-processing run)."""
-        self._base_world = self._simulate(self.base_model, self.input_routes)
+        """Simulate the base network (the daily pre-processing run).
+
+        Besides the base world itself, this caches the base IGP state and
+        per-device local input routes (reused by later ``verify()`` calls
+        whenever the plan cannot move them) and snapshots the base RIBs
+        into the content-addressed store.
+        """
+        self._base_igp = compute_igp(self.base_model)
+        self._base_local_inputs = {
+            name: build_local_inputs_for_device(self.base_model, device)
+            for name, device in self.base_model.devices.items()
+        }
+        base_locals = [
+            item for items in self._base_local_inputs.values() for item in items
+        ]
+        self._base_world = self._simulate(
+            self.base_model,
+            self.input_routes,
+            igp=self._base_igp,
+            local_inputs=base_locals,
+        )
+        if self.incremental:
+            self._engine.snapshot_base(self._base_world.device_ribs)
 
     @property
     def base_world(self) -> _World:
@@ -116,11 +167,12 @@ class ChangeVerifier:
         report = VerificationReport(plan=plan)
 
         updated_model = plan.build_updated_model(self.base_model)
-        updated_inputs = self.input_routes + plan.new_input_routes
 
         route_started = time.perf_counter()
-        updated_world = self._simulate(updated_model, updated_inputs)
+        updated_world, stats = self.simulate_plan(plan, updated_model)
         report.route_sim_seconds = time.perf_counter() - route_started
+        report.incremental = stats
+        report.updated_world = updated_world
 
         base = self.base_world
         ctx = VerificationContext(
@@ -139,32 +191,194 @@ class ChangeVerifier:
         report.elapsed_seconds = time.perf_counter() - started
         return report
 
+    def simulate_plan(
+        self, plan: ChangePlan, updated_model: Optional[NetworkModel] = None
+    ) -> Tuple[_World, IncrementalStats]:
+        """Simulate the updated network of a plan (incrementally when on).
+
+        Exposed separately from :meth:`verify` so the equivalence harness
+        and benchmarks can obtain the simulated world without intent
+        evaluation.
+        """
+        if updated_model is None:
+            updated_model = plan.build_updated_model(self.base_model)
+        updated_inputs = self.input_routes + plan.new_input_routes
+
+        if not self.incremental:
+            diff = self._engine.analyze(updated_model, plan.new_input_routes)[0]
+            igp, igp_reused = self._updated_igp(updated_model, diff)
+            local_inputs = self._updated_local_inputs(updated_model, diff)
+            world = self._simulate(
+                updated_model, updated_inputs, igp=igp, local_inputs=local_inputs
+            )
+            return world, IncrementalStats(
+                mode=MODE_FULL,
+                total_devices=len(updated_model.devices),
+                total_inputs=len(updated_inputs) + len(local_inputs),
+                igp_reused=igp_reused,
+            )
+        return self._simulate_incremental(plan, updated_model, updated_inputs)
+
     # -- simulation helpers ------------------------------------------------------------
 
-    def _simulate(
-        self, model: NetworkModel, input_routes: Sequence[InputRoute]
-    ) -> _World:
-        all_inputs = list(input_routes) + build_local_input_routes(model)
-        igp = compute_igp(model)
+    def _simulate_incremental(
+        self,
+        plan: ChangePlan,
+        updated_model: NetworkModel,
+        updated_inputs: List[InputRoute],
+    ) -> Tuple[_World, IncrementalStats]:
+        base = self.base_world  # ensures snapshots and caches exist
+        diff, blast = self._engine.analyze(updated_model, plan.new_input_routes)
+        igp, igp_reused = self._updated_igp(updated_model, diff)
+        local_inputs = self._updated_local_inputs(updated_model, diff)
+        all_inputs = list(updated_inputs) + local_inputs
+        snapshots_before = self._engine.snapshots.stats.as_dict()
+
+        if blast.widened:
+            world = self._simulate(
+                updated_model, updated_inputs, igp=igp, local_inputs=local_inputs
+            )
+            return world, IncrementalStats(
+                mode=MODE_WIDENED,
+                widen_reasons=blast.reasons,
+                total_devices=len(updated_model.devices),
+                total_inputs=len(all_inputs),
+                igp_reused=igp_reused,
+            )
+
+        if blast.is_empty:
+            # No slot can differ: reuse the base RIBs wholesale. Traffic must
+            # still run against the updated model when the change touches
+            # traffic-only state (ACL/PBR) or the model differs at all.
+            if diff.is_empty:
+                traffic = base.traffic
+            else:
+                traffic = self._traffic_sim(updated_model, base.device_ribs, igp)
+            world = _World(
+                model=updated_model,
+                device_ribs=base.device_ribs,
+                global_rib=base.global_rib,
+                traffic=traffic,
+            )
+            return world, IncrementalStats(
+                mode=MODE_NOOP,
+                total_devices=len(base.device_ribs),
+                total_inputs=len(all_inputs),
+                igp_reused=igp_reused,
+                snapshot_stats=self._snapshot_delta(snapshots_before),
+            )
+
+        covered = self._engine.covered_inputs(all_inputs, blast)
+        if self.distributed:
+            partitioner = CoveredSubsetPartitioner(
+                lambda item: blast.covers(item.route.prefix)
+            )
+            partial_ribs, skipped = self._route_sim(
+                updated_model, all_inputs, igp, partitioner=partitioner
+            )
+        else:
+            partial_ribs, skipped = self._route_sim(updated_model, covered, igp)
+
+        splice = self._engine.splice(base.device_ribs, partial_ribs, blast)
+        device_ribs = splice.device_ribs
+        traffic = self._traffic_sim(updated_model, device_ribs, igp)
+        world = _World(
+            model=updated_model,
+            device_ribs=device_ribs,
+            global_rib=GlobalRib.from_device_ribs(device_ribs.values()).best_routes(),
+            traffic=traffic,
+        )
+        return world, IncrementalStats(
+            mode=MODE_INCREMENTAL,
+            affected_devices=splice.affected_devices,
+            total_devices=len(device_ribs),
+            affected_prefixes=len(blast.affected_prefixes),
+            resimulated_inputs=len(covered),
+            total_inputs=len(all_inputs),
+            spliced_slots=splice.spliced_slots,
+            reused_slots=splice.reused_slots,
+            reused_devices=splice.reused_devices,
+            igp_reused=igp_reused,
+            skipped_subtasks=skipped,
+            snapshot_stats=self._snapshot_delta(snapshots_before),
+        )
+
+    def _snapshot_delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        after = self._engine.snapshots.stats.as_dict()
+        return {key: after[key] - before.get(key, 0) for key in after}
+
+    def _updated_igp(self, updated_model, diff) -> Tuple[IgpState, bool]:
+        """Reuse the cached base IGP when the diff cannot move it."""
+        if self._base_igp is not None and not diff.igp_affecting:
+            return self._base_igp, True
+        return compute_igp(updated_model), False
+
+    def _updated_local_inputs(self, updated_model, diff) -> List[InputRoute]:
+        """Local input routes of the updated model, reusing cached devices.
+
+        Per-device results from the base run are reused for every device the
+        diff cannot affect; iteration follows the model's device order so
+        the assembled list matches ``build_local_input_routes`` exactly.
+        """
+        if self._base_local_inputs is None or diff.structure_changed:
+            return build_local_input_routes(updated_model)
+        affected = diff.local_inputs_affected()
+        inputs: List[InputRoute] = []
+        for name, device in updated_model.devices.items():
+            cached = None if name in affected else self._base_local_inputs.get(name)
+            if cached is None:
+                inputs.extend(build_local_inputs_for_device(updated_model, device))
+            else:
+                inputs.extend(cached)
+        return inputs
+
+    def _route_sim(
+        self,
+        model: NetworkModel,
+        all_inputs: Sequence[InputRoute],
+        igp: IgpState,
+        partitioner=None,
+    ) -> Tuple[Dict[str, DeviceRib], int]:
         if self.distributed:
             route_sim = DistributedRouteSimulation(model, igp=igp)
             route_result = route_sim.run(
-                all_inputs, subtasks=self.route_subtasks, workers=self.workers
+                list(all_inputs),
+                subtasks=self.route_subtasks,
+                workers=self.workers,
+                partitioner=partitioner,
             )
-            device_ribs = route_result.device_ribs
-        else:
-            result = simulate_routes(
-                model, all_inputs, include_local_inputs=False, igp=igp,
-                max_rounds=self.max_rounds,
-            )
-            device_ribs = result.device_ribs
+            return route_result.device_ribs, route_result.skipped_subtasks
+        result = simulate_routes(
+            model, all_inputs, include_local_inputs=False, igp=igp,
+            max_rounds=self.max_rounds,
+        )
+        return result.device_ribs, 0
 
-        traffic: Optional[TrafficSimulationResult] = None
-        if self.input_flows:
-            traffic = TrafficSimulator(model, device_ribs, igp=igp).simulate(
-                self.input_flows
-            )
+    def _traffic_sim(
+        self, model: NetworkModel, device_ribs: Dict[str, DeviceRib], igp: IgpState
+    ) -> Optional[TrafficSimulationResult]:
+        if not self.input_flows:
+            return None
+        return TrafficSimulator(model, device_ribs, igp=igp).simulate(
+            self.input_flows
+        )
 
+    def _simulate(
+        self,
+        model: NetworkModel,
+        input_routes: Sequence[InputRoute],
+        igp: Optional[IgpState] = None,
+        local_inputs: Optional[List[InputRoute]] = None,
+    ) -> _World:
+        all_inputs = list(input_routes) + (
+            local_inputs
+            if local_inputs is not None
+            else build_local_input_routes(model)
+        )
+        if igp is None:
+            igp = compute_igp(model)
+        device_ribs, _ = self._route_sim(model, all_inputs, igp)
+        traffic = self._traffic_sim(model, device_ribs, igp)
         return _World(
             model=model,
             device_ribs=device_ribs,

@@ -149,6 +149,9 @@ class RouteTaskResult:
     subtask_durations: List[float]
     elapsed_seconds: float
     report: Optional[RunReport] = None
+    #: partitions that held no work and were never dispatched (incremental
+    #: verification leaves most chunks empty after blast-radius filtering)
+    skipped_subtasks: int = 0
 
     def global_rib(self, best_only: bool = False) -> GlobalRib:
         rib = GlobalRib.from_device_ribs(self.device_ribs.values())
@@ -484,8 +487,10 @@ class DistributedRouteSimulation(_TaskRunner):
         chunks = partitioner.split_routes(list(input_routes), subtasks)
 
         messages: Dict[str, Message] = {}
+        skipped = 0
         for index, chunk in enumerate(chunks):
             if not chunk:
+                skipped += 1
                 continue
             subtask_id = f"{task_name}/route-{index:04d}"
             input_key = f"{subtask_id}/input"
@@ -523,6 +528,7 @@ class DistributedRouteSimulation(_TaskRunner):
             subtask_durations=durations,
             elapsed_seconds=time.perf_counter() - started,
             report=report,
+            skipped_subtasks=skipped,
         )
 
 

@@ -73,6 +73,33 @@ class OrderingPartitioner:
         return _contiguous_chunks(ordered, subtasks)
 
 
+class CoveredSubsetPartitioner:
+    """Restrict a partitioner's route chunks to a covered subset.
+
+    Used by incremental verification: the *full* input list is split by the
+    inner partitioner first, then each chunk is filtered to the routes the
+    blast radius covers. Splitting before filtering keeps chunk assignment —
+    and therefore per-subtask aggregate grouping — identical to a full run;
+    chunks left with no covered routes become empty and the master skips
+    dispatching them entirely.
+    """
+
+    name = "covered-subset"
+
+    def __init__(self, covered: Callable[[InputRoute], bool], inner=None) -> None:
+        self.covered = covered
+        self.inner = inner if inner is not None else OrderingPartitioner()
+
+    def split_routes(
+        self, routes: Sequence[InputRoute], subtasks: int
+    ) -> List[List[InputRoute]]:
+        chunks = self.inner.split_routes(routes, subtasks)
+        return [[r for r in chunk if self.covered(r)] for chunk in chunks]
+
+    def split_flows(self, flows: Sequence[Flow], subtasks: int) -> List[List[Flow]]:
+        return self.inner.split_flows(flows, subtasks)
+
+
 class RandomPartitioner:
     """Random split: the paper's baseline comparison for Figure 5(d)."""
 

@@ -1,0 +1,73 @@
+"""Incremental change verification (blast-radius-bounded re-simulation).
+
+Makes ``ChangeVerifier.verify`` cost proportional to the blast radius of a
+change plan instead of the size of the WAN: a model differ
+(:mod:`repro.incremental.diff`) finds what changed, a blast-radius analyzer
+(:mod:`repro.incremental.blast`) bounds the prefixes that can move (or
+widens to full when it cannot), a content-addressed snapshot store
+(:mod:`repro.incremental.snapshots`) keeps the base world's per-device RIBs,
+and the warm-start engine (:mod:`repro.incremental.engine`) re-simulates
+only covered inputs and splices the result into unaffected base state.
+"""
+
+from repro.incremental.blast import (
+    ANALYZABLE_SECTIONS,
+    BlastRadius,
+    TRAFFIC_ONLY_SECTIONS,
+    WIDEN_SECTIONS,
+    analyze_blast_radius,
+)
+from repro.incremental.diff import (
+    DeviceDelta,
+    IGP_SECTIONS,
+    LOCAL_INPUT_SECTIONS,
+    ModelDiff,
+    SECTIONS,
+    device_section_fingerprints,
+    diff_models,
+    topology_fingerprint,
+)
+from repro.incremental.engine import (
+    IncrementalEngine,
+    IncrementalStats,
+    MODE_FULL,
+    MODE_INCREMENTAL,
+    MODE_NOOP,
+    MODE_WIDENED,
+    SpliceResult,
+)
+from repro.incremental.snapshots import (
+    BASE_WORLD_TOKEN,
+    RibSnapshotStore,
+    SnapshotStats,
+    device_rib_fingerprint,
+    device_token,
+)
+
+__all__ = [
+    "ANALYZABLE_SECTIONS",
+    "BASE_WORLD_TOKEN",
+    "BlastRadius",
+    "DeviceDelta",
+    "IGP_SECTIONS",
+    "IncrementalEngine",
+    "IncrementalStats",
+    "LOCAL_INPUT_SECTIONS",
+    "MODE_FULL",
+    "MODE_INCREMENTAL",
+    "MODE_NOOP",
+    "MODE_WIDENED",
+    "ModelDiff",
+    "RibSnapshotStore",
+    "SECTIONS",
+    "SnapshotStats",
+    "SpliceResult",
+    "TRAFFIC_ONLY_SECTIONS",
+    "WIDEN_SECTIONS",
+    "analyze_blast_radius",
+    "device_rib_fingerprint",
+    "device_section_fingerprints",
+    "device_token",
+    "diff_models",
+    "topology_fingerprint",
+]

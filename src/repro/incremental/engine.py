@@ -1,0 +1,233 @@
+"""Warm-start incremental verification: partial re-simulation plus splice.
+
+The engine ties the subsystem together for ``ChangeVerifier``:
+
+1. After the base simulation, :meth:`IncrementalEngine.snapshot_base` stores
+   every device RIB in the content-addressed snapshot store (invalidating
+   the previous base world's snapshots first).
+2. Per change plan, :meth:`IncrementalEngine.analyze` produces the model
+   diff and blast radius.
+3. The verifier re-simulates only the covered input routes
+   (:meth:`IncrementalEngine.covered_inputs` — order-preserving, so subtask
+   grouping and candidate ordering match a full run), then
+   :meth:`IncrementalEngine.splice` merges the partial result into the
+   unaffected base state: covered slots come from the partial run, uncovered
+   slots from the base snapshots, and devices without any covered slot reuse
+   their base RIB object wholesale (a snapshot-store hit).
+
+Correctness rests on the blast-radius guarantee: a slot whose prefix the
+radius does not cover is byte-identical between base and updated runs, so
+splicing base rows there reproduces exactly what the full run would emit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.incremental.blast import BlastRadius, analyze_blast_radius
+from repro.incremental.diff import ModelDiff, diff_models
+from repro.incremental.snapshots import (
+    BASE_WORLD_TOKEN,
+    RibSnapshotStore,
+    device_token,
+)
+from repro.net.model import NetworkModel
+from repro.routing.inputs import InputRoute
+from repro.routing.rib import DeviceRib
+
+#: How a verify() call was served.
+MODE_FULL = "full"  #: incremental disabled (escape hatch)
+MODE_WIDENED = "widened"  #: analyzer widened to full re-simulation
+MODE_INCREMENTAL = "incremental"  #: partial re-simulation + splice
+MODE_NOOP = "noop"  #: no routing-visible change; base RIBs reused wholesale
+
+
+@dataclass
+class IncrementalStats:
+    """Blast-radius and cache-hit statistics of one verify() call."""
+
+    mode: str = MODE_FULL
+    widen_reasons: Tuple[str, ...] = ()
+    affected_devices: int = 0
+    total_devices: int = 0
+    affected_prefixes: int = 0
+    resimulated_inputs: int = 0
+    total_inputs: int = 0
+    spliced_slots: int = 0
+    reused_slots: int = 0
+    reused_devices: int = 0
+    igp_reused: bool = False
+    skipped_subtasks: int = 0
+    snapshot_stats: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "mode": self.mode,
+            "widen_reasons": list(self.widen_reasons),
+            "affected_devices": self.affected_devices,
+            "total_devices": self.total_devices,
+            "affected_prefixes": self.affected_prefixes,
+            "resimulated_inputs": self.resimulated_inputs,
+            "total_inputs": self.total_inputs,
+            "spliced_slots": self.spliced_slots,
+            "reused_slots": self.reused_slots,
+            "reused_devices": self.reused_devices,
+            "igp_reused": self.igp_reused,
+            "skipped_subtasks": self.skipped_subtasks,
+            "snapshot_stats": dict(self.snapshot_stats),
+        }
+
+    def describe(self) -> str:
+        if self.mode == MODE_FULL:
+            return "incremental: off (full re-simulation)"
+        if self.mode == MODE_WIDENED:
+            reasons = "; ".join(self.widen_reasons) or "not analyzable"
+            return f"incremental: widened to full ({reasons})"
+        if self.mode == MODE_NOOP:
+            return (
+                "incremental: no routing-visible change, "
+                f"reused base RIBs of {self.total_devices} devices"
+            )
+        snapshot_hits = self.snapshot_stats.get("get_hits", 0)
+        parts = [
+            f"blast radius {self.affected_devices}/{self.total_devices} devices",
+            f"{self.affected_prefixes} prefixes",
+            f"re-simulated {self.resimulated_inputs}/{self.total_inputs} inputs",
+            f"spliced {self.spliced_slots} slots, reused {self.reused_slots}",
+            f"snapshot hits {snapshot_hits}",
+        ]
+        if self.skipped_subtasks:
+            parts.append(f"skipped {self.skipped_subtasks} subtasks")
+        if self.igp_reused:
+            parts.append("IGP reused")
+        return "incremental: " + ", ".join(parts)
+
+
+@dataclass
+class SpliceResult:
+    """Spliced device RIBs plus the reuse accounting."""
+
+    device_ribs: Dict[str, DeviceRib]
+    affected_devices: int = 0
+    reused_devices: int = 0
+    spliced_slots: int = 0
+    reused_slots: int = 0
+
+
+class IncrementalEngine:
+    """Per-verifier incremental state: snapshots plus analyze/splice."""
+
+    def __init__(
+        self,
+        base_model: NetworkModel,
+        snapshots: Optional[RibSnapshotStore] = None,
+    ) -> None:
+        self.base_model = base_model
+        self.snapshots = snapshots if snapshots is not None else RibSnapshotStore()
+        self._snapshot_keys: Dict[str, str] = {}
+
+    # -- base world ---------------------------------------------------------
+
+    def snapshot_base(self, device_ribs: Mapping[str, DeviceRib]) -> None:
+        """Snapshot the base world's RIBs, invalidating the previous one."""
+        self.snapshots.invalidate(BASE_WORLD_TOKEN)
+        self._snapshot_keys = {
+            name: self.snapshots.put(
+                rib, deps=(BASE_WORLD_TOKEN, device_token(name))
+            )
+            for name, rib in device_ribs.items()
+        }
+
+    def base_rib(self, name: str, fallback: DeviceRib) -> DeviceRib:
+        """Fetch a base device RIB, preferring the snapshot store."""
+        key = self._snapshot_keys.get(name)
+        if key is not None and self.snapshots.contains(key):
+            return self.snapshots.get(key)
+        return fallback
+
+    # -- analysis -----------------------------------------------------------
+
+    def analyze(
+        self,
+        updated_model: NetworkModel,
+        new_input_routes: Iterable[InputRoute] = (),
+    ) -> Tuple[ModelDiff, BlastRadius]:
+        """Diff the updated model against base and bound the blast radius."""
+        diff = diff_models(
+            self.base_model, updated_model, tuple(new_input_routes)
+        )
+        blast = analyze_blast_radius(diff, self.base_model, updated_model)
+        return diff, blast
+
+    @staticmethod
+    def covered_inputs(
+        inputs: Iterable[InputRoute], blast: BlastRadius
+    ) -> List[InputRoute]:
+        """Inputs inside the blast radius, in original (full-run) order."""
+        return [item for item in inputs if blast.covers(item.route.prefix)]
+
+    # -- splice --------------------------------------------------------------
+
+    def splice(
+        self,
+        base_ribs: Mapping[str, DeviceRib],
+        partial_ribs: Mapping[str, DeviceRib],
+        blast: BlastRadius,
+    ) -> SpliceResult:
+        """Merge a partial re-simulation into the unaffected base state.
+
+        For every device: slots at covered prefixes come from the partial
+        run (absence there means the route was withdrawn); slots at
+        uncovered prefixes come from the base run. A device with no covered
+        slot on either side keeps its base RIB object — served through the
+        snapshot store so reuse shows up as cache hits.
+        """
+        result = SpliceResult(device_ribs={})
+        names = list(base_ribs)
+        names.extend(sorted(set(partial_ribs) - set(base_ribs)))
+        for name in names:
+            base_rib = base_ribs.get(name)
+            partial_rib = partial_ribs.get(name)
+            covered_base = _covered_slots(base_rib, blast)
+            covered_partial = _covered_slots(partial_rib, blast)
+            if not covered_base and not covered_partial and base_rib is not None:
+                result.device_ribs[name] = self.base_rib(name, base_rib)
+                result.reused_devices += 1
+                result.reused_slots += sum(
+                    len(base_rib.prefixes(vrf)) for vrf in base_rib.vrfs
+                )
+                continue
+
+            spliced = DeviceRib(name)
+            if base_rib is not None:
+                for vrf in base_rib.vrfs:
+                    for prefix in base_rib.prefixes(vrf):
+                        if (vrf, prefix) not in covered_base:
+                            spliced.replace_prefix(
+                                vrf, prefix, base_rib.entries_for(prefix, vrf)
+                            )
+                            result.reused_slots += 1
+            if partial_rib is not None:
+                for vrf, prefix in covered_partial:
+                    spliced.replace_prefix(
+                        vrf, prefix, partial_rib.entries_for(prefix, vrf)
+                    )
+                    result.spliced_slots += 1
+            result.device_ribs[name] = spliced
+            result.affected_devices += 1
+        return result
+
+
+def _covered_slots(
+    rib: Optional[DeviceRib], blast: BlastRadius
+) -> Set[Tuple[str, object]]:
+    """The (vrf, prefix) slots of a RIB inside the blast radius."""
+    if rib is None:
+        return set()
+    return {
+        (vrf, prefix)
+        for vrf in rib.vrfs
+        for prefix in rib.prefixes(vrf)
+        if blast.covers(prefix)
+    }

@@ -1,0 +1,147 @@
+"""Content-addressed RIB snapshot store with dependency-aware invalidation.
+
+The incremental engine keeps the base simulation's per-device RIBs as
+snapshots keyed by content fingerprint (the same identity-row hashing the
+chaos harness uses for whole-world ``rib_fingerprint`` checks). Snapshots
+live in a :class:`~repro.distsim.storage.ObjectStore` — the simulated cloud
+object storage subtask files already go through — so they cross a real
+serialization boundary, plus an in-memory materialized cache so the hot path
+(every ``verify()`` call reads the RIB of every unaffected device) does not
+pay an unpickle per read.
+
+Content addressing makes writes idempotent: re-snapshotting an unchanged
+device is a no-op (a *put hit*). Each snapshot registers one or more
+*dependency tokens* (e.g. ``base-world``, ``device:<name>``); invalidating a
+token evicts every snapshot that depends on it, both from the store and the
+materialized cache. ``ChangeVerifier`` invalidates ``base-world`` whenever
+the base simulation is (re)prepared.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Optional, Set
+
+from repro.distsim.storage import ObjectNotFound, ObjectStore
+from repro.routing.rib import DeviceRib
+
+KEY_PREFIX = "ribsnap/"
+
+#: Dependency token for the whole base world (invalidated on re-prepare).
+BASE_WORLD_TOKEN = "base-world"
+
+
+def device_token(name: str) -> str:
+    """Dependency token for one device's snapshot."""
+    return f"device:{name}"
+
+
+def device_rib_fingerprint(rib: DeviceRib) -> str:
+    """Content fingerprint of one device RIB (hex digest).
+
+    Hashes the sorted identity rows — the same row identity the chaos
+    harness's ``rib_fingerprint`` uses for whole-world equivalence — so two
+    RIBs with identical routing content collide by construction.
+    """
+    digest = hashlib.sha256()
+    for row_repr in sorted(repr(row.identity()) for row in rib.all_rows()):
+        digest.update(row_repr.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass
+class SnapshotStats:
+    """Counters for the snapshot store's hit/miss behaviour."""
+
+    put_stores: int = 0  #: snapshots actually written (new content)
+    put_hits: int = 0  #: puts deduplicated by content addressing
+    get_hits: int = 0  #: reads served from the materialized cache
+    get_cold: int = 0  #: reads that had to unpickle from the object store
+    invalidations: int = 0  #: snapshots evicted via dependency tokens
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "put_stores": self.put_stores,
+            "put_hits": self.put_hits,
+            "get_hits": self.get_hits,
+            "get_cold": self.get_cold,
+            "invalidations": self.invalidations,
+        }
+
+
+class RibSnapshotStore:
+    """Content-addressed per-device RIB snapshots over an ObjectStore."""
+
+    def __init__(self, store: Optional[ObjectStore] = None) -> None:
+        self.store = store if store is not None else ObjectStore()
+        self.stats = SnapshotStats()
+        self._materialized: Dict[str, Any] = {}
+        self._dependents: Dict[str, Set[str]] = {}
+
+    def put(self, rib: DeviceRib, deps: Iterable[str] = ()) -> str:
+        """Snapshot a device RIB; returns its content-addressed key.
+
+        Re-putting identical content is a cheap no-op (the pickle write is
+        skipped) but still registers the new dependency tokens.
+        """
+        key = KEY_PREFIX + device_rib_fingerprint(rib)
+        if self.store.exists(key):
+            self.stats.put_hits += 1
+        else:
+            self.store.put(key, rib)
+            self.stats.put_stores += 1
+        # Keep the exact object that was snapshotted on hand: readers on this
+        # process get it back without an unpickle round trip.
+        self._materialized[key] = rib
+        for token in deps:
+            self._dependents.setdefault(token, set()).add(key)
+        return key
+
+    def get(self, key: str) -> DeviceRib:
+        """Fetch a snapshot by key (materialized cache first)."""
+        cached = self._materialized.get(key)
+        if cached is not None:
+            self.stats.get_hits += 1
+            return cached
+        rib = self.store.get(key)  # raises ObjectNotFound for unknown keys
+        self._materialized[key] = rib
+        self.stats.get_cold += 1
+        return rib
+
+    def contains(self, key: str) -> bool:
+        return key in self._materialized or self.store.exists(key)
+
+    def invalidate(self, token: str) -> int:
+        """Evict every snapshot depending on ``token``; returns the count.
+
+        A snapshot shared by several tokens (content-addressing can alias
+        identical RIBs of different devices) disappears for all of them.
+        """
+        keys = self._dependents.pop(token, set())
+        evicted = 0
+        for key in keys:
+            if key in self._materialized or self.store.exists(key):
+                evicted += 1
+            self._materialized.pop(key, None)
+            self.store.delete(key)
+        # Drop dangling references from other tokens to the evicted keys.
+        for dependents in self._dependents.values():
+            dependents.difference_update(keys)
+        self.stats.invalidations += evicted
+        return evicted
+
+    def __len__(self) -> int:
+        return len(self.store.keys(KEY_PREFIX))
+
+
+__all__ = [
+    "BASE_WORLD_TOKEN",
+    "KEY_PREFIX",
+    "ObjectNotFound",
+    "RibSnapshotStore",
+    "SnapshotStats",
+    "device_rib_fingerprint",
+    "device_token",
+]

@@ -66,6 +66,10 @@ class NetworkModel:
     def loopback_of(self, router: str) -> Optional[IPAddress]:
         return self.loopbacks.get(router)
 
+    def owner_of_loopback(self, address: IPAddress) -> Optional[str]:
+        """The router whose loopback is ``address``, if any."""
+        return self._loopback_owner.get(address)
+
     def owner_of_address(self, address: IPAddress) -> Optional[str]:
         """The router owning an address (loopback or interface address)."""
         owner = self._loopback_owner.get(address)

@@ -82,56 +82,65 @@ def _direct_prefixes(model: NetworkModel, device: DeviceConfig) -> List[Route]:
     return routes
 
 
-def build_local_input_routes(model: NetworkModel) -> List[InputRoute]:
-    """Derive locally originated BGP input routes from redistribution config.
+def build_local_inputs_for_device(
+    model: NetworkModel, device: DeviceConfig
+) -> List[InputRoute]:
+    """Locally originated BGP input routes of a single device.
 
     Applies the redistribution route policy (VSB-aware) and the vendor's
     default redistribution weight; honours ``redistributes_direct_slash32``.
     """
     inputs: List[InputRoute] = []
-    for device in model.devices.values():
-        vendor = device.vendor
-        for redist in device.redistributions:
-            if redist.source == "direct":
-                sources = _direct_prefixes(model, device)
-            elif redist.source == "static":
-                sources = [
-                    Route(
-                        prefix=s.prefix,
-                        nexthop=s.nexthop,
-                        protocol="static",
-                        source=SOURCE_LOCAL,
-                        origin_router=device.name,
-                        origin_vrf=s.vrf,
-                    )
-                    for s in device.statics
-                    if s.vrf == redist.vrf
-                ]
-            else:
-                # isis redistribution is modelled as loopback origination
-                sources = []
-            for source_route in sources:
-                if "direct32" in source_route.flags and not (
-                    vendor.redistributes_direct_slash32
-                ):
-                    continue
-                candidate = source_route.evolve(
-                    protocol=PROTO_BGP,
+    vendor = device.vendor
+    for redist in device.redistributions:
+        if redist.source == "direct":
+            sources = _direct_prefixes(model, device)
+        elif redist.source == "static":
+            sources = [
+                Route(
+                    prefix=s.prefix,
+                    nexthop=s.nexthop,
+                    protocol="static",
                     source=SOURCE_LOCAL,
-                    weight=vendor.redistribution_weight,
-                    origin_vrf=redist.vrf,
+                    origin_router=device.name,
+                    origin_vrf=s.vrf,
                 )
-                if redist.policy is not None:
-                    # No policy configured means unconditional redistribution
-                    # (the missing-policy VSB concerns session updates, not
-                    # redistribution).
-                    result = apply_policy(redist.policy, candidate, device.policy_ctx)
-                    if not result.permitted:
-                        continue
-                    candidate = result.route
-                inputs.append(
-                    InputRoute(router=device.name, vrf=redist.vrf, route=candidate)
-                )
+                for s in device.statics
+                if s.vrf == redist.vrf
+            ]
+        else:
+            # isis redistribution is modelled as loopback origination
+            sources = []
+        for source_route in sources:
+            if "direct32" in source_route.flags and not (
+                vendor.redistributes_direct_slash32
+            ):
+                continue
+            candidate = source_route.evolve(
+                protocol=PROTO_BGP,
+                source=SOURCE_LOCAL,
+                weight=vendor.redistribution_weight,
+                origin_vrf=redist.vrf,
+            )
+            if redist.policy is not None:
+                # No policy configured means unconditional redistribution
+                # (the missing-policy VSB concerns session updates, not
+                # redistribution).
+                result = apply_policy(redist.policy, candidate, device.policy_ctx)
+                if not result.permitted:
+                    continue
+                candidate = result.route
+            inputs.append(
+                InputRoute(router=device.name, vrf=redist.vrf, route=candidate)
+            )
+    return inputs
+
+
+def build_local_input_routes(model: NetworkModel) -> List[InputRoute]:
+    """Derive locally originated BGP input routes from redistribution config."""
+    inputs: List[InputRoute] = []
+    for device in model.devices.values():
+        inputs.extend(build_local_inputs_for_device(model, device))
     return inputs
 
 

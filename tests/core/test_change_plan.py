@@ -140,3 +140,104 @@ class TestTopologyOps:
             device_commands={"A": ["a", "b"], "B": ["c"]},
         )
         assert plan.command_count() == 3
+
+
+class TestAddRouterConflicts:
+    def base(self):
+        return build_model(
+            routers=[("A", 100), ("B", 100)], links=[("A", "B", 10)]
+        )
+
+    def test_duplicate_router_name_rejected(self):
+        model = self.base()
+        plan = ChangePlan(
+            name="dup-name",
+            change_type="adding-new-routers",
+            topology_ops=[add_router("A", loopback="10.255.200.1")],
+        )
+        with pytest.raises(TopologyError, match="router 'A' already exists"):
+            plan.build_updated_model(model)
+
+    def test_duplicate_loopback_rejected(self):
+        model = self.base()  # B owns 10.255.0.2
+        plan = ChangePlan(
+            name="dup-loopback",
+            change_type="adding-new-routers",
+            topology_ops=[add_router("C", loopback="10.255.0.2")],
+        )
+        with pytest.raises(TopologyError) as excinfo:
+            plan.build_updated_model(model)
+        message = str(excinfo.value)
+        assert "10.255.0.2" in message
+        assert "'C'" in message
+        assert "'B'" in message
+
+    def test_conflicting_add_router_leaves_base_untouched(self):
+        model = self.base()
+        plan = ChangePlan(
+            name="dup-loopback",
+            change_type="adding-new-routers",
+            topology_ops=[
+                add_link("A", "B", cost=99),  # applies before the bad op
+                add_router("C", loopback="10.255.0.2"),
+            ],
+        )
+        with pytest.raises(TopologyError):
+            plan.build_updated_model(model)
+        assert not model.topology.has_router("C")
+        assert len(model.topology.links_of("A")) == 1
+
+
+class TestBuildUpdatedModelSafety:
+    def base(self):
+        return build_model(
+            routers=[("A", 100), ("B", 100)], links=[("A", "B", 10)]
+        )
+
+    def test_unknown_device_error_names_plan_and_device(self):
+        model = self.base()
+        plan = ChangePlan(
+            name="typo-plan",
+            change_type="os-patch",
+            device_commands={"ghost": ["router bgp 1"]},
+        )
+        with pytest.raises(KeyError) as excinfo:
+            plan.build_updated_model(model)
+        message = str(excinfo.value)
+        assert "typo-plan" in message
+        assert "ghost" in message
+
+    def test_base_not_mutated_when_late_command_fails(self):
+        from repro.net.config.base import ConfigParseError
+
+        model = self.base()
+        plan = ChangePlan(
+            name="half-broken",
+            change_type="static-route-modification",
+            device_commands={
+                "A": ["ip route 172.16.0.0/12 10.255.0.2"],  # valid
+                "B": ["this is not a command"],  # fails mid-plan
+            },
+        )
+        with pytest.raises(ConfigParseError):
+            plan.build_updated_model(model)
+        assert len(model.device("A").statics) == 0
+        assert len(model.device("B").statics) == 0
+
+    def test_base_not_mutated_when_command_on_same_device_fails(self):
+        from repro.net.config.base import ConfigParseError
+
+        model = self.base()
+        plan = ChangePlan(
+            name="half-broken-same-device",
+            change_type="static-route-modification",
+            device_commands={
+                "A": [
+                    "ip route 172.16.0.0/12 10.255.0.2",
+                    "this is not a command",
+                ],
+            },
+        )
+        with pytest.raises(ConfigParseError):
+            plan.build_updated_model(model)
+        assert len(model.device("A").statics) == 0

@@ -1,0 +1,133 @@
+"""Tests for the model differ (repro.incremental.diff)."""
+
+from repro.incremental.diff import (
+    IGP_SECTIONS,
+    SECTIONS,
+    device_section_fingerprints,
+    diff_models,
+    topology_fingerprint,
+)
+from repro.net.addr import IPAddress
+from repro.net.device import DeviceConfig
+from repro.net.policy import RoutePolicy
+from repro.net.topology import Router
+
+from tests.helpers import build_model
+
+
+def base_model():
+    return build_model(
+        routers=[("A", 100), ("B", 100), ("C", 100)],
+        links=[("A", "B", 10), ("B", "C", 10)],
+    )
+
+
+class TestDiffModels:
+    def test_copy_is_empty_diff(self):
+        base = base_model()
+        diff = diff_models(base, base.copy())
+        assert diff.is_empty
+        assert diff.summary() == "no changes"
+
+    def test_statics_delta_detected(self):
+        base = base_model()
+        updated = base.copy()
+        updated.device("A").add_static("172.20.0.0/16", "10.255.0.2")
+        diff = diff_models(base, updated)
+        assert set(diff.device_deltas) == {"A"}
+        assert diff.device_deltas["A"].sections == frozenset({"statics"})
+        assert not diff.igp_affecting
+        assert diff.local_inputs_affected() == {"A"}
+
+    def test_aggregate_delta_detected(self):
+        base = base_model()
+        updated = base.copy()
+        updated.device("B").add_aggregate("10.0.0.0/8", summary_only=True)
+        diff = diff_models(base, updated)
+        assert diff.device_deltas["B"].sections == frozenset({"aggregates"})
+        assert diff.local_inputs_affected() == set()
+
+    def test_isis_delta_is_igp_affecting(self):
+        base = base_model()
+        updated = base.copy()
+        updated.device("A").isis.cost_overrides["B"] = 1000
+        diff = diff_models(base, updated)
+        assert diff.device_deltas["A"].sections == frozenset({"isis"})
+        assert diff.igp_affecting
+
+    def test_policy_delta_detected(self):
+        base = base_model()
+        updated = base.copy()
+        updated.device("C").policy_ctx.policies["STEER"] = RoutePolicy("STEER")
+        diff = diff_models(base, updated)
+        assert diff.device_deltas["C"].sections == frozenset({"policies"})
+        assert diff.local_inputs_affected() == {"C"}
+
+    def test_topology_change_detected(self):
+        base = base_model()
+        updated = base.copy()
+        updated.topology.connect("A", "C", igp_cost=30)
+        diff = diff_models(base, updated)
+        assert diff.topology_changed
+        assert diff.structure_changed
+        assert diff.igp_affecting
+
+    def test_failed_link_changes_topology_fingerprint(self):
+        base = base_model()
+        updated = base.copy()
+        link = updated.topology.find_link("A", "B")
+        updated.topology.fail_link(link)
+        assert topology_fingerprint(base.topology) != topology_fingerprint(
+            updated.topology
+        )
+        assert diff_models(base, updated).topology_changed
+
+    def test_device_added_and_removed(self):
+        base = base_model()
+        updated = base.copy()
+        updated.topology.add_router(Router(name="D", asn=100))
+        updated.add_device(
+            DeviceConfig("D", asn=100), loopback=IPAddress.parse("10.255.9.9")
+        )
+        updated.remove_device("C")
+        diff = diff_models(base, updated)
+        assert diff.devices_added == frozenset({"D"})
+        assert diff.devices_removed == frozenset({"C"})
+        assert diff.structure_changed
+
+    def test_loopback_change_detected(self):
+        base = base_model()
+        updated = base.copy()
+        updated.set_loopback("A", IPAddress.parse("10.254.0.1"))
+        diff = diff_models(base, updated)
+        assert diff.loopbacks_changed
+        assert diff.structure_changed
+
+    def test_new_input_routes_carried(self):
+        base = base_model()
+        from repro.routing.inputs import inject_external_route
+
+        new = inject_external_route("A", "198.51.77.0/24", (64999,))
+        diff = diff_models(base, base.copy(), (new,))
+        assert not diff.is_empty
+        assert diff.new_input_routes == (new,)
+
+
+class TestSectionFingerprints:
+    def test_every_section_has_a_fingerprint(self):
+        config = DeviceConfig("X")
+        prints = device_section_fingerprints(config)
+        assert set(prints) == set(SECTIONS)
+        assert IGP_SECTIONS <= set(SECTIONS)
+
+    def test_fingerprints_are_order_insensitive_for_dicts(self):
+        a = DeviceConfig("X")
+        b = DeviceConfig("X")
+        a.acls["ONE"] = "x"
+        a.acls["TWO"] = "y"
+        b.acls["TWO"] = "y"
+        b.acls["ONE"] = "x"
+        assert (
+            device_section_fingerprints(a)["acls"]
+            == device_section_fingerprints(b)["acls"]
+        )

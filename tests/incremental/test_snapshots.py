@@ -1,0 +1,113 @@
+"""Tests for the content-addressed RIB snapshot store."""
+
+import pytest
+
+from repro.incremental.snapshots import (
+    BASE_WORLD_TOKEN,
+    KEY_PREFIX,
+    ObjectNotFound,
+    RibSnapshotStore,
+    device_rib_fingerprint,
+    device_token,
+)
+from repro.net.addr import as_prefix
+from repro.net.device import GLOBAL_VRF
+from repro.routing.inputs import inject_external_route
+from repro.routing.rib import DeviceRib
+
+
+def make_rib(name="A", prefix="10.1.0.0/16"):
+    rib = DeviceRib(name)
+    item = inject_external_route(name, prefix, (64999,))
+    rib.install(item.route, vrf=GLOBAL_VRF, route_type="bgp")
+    return rib
+
+
+class TestFingerprint:
+    def test_same_content_same_fingerprint(self):
+        assert device_rib_fingerprint(make_rib()) == device_rib_fingerprint(
+            make_rib()
+        )
+
+    def test_different_content_differs(self):
+        assert device_rib_fingerprint(make_rib()) != device_rib_fingerprint(
+            make_rib(prefix="10.2.0.0/16")
+        )
+
+    def test_empty_rib_has_fingerprint(self):
+        assert len(device_rib_fingerprint(DeviceRib("A"))) == 64
+
+
+class TestPutGet:
+    def test_put_returns_prefixed_key_and_get_round_trips(self):
+        store = RibSnapshotStore()
+        rib = make_rib()
+        key = store.put(rib)
+        assert key.startswith(KEY_PREFIX)
+        assert store.contains(key)
+        assert store.get(key) is rib  # materialized cache
+        assert store.stats.get_hits == 1
+
+    def test_put_is_content_deduplicated(self):
+        store = RibSnapshotStore()
+        key1 = store.put(make_rib())
+        key2 = store.put(make_rib())
+        assert key1 == key2
+        assert store.stats.put_stores == 1
+        assert store.stats.put_hits == 1
+        assert len(store) == 1
+
+    def test_cold_get_unpickles_from_object_store(self):
+        store = RibSnapshotStore()
+        rib = make_rib()
+        key = store.put(rib)
+        store._materialized.clear()  # simulate a fresh process
+        fetched = store.get(key)
+        assert fetched is not rib  # crossed the serialization boundary
+        assert device_rib_fingerprint(fetched) == device_rib_fingerprint(rib)
+        assert store.stats.get_cold == 1
+        # second read is warm again
+        assert store.get(key) is fetched
+        assert store.stats.get_hits == 1
+
+    def test_get_unknown_key_raises(self):
+        store = RibSnapshotStore()
+        with pytest.raises(ObjectNotFound):
+            store.get(KEY_PREFIX + "deadbeef")
+
+
+class TestInvalidation:
+    def test_invalidate_evicts_dependents(self):
+        store = RibSnapshotStore()
+        key = store.put(make_rib(), deps=(BASE_WORLD_TOKEN, device_token("A")))
+        assert store.invalidate(BASE_WORLD_TOKEN) == 1
+        assert not store.contains(key)
+        assert len(store) == 0
+        assert store.stats.invalidations == 1
+
+    def test_invalidate_cleans_sibling_token_references(self):
+        store = RibSnapshotStore()
+        store.put(make_rib(), deps=(BASE_WORLD_TOKEN, device_token("A")))
+        store.invalidate(BASE_WORLD_TOKEN)
+        # the device token no longer references the evicted key
+        assert store.invalidate(device_token("A")) == 0
+
+    def test_invalidate_unknown_token_is_noop(self):
+        store = RibSnapshotStore()
+        store.put(make_rib())
+        assert store.invalidate("no-such-token") == 0
+        assert len(store) == 1
+
+    def test_untouched_snapshots_survive(self):
+        store = RibSnapshotStore()
+        store.put(make_rib("A", "10.1.0.0/16"), deps=(device_token("A"),))
+        kept = store.put(make_rib("B", "10.2.0.0/16"), deps=(device_token("B"),))
+        store.invalidate(device_token("A"))
+        assert store.contains(kept)
+        assert len(store) == 1
+
+
+class TestCoversAsPrefixSanity:
+    def test_rib_prefix_round_trip(self):
+        rib = make_rib()
+        assert as_prefix("10.1.0.0/16") in rib.prefixes(GLOBAL_VRF)
