@@ -38,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 from repro.core.change_plan import ChangePlan
 from repro.core.pipeline import ChangeVerifier
 from repro.incremental.snapshots import device_rib_fingerprint
+from repro.obs import RunContext
 from repro.routing.inputs import inject_external_route
 from repro.workload import (
     WanParams,
@@ -164,17 +165,43 @@ def _fingerprints(world) -> Dict[str, str]:
     }
 
 
+#: Span names whose subtree durations become the per-phase breakdown.
+PHASE_SPANS = (
+    "incremental.analyze",
+    "incremental.splice",
+    "route_sim",
+    "traffic_sim",
+    "bgp_fixpoint",
+)
+
+
+def _phase_seconds(ctx: RunContext) -> Dict[str, float]:
+    return {
+        name: round(sum(span.duration for span in ctx.root.find_all(name)), 4)
+        for name in PHASE_SPANS
+        if ctx.root.find(name) is not None
+    }
+
+
 def measure_scenario(
     incremental_verifier: ChangeVerifier,
     full_verifier: ChangeVerifier,
     plan: ChangePlan,
     repeats: int,
 ) -> Dict[str, Any]:
+    last: Dict[str, RunContext] = {}
+
+    def run(verifier: ChangeVerifier, key: str):
+        ctx = RunContext("bench")
+        result = verifier.simulate_plan(plan, ctx=ctx)
+        last[key] = ctx
+        return result
+
     inc_seconds, (inc_world, stats) = _best_of(
-        lambda: incremental_verifier.simulate_plan(plan), repeats
+        lambda: run(incremental_verifier, "incremental"), repeats
     )
     full_seconds, (full_world, _) = _best_of(
-        lambda: full_verifier.simulate_plan(plan), repeats
+        lambda: run(full_verifier, "full"), repeats
     )
     if _fingerprints(inc_world) != _fingerprints(full_world):
         raise AssertionError(
@@ -187,6 +214,10 @@ def measure_scenario(
         "incremental_seconds": round(inc_seconds, 4),
         "full_seconds": round(full_seconds, 4),
         "speedup": round(full_seconds / inc_seconds, 2) if inc_seconds else None,
+        "phases_seconds": {
+            "incremental": _phase_seconds(last["incremental"]),
+            "full": _phase_seconds(last["full"]),
+        },
         "blast_radius": {
             "affected_devices": stats.affected_devices,
             "total_devices": stats.total_devices,

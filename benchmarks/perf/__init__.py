@@ -31,12 +31,12 @@ import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro import perfopts
-from repro.distsim.master import DistributedRouteSimulation
+from repro.exec import CentralizedBackend, DistributedBackend, RouteSimRequest
 from repro.net.policy import PolicyContext, apply_policy
 from repro.net.vendors import VENDOR_A
+from repro.obs import RunContext
 from repro.routing.attributes import Route, SOURCE_EBGP
 from repro.net.addr import Prefix
-from repro.routing.simulator import RouteSimulator
 from repro.workload.routes import generate_input_routes
 from repro.workload.wan import WanParams, generate_wan
 
@@ -84,20 +84,41 @@ def _best_of(fn: Callable[[], Any], repeats: int) -> Tuple[float, Any]:
 # -- scenarios -----------------------------------------------------------------
 
 
+def _phase_seconds(ctx: RunContext, names: Tuple[str, ...]) -> Dict[str, float]:
+    """Per-phase wall-clock breakdown from the run's span tree."""
+    return {
+        name: round(sum(span.duration for span in ctx.root.find_all(name)), 4)
+        for name in names
+        if ctx.root.find(name) is not None
+    }
+
+
 def bench_route_sim(regions: int, n_prefixes: int, repeats: int) -> Dict[str, Any]:
     """One full route-simulation pass on a synthetic WAN."""
     model, inventory = generate_wan(WanParams(regions=regions, seed=7))
     inputs = generate_input_routes(inventory, n_prefixes=n_prefixes, seed=7)
+    backend = CentralizedBackend()
+    last: Dict[str, Any] = {}
 
-    seconds, result = _best_of(
-        lambda: RouteSimulator(model).simulate(inputs), repeats
-    )
+    def run():
+        ctx = RunContext("bench")
+        outcome = backend.run_routes(
+            RouteSimRequest(model=model, inputs=inputs, include_local_inputs=True),
+            ctx,
+        )
+        last["ctx"] = ctx
+        return outcome
+
+    seconds, outcome = _best_of(run, repeats)
     return {
         "seconds": round(seconds, 4),
         "regions": regions,
         "prefixes": n_prefixes,
-        "messages": result.bgp.stats.messages,
-        "rounds": result.bgp.stats.rounds,
+        "messages": outcome.result.bgp.stats.messages,
+        "rounds": outcome.result.bgp.stats.rounds,
+        "phases_seconds": _phase_seconds(
+            last["ctx"], ("bgp_fixpoint", "assemble_ribs")
+        ),
     }
 
 
@@ -165,30 +186,43 @@ def bench_distributed_e2e(repeats: int) -> Dict[str, Any]:
     """Distributed route simulation: thread pool vs. process pool."""
     model, inventory = generate_wan(WanParams(regions=3, seed=7))
     inputs = generate_input_routes(inventory, n_prefixes=120, seed=7)
+    last: Dict[str, Any] = {}
 
-    def run(processes: bool) -> Any:
-        runner = DistributedRouteSimulation(model)
-        return runner.run(inputs, subtasks=8, workers=2, processes=processes)
+    def run(mode: str) -> Any:
+        backend = DistributedBackend(mode=mode)
+        ctx = RunContext("bench")
+        outcome = backend.run_routes(
+            RouteSimRequest(model=model, inputs=inputs, subtasks=8, workers=2),
+            ctx,
+        )
+        last[mode] = ctx
+        return outcome
 
     # Wall-clock here, not CPU time: process mode moves the work into child
     # processes, whose CPU the parent's process_time() cannot see.
-    def wall_best(processes: bool) -> float:
+    def wall_best(mode: str) -> float:
         best: Optional[float] = None
         for _ in range(max(1, repeats)):
             started = time.perf_counter()
-            run(processes)
+            run(mode)
             elapsed = time.perf_counter() - started
             if best is None or elapsed < best:
                 best = elapsed
         return float(best)
 
-    threads = wall_best(False)
-    procs = wall_best(True)
+    threads = wall_best("thread")
+    procs = wall_best("process")
     return {
         "thread_seconds": round(threads, 4),
         "process_seconds": round(procs, 4),
         "process_speedup": round(threads / procs, 2) if procs else None,
         "cpu_cores": os.cpu_count(),
+        "phases_seconds": {
+            mode: _phase_seconds(
+                last[mode], ("partition", "dispatch", "drain", "merge")
+            )
+            for mode in ("thread", "process")
+        },
         "note": (
             "process-mode speedup requires real cores; on few-core machines "
             "fork/pickle overhead dominates and threads win. The >=1.5x "

@@ -11,8 +11,8 @@ import time
 
 import pytest
 
-from repro.distsim import DistributedRouteSimulation
 from repro.distsim.worker import WorkerConfig
+from repro.exec import DistributedBackend, RouteSimRequest
 from repro.ec import compute_prefix_group_ecs, compute_route_ecs, compute_flow_ecs
 from repro.ec.flow_ec import build_prefix_universe
 from repro.routing.simulator import simulate_routes
@@ -75,16 +75,18 @@ def test_ec_ablation_runtime_and_equivalence(wan_world, record, benchmark):
     model, _, routes, flows = wan_world
 
     def run(use_ecs: bool):
-        started = time.perf_counter()
-        sim = DistributedRouteSimulation(
-            model, worker_config=WorkerConfig(use_route_ecs=use_ecs)
+        backend = DistributedBackend(
+            worker_config=WorkerConfig(use_route_ecs=use_ecs)
         )
-        result = sim.run(routes, subtasks=10)
+        started = time.perf_counter()
+        result = backend.run_routes(
+            RouteSimRequest(model=model, inputs=routes, subtasks=10)
+        )
         route_seconds = time.perf_counter() - started
 
         started = time.perf_counter()
         traffic = TrafficSimulator(
-            model, result.device_ribs, igp=sim.igp, use_ecs=use_ecs
+            model, result.device_ribs, igp=result.igp, use_ecs=use_ecs
         ).simulate(flows)
         traffic_seconds = time.perf_counter() - started
         return result, traffic, route_seconds, traffic_seconds

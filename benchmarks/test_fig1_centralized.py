@@ -3,13 +3,25 @@
 Reproduces both curves: centralized simulation time grows with the number
 of prefixes on the WAN, and on WAN+DCN the run exhausts its memory budget
 after completing only part of the prefixes (the paper: 30% simulated, 40%
-failed with OOM).
+failed with OOM). All runs dispatch through the chunked
+:class:`~repro.exec.centralized.CentralizedBackend`; timings come from the
+backend's ``route_sim`` span.
 """
 
 import pytest
 
-from repro.distsim import CentralizedRunner, MemoryExhausted
+from repro.distsim import MemoryExhausted
+from repro.exec import CentralizedBackend, RouteSimRequest
+from repro.obs import RunContext
 from repro.workload import WanParams, generate_input_routes, generate_wan
+
+
+def run_chunked(model, routes, **backend_options):
+    """One chunked centralized run; returns (outcome, span seconds)."""
+    backend = CentralizedBackend(chunked=True, **backend_options)
+    ctx = RunContext("fig1")
+    outcome = backend.run_routes(RouteSimRequest(model=model, inputs=routes), ctx)
+    return outcome, ctx.root.find("route_sim").duration
 
 
 def test_fig1_centralized_time_vs_prefixes(wan_world, record, benchmark):
@@ -21,11 +33,9 @@ def test_fig1_centralized_time_vs_prefixes(wan_world, record, benchmark):
     for count in counts:
         subset = generate_input_routes(inventory, n_prefixes=count, redundancy=2,
                                        seed=11)
-        result = CentralizedRunner(model).run(subset)
-        rows.append(
-            f"{count:10d} {result.elapsed_seconds:10.2f} {result.rib_rows:10d}"
-        )
-        timings.append((count, result.elapsed_seconds))
+        outcome, seconds = run_chunked(model, subset)
+        rows.append(f"{count:10d} {seconds:10.2f} {outcome.rib_rows:10d}")
+        timings.append((count, seconds))
     record("fig1_centralized_time", "\n".join(rows))
 
     # Shape: time grows monotonically (and super-linearly in rows) with the
@@ -35,7 +45,7 @@ def test_fig1_centralized_time_vs_prefixes(wan_world, record, benchmark):
     assert times[-1] > 2 * times[0]
 
     # The benchmarked unit: the full-WAN centralized run.
-    benchmark(lambda: CentralizedRunner(model).run(routes))
+    benchmark(lambda: run_chunked(model, routes))
 
 
 def test_fig1_wan_dcn_memory_exhaustion(wan_dcn_world, record, benchmark):
@@ -46,14 +56,12 @@ def test_fig1_wan_dcn_memory_exhaustion(wan_dcn_world, record, benchmark):
     wan_only_model, wan_inv = generate_wan(WanParams(regions=4, cores_per_region=3,
                                                      seed=7))
     wan_routes = generate_input_routes(wan_inv, n_prefixes=160, redundancy=2, seed=11)
-    wan_rows = CentralizedRunner(wan_only_model).run(wan_routes).rib_rows
+    wan_rows = run_chunked(wan_only_model, wan_routes)[0].rib_rows
     budget = int(wan_rows * 1.2)
 
     def run_with_budget():
         try:
-            CentralizedRunner(model, memory_limit_rows=budget, chunk_size=16).run(
-                routes
-            )
+            run_chunked(model, routes, memory_limit_rows=budget, chunk_size=16)
             return None
         except MemoryExhausted as exc:
             return exc

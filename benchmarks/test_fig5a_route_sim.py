@@ -5,21 +5,23 @@ subtask's true duration; the list-scheduling makespan model then reports
 the end-to-end time for 1..10 working servers, for both the WAN and the
 WAN+DCN networks. The paper's shape: time falls with server count but
 sub-linearly (Figure 5(c)'s uneven subtasks), and WAN+DCN — which killed
-the centralized simulator — completes fine.
+the centralized simulator — completes fine. Dispatch goes through
+:class:`~repro.exec.distributed.DistributedBackend`.
 """
 
 import pytest
 
-from repro.distsim import DistributedRouteSimulation
+from repro.exec import DistributedBackend, RouteSimRequest
 
 SERVER_COUNTS = (1, 2, 4, 6, 8, 10)
 
 
 def run_and_tabulate(model, routes, label, subtasks=100):
-    sim = DistributedRouteSimulation(model)
-    result = sim.run(routes, subtasks=subtasks)
-    makespans = {s: result.makespan(s) for s in SERVER_COUNTS}
-    return result, makespans
+    outcome = DistributedBackend().run_routes(
+        RouteSimRequest(model=model, inputs=routes, subtasks=subtasks)
+    )
+    makespans = {s: outcome.makespan(s) for s in SERVER_COUNTS}
+    return outcome, makespans
 
 
 def test_fig5a_wan_and_wan_dcn(wan_world, wan_dcn_world, record, benchmark):
@@ -52,7 +54,7 @@ def test_fig5a_wan_and_wan_dcn(wan_world, wan_dcn_world, record, benchmark):
     assert dcn_makespans[1] > wan_makespans[1]
 
     benchmark.pedantic(
-        lambda: DistributedRouteSimulation(wan_model).run(wan_routes, subtasks=100),
+        lambda: run_and_tabulate(wan_model, wan_routes, "WAN"),
         rounds=1,
         iterations=1,
     )

@@ -3,32 +3,34 @@ ordering heuristic vs the load-everything baseline.
 
 The paper: 10 servers complete the task ~4x faster than one, and disabling
 the ordering heuristic (loading all RIB files) makes the 10-server run ~52%
-slower.
+slower. The route task's store/DB artifacts flow to the traffic task
+through :class:`~repro.exec.base.TrafficSimRequest.route_outcome`.
 """
 
 import pytest
 
-from repro.distsim import (
-    DistributedRouteSimulation,
-    DistributedTrafficSimulation,
-)
 from repro.distsim.worker import WorkerConfig
+from repro.exec import DistributedBackend, RouteSimRequest, TrafficSimRequest
 
 SERVER_COUNTS = (1, 2, 4, 6, 8, 10)
 SUBTASKS = 32  # scaled down from the paper's 128
 
 
 def run_traffic(model, routes, flows, worker_config=None):
-    route_sim = DistributedRouteSimulation(model)
-    route_sim.run(routes, subtasks=24)
-    traffic_sim = DistributedTrafficSimulation(
-        model,
-        igp=route_sim.igp,
-        store=route_sim.store,
-        db=route_sim.db,
-        worker_config=worker_config or WorkerConfig(),
+    backend = DistributedBackend(
+        worker_config=worker_config or WorkerConfig()
     )
-    return traffic_sim.run(flows, subtasks=SUBTASKS)
+    route_outcome = backend.run_routes(
+        RouteSimRequest(model=model, inputs=routes, subtasks=24)
+    )
+    return backend.run_traffic(
+        TrafficSimRequest(
+            model=model,
+            flows=flows,
+            route_outcome=route_outcome,
+            subtasks=SUBTASKS,
+        )
+    )
 
 
 def test_fig5b_traffic_sim(wan_world, record, benchmark):

@@ -9,7 +9,7 @@ underlying cause (per-prefix propagation message counts).
 
 import pytest
 
-from repro.distsim import DistributedRouteSimulation
+from repro.exec import DistributedBackend, RouteSimRequest
 from repro.routing.simulator import simulate_routes
 
 
@@ -22,7 +22,9 @@ def test_fig5c_subtask_runtime_cdf(wan_world, record, benchmark):
     model, inventory, routes, _ = wan_world
 
     result = benchmark.pedantic(
-        lambda: DistributedRouteSimulation(model).run(routes, subtasks=40),
+        lambda: DistributedBackend().run_routes(
+            RouteSimRequest(model=model, inputs=routes, subtasks=40)
+        ),
         rounds=1,
         iterations=1,
     )

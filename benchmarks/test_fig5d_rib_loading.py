@@ -12,28 +12,30 @@ import pytest
 
 from repro.distsim import (
     BalancedPartitioner,
-    DistributedRouteSimulation,
-    DistributedTrafficSimulation,
     OrderingPartitioner,
     RandomPartitioner,
 )
+from repro.exec import DistributedBackend, RouteSimRequest, TrafficSimRequest
 
 ROUTE_SUBTASKS = 25
 TRAFFIC_SUBTASKS = 32
 
 
 def run(model, routes, flows, route_partitioner, flow_partitioner):
-    route_sim = DistributedRouteSimulation(model)
-    route_result = route_sim.run(
-        routes, subtasks=ROUTE_SUBTASKS, partitioner=route_partitioner
+    backend = DistributedBackend()
+    route_outcome = backend.run_routes(
+        RouteSimRequest(
+            model=model, inputs=routes, subtasks=ROUTE_SUBTASKS,
+            partitioner=route_partitioner,
+        )
     )
-    traffic_sim = DistributedTrafficSimulation(
-        model, igp=route_sim.igp, store=route_sim.store, db=route_sim.db
+    result = backend.run_traffic(
+        TrafficSimRequest(
+            model=model, flows=flows, route_outcome=route_outcome,
+            subtasks=TRAFFIC_SUBTASKS, partitioner=flow_partitioner,
+        )
     )
-    result = traffic_sim.run(
-        flows, subtasks=TRAFFIC_SUBTASKS, partitioner=flow_partitioner
-    )
-    return sorted(result.loaded_rib_fractions), route_result.makespan(10)
+    return sorted(result.loaded_rib_fractions), route_outcome.makespan(10)
 
 
 def cdf_text(label, fractions):

@@ -10,7 +10,7 @@ measured ratios demonstrate the requirement gap the evolution had to close.
 
 import pytest
 
-from repro.distsim import DistributedRouteSimulation, DistributedTrafficSimulation
+from repro.exec import DistributedBackend, RouteSimRequest, TrafficSimRequest
 from repro.workload import (
     WanParams,
     generate_flows,
@@ -33,16 +33,20 @@ def build_world(regions, cores, prefixes, flows_count, seed=7):
 
 
 def run_full(model, routes, flows):
-    route_sim = DistributedRouteSimulation(model)
-    route_result = route_sim.run(routes, subtasks=20)
+    backend = DistributedBackend()
+    route_outcome = backend.run_routes(
+        RouteSimRequest(model=model, inputs=routes, subtasks=20)
+    )
     traffic_seconds = 0.0
     if flows:
-        traffic_sim = DistributedTrafficSimulation(
-            model, igp=route_sim.igp, store=route_sim.store, db=route_sim.db
+        traffic_outcome = backend.run_traffic(
+            TrafficSimRequest(
+                model=model, flows=flows, route_outcome=route_outcome,
+                subtasks=20,
+            )
         )
-        traffic_result = traffic_sim.run(flows, subtasks=20)
-        traffic_seconds = traffic_result.makespan(10)
-    return route_result.makespan(10), traffic_seconds
+        traffic_seconds = traffic_outcome.makespan(10)
+    return route_outcome.makespan(10), traffic_seconds
 
 
 def test_table1_scale_requirements(record, benchmark):

@@ -1,21 +1,19 @@
 #!/usr/bin/env python3
 """The distributed simulation framework in action (§3.2, Figure 3).
 
-Splits a route-simulation task into subtasks with the ordering heuristic,
-runs them through the master/worker/MQ/store pipeline, then runs the
-dependent traffic simulation — reporting how many RIB result files each
-traffic subtask had to load (ordering vs random, the Figure 5(d)
-comparison) and the modelled end-to-end run time for 1..10 servers (the
-Figure 5(a)/(b) curves).
+Dispatches a route-simulation task through the pluggable execution-backend
+layer (``repro.exec``), which splits it into subtasks with the ordering
+heuristic and runs them through the master/worker/MQ/store pipeline, then
+runs the dependent traffic simulation — reporting how many RIB result
+files each traffic subtask had to load (ordering vs random, the
+Figure 5(d) comparison) and the modelled end-to-end run time for 1..10
+servers (the Figure 5(a)/(b) curves).
 
 Run: python examples/distributed_simulation.py
 """
 
-from repro.distsim import (
-    DistributedRouteSimulation,
-    DistributedTrafficSimulation,
-    RandomPartitioner,
-)
+from repro.distsim import RandomPartitioner
+from repro.exec import DistributedBackend, RouteSimRequest, TrafficSimRequest
 from repro.workload import (
     WanParams,
     generate_flows,
@@ -24,11 +22,14 @@ from repro.workload import (
 )
 
 
-def run_traffic(model, route_sim, flows, partitioner=None, label="ordering"):
-    traffic_sim = DistributedTrafficSimulation(
-        model, igp=route_sim.igp, store=route_sim.store, db=route_sim.db
+def run_traffic(backend, model, route_outcome, flows, partitioner=None,
+                label="ordering"):
+    result = backend.run_traffic(
+        TrafficSimRequest(
+            model=model, flows=flows, route_outcome=route_outcome,
+            subtasks=12, partitioner=partitioner,
+        )
     )
-    result = traffic_sim.run(flows, subtasks=12, partitioner=partitioner)
     fractions = sorted(result.loaded_rib_fractions)
     average = sum(fractions) / len(fractions)
     print(
@@ -46,22 +47,25 @@ def main() -> None:
     print(f"inputs: {len(routes)} routes, {len(flows)} flows")
 
     # --- distributed route simulation ---------------------------------------
-    route_sim = DistributedRouteSimulation(model)
-    route_result = route_sim.run(routes, subtasks=16)
-    print(f"\nroute simulation: {len(route_result.subtask_durations)} subtasks, "
-          f"{len(route_result.global_rib())} RIB rows")
+    backend = DistributedBackend()
+    route_outcome = backend.run_routes(
+        RouteSimRequest(model=model, inputs=routes, subtasks=16)
+    )
+    print(f"\nroute simulation: {len(route_outcome.subtask_durations)} subtasks, "
+          f"{len(route_outcome.global_rib())} RIB rows")
     print("  modelled end-to-end time by server count:")
     for servers in (1, 2, 4, 8, 10):
-        print(f"    {servers:2d} servers: {route_result.makespan(servers):6.2f}s")
+        print(f"    {servers:2d} servers: {route_outcome.makespan(servers):6.2f}s")
 
     # --- distributed traffic simulation: ordering vs random -------------------
     print("\ntraffic simulation dependency reduction (Figure 5(d)):")
-    ordering = run_traffic(model, route_sim, flows, label="ordering")
+    ordering = run_traffic(backend, model, route_outcome, flows, label="ordering")
 
-    route_sim2 = DistributedRouteSimulation(model)
-    route_sim2.run(routes, subtasks=16)
+    route_outcome2 = backend.run_routes(
+        RouteSimRequest(model=model, inputs=routes, subtasks=16)
+    )
     run_traffic(
-        model, route_sim2, flows,
+        backend, model, route_outcome2, flows,
         partitioner=RandomPartitioner(seed=1), label="random",
     )
 

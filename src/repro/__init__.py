@@ -11,6 +11,8 @@ for Alibaba's Global WAN Verification" (SIGCOMM 2025). The package provides:
 * traffic simulation and load checking — ``repro.traffic``;
 * the accuracy diagnosis framework — ``repro.monitor``, ``repro.diagnosis``;
 * the change verification pipeline — ``repro.core``;
+* pluggable execution backends — ``repro.exec``;
+* the observability spine (spans, counters, logging) — ``repro.obs``;
 * synthetic WAN workload generation — ``repro.workload``.
 
 Quickstart::
@@ -24,7 +26,13 @@ Quickstart::
     plan = ChangePlan(name="patch", change_type="os-patch",
                       device_commands={inventory.rrs[0]: ["router isis"]},
                       intents=[RclIntent("PRE = POST")])
-    print(verifier.verify(plan).summary())
+    report = verifier.verify(plan)
+    assert report.ok, report.summary()
+
+Library code never prints: human-facing output lives in the CLI, and
+structured events flow through stdlib logging under the ``repro.*``
+namespace (enable with ``repro --log-level INFO ...`` or
+``repro.obs.configure_logging``).
 """
 
 __version__ = "1.0.0"

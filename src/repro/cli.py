@@ -8,10 +8,19 @@ high-risk, manually designed changes) and a REST API (for automated ones)
   routes + flows) and save it;
 * ``repro simulate`` — run route/traffic simulation on a snapshot;
 * ``repro verify`` — verify a change plan (JSON) against a snapshot;
+* ``repro campaign`` — run the Table-4 accuracy-diagnosis campaign;
 * ``repro audit`` — run the daily configuration audits;
 * ``repro rcl`` — parse/size-check an RCL specification;
 * ``repro vsb`` — print the vendor-behaviour differential-test table;
 * ``repro chaos`` — run the seeded fault-injection invariant check.
+
+Global flags: ``--log-level`` enables the package's structured event log on
+stderr; ``repro verify --trace out.json`` writes the run's span tree and
+counters as ``repro.trace/v1`` JSON.
+
+Exit codes: 0 success; 1 the check failed (RISK DETECTED, audit failure,
+invariant violation, undetected fault, parse error); 2 the run itself
+failed (a distributed task exhausted its retries and dead-lettered).
 
 Run ``python -m repro <command> --help`` for per-command options.
 """
@@ -40,14 +49,26 @@ from repro.core import (
     remove_router,
 )
 from repro.core.intents import flows_to_prefix
-from repro.routing.simulator import simulate_routes
-from repro.traffic.simulator import TrafficSimulator
+from repro.exec import (
+    BACKEND_NAMES,
+    CentralizedBackend,
+    DistributedBackend,
+    ExecutionBackend,
+    RouteSimRequest,
+    TrafficSimRequest,
+    make_backend,
+)
+from repro.obs import RunContext, TRACE_SCHEMA, configure_logging
 from repro.workload import (
     WanParams,
     generate_flows,
     generate_input_routes,
     generate_wan,
 )
+
+#: Exit status when a distributed task dead-letters (the run itself failed,
+#: as opposed to the run completing and finding a problem).
+EXIT_TASK_FAILED = 2
 
 
 def _save_snapshot(path: str, payload: dict) -> None:
@@ -58,6 +79,29 @@ def _save_snapshot(path: str, payload: dict) -> None:
 def _load_snapshot(path: str) -> dict:
     with open(path, "rb") as handle:
         return pickle.load(handle)
+
+
+def _backend_from_args(args: argparse.Namespace) -> ExecutionBackend:
+    """Build the execution backend selected on the command line."""
+    name = getattr(args, "backend", None) or "centralized"
+    options = {}
+    if name.startswith("distributed"):
+        options["workers"] = getattr(args, "workers", 1)
+        subtasks = getattr(args, "route_subtasks", None)
+        if subtasks is not None:
+            options["route_subtasks"] = subtasks
+    return make_backend(name, **options)
+
+
+def _write_trace(path: str, ctx: RunContext, root=None) -> None:
+    """Serialize a run's trace (span tree + aggregated counters) to JSON."""
+    document = {
+        "schema": TRACE_SCHEMA,
+        "root": (root if root is not None else ctx.root).to_dict(),
+        "counters": ctx.counters(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2)
 
 
 # ---------------------------------------------------------------------------
@@ -93,22 +137,43 @@ def cmd_generate(args: argparse.Namespace) -> int:
 def cmd_simulate(args: argparse.Namespace) -> int:
     snapshot = _load_snapshot(args.snapshot)
     model, routes = snapshot["model"], snapshot["routes"]
-    result = simulate_routes(model, routes)
-    print(
-        f"route simulation: {result.stats.rounds} rounds, "
-        f"{result.stats.messages} messages, converged={result.stats.converged}, "
-        f"{len(result.global_rib())} RIB rows, "
-        f"{result.elapsed_seconds:.2f}s"
-    )
-    if args.traffic and snapshot.get("flows"):
-        traffic = TrafficSimulator(model, result.device_ribs, result.igp).simulate(
-            snapshot["flows"]
+    backend = _backend_from_args(args)
+    ctx = RunContext("simulate")
+    with ctx.span("simulate", backend=backend.name) as span:
+        outcome = backend.run_routes(
+            RouteSimRequest(model=model, inputs=routes, include_local_inputs=True),
+            ctx,
         )
+    if outcome.result is not None:
+        stats = outcome.result.stats
+        detail = (f"{stats.rounds} rounds, {stats.messages} messages, "
+                  f"converged={stats.converged}")
+    else:
+        report = outcome.task.report if outcome.task is not None else None
+        detail = (f"{backend.name}: {len(report.attempts)} subtasks"
+                  if report is not None else backend.name)
+    rib_rows = sum(rib.route_count() for rib in outcome.device_ribs.values())
+    print(f"route simulation: {detail}, {rib_rows} RIB rows, "
+          f"{span.duration:.2f}s")
+    if args.traffic and snapshot.get("flows"):
+        with ctx.span("traffic") as tspan:
+            traffic = backend.run_traffic(
+                TrafficSimRequest(
+                    model=model,
+                    flows=snapshot["flows"],
+                    device_ribs=outcome.device_ribs,
+                    igp=outcome.igp,
+                ),
+                ctx,
+            )
         busiest = sorted(traffic.loads.loads.items(), key=lambda kv: -kv[1])[:5]
         print(f"traffic simulation: {len(traffic.loads)} loaded links, "
-              f"{traffic.elapsed_seconds:.2f}s; busiest:")
+              f"{tspan.duration:.2f}s; busiest:")
         for (a, b), volume in busiest:
             print(f"  {a} <-> {b}: {volume / 1e9:.2f} Gb/s")
+    if args.trace:
+        _write_trace(args.trace, ctx)
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -157,6 +222,8 @@ def _plan_from_json(data: dict, flows_available: bool) -> ChangePlan:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.distsim import TaskFailed
+
     snapshot = _load_snapshot(args.snapshot)
     with open(args.plan, "r", encoding="utf-8") as handle:
         plan_data = json.load(handle)
@@ -166,24 +233,75 @@ def cmd_verify(args: argparse.Namespace) -> int:
         for warning in completeness_warnings(plan):
             print(f"lint: {warning}")
 
+    ctx = RunContext("verify")
     verifier = ChangeVerifier(
         snapshot["model"],
         snapshot["routes"],
         snapshot.get("flows", []),
-        distributed=args.distributed,
         incremental=args.incremental,
+        backend=_backend_from_args(args),
+        ctx=ctx,
     )
-    report = verifier.verify(plan)
+    try:
+        report = verifier.verify(plan)
+    except TaskFailed as exc:
+        print(f"verification failed: {exc}")
+        if exc.report is not None:
+            for entry in exc.report.dead_letters:
+                print(f"  dead letter: {entry.to_dict()}")
+        if args.trace:
+            _write_trace(args.trace, ctx)
+            print(f"trace written to {args.trace}")
+        return EXIT_TASK_FAILED
     print(report.summary())
+    if args.trace:
+        _write_trace(args.trace, ctx, root=report.trace)
+        print(f"trace written to {args.trace}")
     return 0 if report.ok else 1
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.diagnosis.campaign import format_table4, run_campaign
+    from repro.monitor.faults import FAULT_LIBRARY
+
+    snapshot = _load_snapshot(args.snapshot)
+    faults = None
+    if args.fault:
+        faults = [f for f in FAULT_LIBRARY if f.name in args.fault]
+        missing = set(args.fault) - {f.name for f in faults}
+        if missing:
+            known = ", ".join(sorted(f.name for f in FAULT_LIBRARY))
+            print(f"unknown fault(s): {', '.join(sorted(missing))}; "
+                  f"known: {known}")
+            return EXIT_TASK_FAILED
+    ctx = RunContext("campaign")
+    rows = run_campaign(
+        snapshot["model"],
+        snapshot["routes"],
+        snapshot.get("flows", []),
+        faults=faults,
+        seed=args.seed,
+        backend=_backend_from_args(args),
+        ctx=ctx,
+    )
+    print(format_table4(rows))
+    undetected = [row for row in rows if not row.detected]
+    print(f"campaign: {len(rows) - len(undetected)}/{len(rows)} "
+          f"issue classes detected")
+    if args.trace:
+        _write_trace(args.trace, ctx)
+        print(f"trace written to {args.trace}")
+    return 0 if not undetected else 1
 
 
 def cmd_audit(args: argparse.Namespace) -> int:
     snapshot = _load_snapshot(args.snapshot)
     model, routes = snapshot["model"], snapshot["routes"]
-    result = simulate_routes(model, routes)
+    outcome = CentralizedBackend().run_routes(
+        RouteSimRequest(model=model, inputs=routes, include_local_inputs=True)
+    )
     failures = 0
-    for audit in Auditor(model, result.device_ribs).run():
+    for audit in Auditor(model, outcome.device_ribs).run():
         print(audit)
         failures += 0 if audit.ok else 1
     return 0 if failures == 0 else 1
@@ -216,14 +334,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     ``--report`` (even when the check fails) so failures can be replayed
     from the recorded seed.
     """
-    from repro.distsim import (
-        CentralizedRunner,
-        ChaosPolicy,
-        DistributedRouteSimulation,
-        RetryPolicy,
-        TaskFailed,
-        rib_fingerprint,
-    )
+    from repro.distsim import ChaosPolicy, RetryPolicy, TaskFailed, rib_fingerprint
 
     model, inventory = generate_wan(
         WanParams(regions=2, cores_per_region=2, seed=args.wan_seed)
@@ -232,24 +343,29 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         inventory, n_prefixes=args.prefixes, redundancy=2,
         seed=args.wan_seed + 1,
     )
-    baseline = rib_fingerprint(CentralizedRunner(model).run(routes).device_ribs)
+    baseline_outcome = CentralizedBackend(chunked=True).run_routes(
+        RouteSimRequest(model=model, inputs=routes)
+    )
+    baseline = rib_fingerprint(baseline_outcome.device_ribs)
 
-    modes = {"thread": [False], "process": [True], "both": [False, True]}
+    modes = {"thread": ["thread"], "process": ["process"],
+             "both": ["thread", "process"]}
     retry = RetryPolicy(
         max_retries=args.max_retries, backoff_base=0.001, backoff_cap=0.01
     )
     runs = []
     failures = 0
     for seed in range(args.seeds):
-        for processes in modes[args.mode]:
-            mode = "process" if processes else "thread"
+        for mode in modes[args.mode]:
             policy = ChaosPolicy.uniform(seed=seed, probability=args.probability)
-            sim = DistributedRouteSimulation(model, chaos=policy, retry=retry)
+            backend = DistributedBackend(mode=mode, chaos=policy, retry=retry)
             entry = {"seed": seed, "mode": mode, "probability": args.probability}
             try:
-                result = sim.run(
-                    routes, subtasks=args.subtasks, workers=args.workers,
-                    processes=processes,
+                outcome = backend.run_routes(
+                    RouteSimRequest(
+                        model=model, inputs=routes,
+                        subtasks=args.subtasks, workers=args.workers,
+                    )
                 )
             except TaskFailed as exc:
                 report = exc.report
@@ -258,8 +374,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 if not ok:
                     entry["outcome"] = "failed without dead letters"
             else:
-                report = result.report
-                ok = rib_fingerprint(result.device_ribs) == baseline
+                report = outcome.task.report
+                ok = rib_fingerprint(outcome.device_ribs) == baseline
                 entry["outcome"] = (
                     "completed" if ok else "completed with divergent RIBs"
                 )
@@ -296,9 +412,23 @@ def cmd_vsb(args: argparse.Namespace) -> int:
 # ---------------------------------------------------------------------------
 
 
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backend", choices=list(BACKEND_NAMES),
+                        help="execution backend (default: centralized)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker pool size for distributed backends")
+    parser.add_argument("--route-subtasks", type=int, default=None,
+                        help="route subtask count for distributed backends")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Hoyan reproduction CLI"
+    )
+    parser.add_argument(
+        "--log-level", default=None,
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help="enable repro.* structured event logging on stderr",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -315,12 +445,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate", help="simulate a snapshot")
     simulate.add_argument("snapshot")
     simulate.add_argument("--traffic", action="store_true")
+    simulate.add_argument("--trace", help="write the run's trace JSON here")
+    _add_backend_options(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     verify = sub.add_parser("verify", help="verify a change plan (JSON)")
     verify.add_argument("snapshot")
     verify.add_argument("plan")
-    verify.add_argument("--distributed", action="store_true")
+    verify.add_argument("--distributed", dest="backend", action="store_const",
+                        const="distributed-thread",
+                        help="alias for --backend distributed-thread")
     verify.add_argument("--incremental", dest="incremental",
                         action="store_true", default=True,
                         help="blast-radius-bounded re-simulation (default)")
@@ -329,7 +463,20 @@ def build_parser() -> argparse.ArgumentParser:
                         help="always re-simulate the full updated network")
     verify.add_argument("--lint", action="store_true",
                         help="print intent-completeness warnings")
+    verify.add_argument("--trace", help="write the run's trace JSON here")
+    _add_backend_options(verify)
     verify.set_defaults(func=cmd_verify)
+
+    campaign = sub.add_parser(
+        "campaign", help="Table-4 accuracy-diagnosis campaign"
+    )
+    campaign.add_argument("snapshot")
+    campaign.add_argument("--fault", action="append", default=None,
+                          help="run only this issue class (repeatable)")
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--trace", help="write the run's trace JSON here")
+    _add_backend_options(campaign)
+    campaign.set_defaults(func=cmd_campaign)
 
     audit = sub.add_parser("audit", help="run daily configuration audits")
     audit.add_argument("snapshot")
@@ -366,6 +513,8 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.log_level:
+        configure_logging(args.log_level)
     return args.func(args)
 
 

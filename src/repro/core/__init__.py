@@ -29,6 +29,7 @@ from repro.core.intents import (
     RclIntent,
 )
 from repro.core.pipeline import ChangeVerifier, VerificationReport
+from repro.core.world import World
 from repro.incremental import BlastRadius, IncrementalStats, ModelDiff
 from repro.core.kfailure import KFailureChecker, KFailureViolation
 from repro.core.audit import AuditResult, Auditor
@@ -62,6 +63,7 @@ __all__ = [
     "IncrementalStats",
     "ModelDiff",
     "VerificationReport",
+    "World",
     "KFailureChecker",
     "KFailureViolation",
     "AuditResult",

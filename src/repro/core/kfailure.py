@@ -9,15 +9,15 @@ laptop runs tractable while exploring the same scenario space shape).
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.exec import CentralizedBackend, ExecutionBackend, RouteSimRequest
 from repro.net.model import NetworkModel
 from repro.net.topology import Link
+from repro.obs import RunContext, ensure_context
 from repro.routing.inputs import InputRoute, build_local_input_routes
-from repro.routing.isis import compute_igp
-from repro.routing.simulator import SimulationResult, simulate_routes
+from repro.routing.simulator import SimulationResult
 
 #: property(model, simulation_result) -> list of violation strings
 PropertyCheck = Callable[[NetworkModel, SimulationResult], List[str]]
@@ -62,12 +62,16 @@ class KFailureChecker:
         fail_links: bool = True,
         fail_routers: bool = False,
         max_scenarios: int = 200,
+        backend: Optional[ExecutionBackend] = None,
+        ctx: Optional[RunContext] = None,
     ) -> None:
         self.model = model
         self.input_routes = list(input_routes) + build_local_input_routes(model)
         self.fail_links = fail_links
         self.fail_routers = fail_routers
         self.max_scenarios = max_scenarios
+        self.backend = backend if backend is not None else CentralizedBackend()
+        self.ctx = ensure_context(ctx, "kfailure")
 
     def _scenarios(self, k: int) -> Iterable[Tuple[List[Link], List[str]]]:
         links = self.model.topology.links if self.fail_links else []
@@ -81,35 +85,45 @@ class KFailureChecker:
                 failed_routers = [item for kind, item in combo if kind == "router"]
                 yield failed_links, failed_routers
 
-    def check(self, k: int, prop: PropertyCheck) -> KFailureResult:
+    def check(
+        self, k: int, prop: PropertyCheck, ctx: Optional[RunContext] = None
+    ) -> KFailureResult:
         """Check the property under every <=k failure scenario."""
-        started = time.perf_counter()
+        ctx = ctx if ctx is not None else self.ctx
         result = KFailureResult(scenarios_checked=0)
-        for failed_links, failed_routers in self._scenarios(k):
-            if result.scenarios_checked >= self.max_scenarios:
-                result.truncated = True
-                break
-            result.scenarios_checked += 1
-            scenario_model = self.model.copy()
-            for link in failed_links:
-                found = scenario_model.topology.find_link(*link.endpoints)
-                if found is not None:
-                    scenario_model.topology.fail_link(found)
-            for router in failed_routers:
-                scenario_model.topology.fail_router(router)
-            simulation = simulate_routes(
-                scenario_model, self.input_routes, include_local_inputs=False
-            )
-            violations = prop(scenario_model, simulation)
-            if violations:
-                result.violations.append(
-                    KFailureViolation(
-                        failed_links=tuple(l.endpoints for l in failed_links),
-                        failed_routers=tuple(failed_routers),
-                        violations=violations,
-                    )
+        with ctx.span("kfailure.check", k=k) as span:
+            for failed_links, failed_routers in self._scenarios(k):
+                if result.scenarios_checked >= self.max_scenarios:
+                    result.truncated = True
+                    break
+                result.scenarios_checked += 1
+                ctx.count("kfailure.scenarios")
+                scenario_model = self.model.copy()
+                for link in failed_links:
+                    found = scenario_model.topology.find_link(*link.endpoints)
+                    if found is not None:
+                        scenario_model.topology.fail_link(found)
+                for router in failed_routers:
+                    scenario_model.topology.fail_router(router)
+                outcome = self.backend.run_routes(
+                    RouteSimRequest(model=scenario_model, inputs=self.input_routes),
+                    ctx,
                 )
-        result.elapsed_seconds = time.perf_counter() - started
+                # In-process backends expose the full SimulationResult; any
+                # other backend's outcome still satisfies the property
+                # protocol (it carries device_ribs and global_rib()).
+                simulation = outcome.result if outcome.result is not None else outcome
+                violations = prop(scenario_model, simulation)
+                if violations:
+                    ctx.count("kfailure.violations", len(violations))
+                    result.violations.append(
+                        KFailureViolation(
+                            failed_links=tuple(l.endpoints for l in failed_links),
+                            failed_routers=tuple(failed_routers),
+                            violations=violations,
+                        )
+                    )
+        result.elapsed_seconds = span.duration
         return result
 
 

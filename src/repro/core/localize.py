@@ -20,12 +20,12 @@ delta-debugging approach on top of the verifier:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.change_plan import ChangePlan
 from repro.core.pipeline import ChangeVerifier
+from repro.obs import RunContext
 
 
 @dataclass
@@ -81,17 +81,25 @@ class MisconfigurationLocalizer:
 
     # -- public ---------------------------------------------------------------
 
-    def localize(self, plan: ChangePlan) -> LocalizationResult:
+    def localize(
+        self, plan: ChangePlan, ctx: Optional[RunContext] = None
+    ) -> LocalizationResult:
         """Localize the cause of the plan's intent violations."""
-        started = time.perf_counter()
+        ctx = ctx if ctx is not None else self.verifier.ctx
         self._count = 0
+        with ctx.span("localize", plan=plan.name) as span:
+            result = self._localize(plan, ctx)
+        result.verifications_run = self._count
+        result.elapsed_seconds = span.duration
+        return result
+
+    def _localize(self, plan: ChangePlan, ctx: RunContext) -> LocalizationResult:
         baseline = self._verify(plan)
         result = LocalizationResult(
             plan_name=plan.name,
             violated_intents=[r.intent for r in baseline.violated],
         )
         if baseline.ok:
-            result.elapsed_seconds = time.perf_counter() - started
             return result
 
         # Which violations exist even with no commands at all? Positive
@@ -112,9 +120,7 @@ class MisconfigurationLocalizer:
             result.culprits.extend(
                 self._latent_culprits(plan, baseline, latent)
             )
-
-        result.verifications_run = self._count
-        result.elapsed_seconds = time.perf_counter() - started
+        ctx.count("localize.culprits", len(result.culprits))
         return result
 
     # -- internals ----------------------------------------------------------------

@@ -12,22 +12,34 @@ prefixes (splicing unaffected base state back in), check the operator's
 intents against the simulated results, and emit counter-examples for
 violations. When the blast radius cannot be bounded — or with
 ``incremental=False`` — the verifier falls back to a full re-simulation of
-the updated network (distributed when configured).
+the updated network.
+
+All simulation dispatch goes through one
+:class:`~repro.exec.base.ExecutionBackend` (wrapped in an
+:class:`~repro.exec.incremental.IncrementalBackend` for warm starts), and
+every phase is timed on a :class:`~repro.obs.RunContext` span tree; the
+report's ``elapsed_seconds`` / ``route_sim_seconds`` /
+``traffic_sim_seconds`` are views over that tree, not hand-maintained
+timers.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.change_plan import ChangePlan
 from repro.core.intents import IntentResult, VerificationContext
-from repro.distsim.master import (
-    DistributedRouteSimulation,
-    DistributedTrafficSimulation,
+from repro.core.world import World
+from repro.exec import (
+    CentralizedBackend,
+    DistributedBackend,
+    ExecutionBackend,
+    IncrementalBackend,
+    RouteSimRequest,
+    TrafficSimRequest,
+    WarmStart,
 )
-from repro.distsim.partition import CoveredSubsetPartitioner
 from repro.incremental.engine import (
     IncrementalEngine,
     IncrementalStats,
@@ -37,6 +49,7 @@ from repro.incremental.engine import (
     MODE_WIDENED,
 )
 from repro.net.model import NetworkModel
+from repro.obs import RunContext, Span, ensure_context
 from repro.routing.inputs import (
     InputRoute,
     build_local_input_routes,
@@ -44,25 +57,62 @@ from repro.routing.inputs import (
 )
 from repro.routing.isis import IgpState, compute_igp
 from repro.routing.rib import DeviceRib, GlobalRib
-from repro.routing.simulator import simulate_routes
 from repro.traffic.flow import Flow
-from repro.traffic.simulator import TrafficSimulationResult, TrafficSimulator
+from repro.traffic.simulator import TrafficSimulationResult
+
+# Backwards-compatible alias: the dataclass formerly private to this module.
+_World = World
+
+#: numeric IncrementalStats fields mirrored into ``incremental.*`` counters
+_STATS_COUNTERS = (
+    "affected_devices",
+    "total_devices",
+    "affected_prefixes",
+    "resimulated_inputs",
+    "total_inputs",
+    "spliced_slots",
+    "reused_slots",
+    "reused_devices",
+    "skipped_subtasks",
+)
 
 
 @dataclass
 class VerificationReport:
-    """Result of verifying one change plan."""
+    """Result of verifying one change plan.
+
+    The timing fields are properties derived from the attached ``trace``
+    span (the ``verify`` span of the run's context): ``elapsed_seconds`` is
+    the root duration, ``route_sim_seconds`` the ``simulate_plan`` child,
+    ``traffic_sim_seconds`` the sum of all ``traffic_sim`` spans.
+    """
 
     plan: ChangePlan
     intent_results: List[IntentResult] = field(default_factory=list)
-    elapsed_seconds: float = 0.0
-    route_sim_seconds: float = 0.0
-    traffic_sim_seconds: float = 0.0
     #: blast-radius / cache-hit statistics of this verification
     incremental: Optional[IncrementalStats] = None
     #: simulated updated-network state (kept for downstream consumers such
     #: as the equivalence harness; not part of the textual summary)
-    updated_world: Optional["_World"] = field(default=None, repr=False)
+    updated_world: Optional[World] = field(default=None, repr=False)
+    #: the finished ``verify`` span of this run
+    trace: Optional[Span] = field(default=None, repr=False)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return self.trace.duration if self.trace is not None else 0.0
+
+    @property
+    def route_sim_seconds(self) -> float:
+        if self.trace is None:
+            return 0.0
+        span = self.trace.find("simulate_plan")
+        return span.duration if span is not None else 0.0
+
+    @property
+    def traffic_sim_seconds(self) -> float:
+        if self.trace is None:
+            return 0.0
+        return sum(span.duration for span in self.trace.find_all("traffic_sim"))
 
     @property
     def ok(self) -> bool:
@@ -86,18 +136,15 @@ class VerificationReport:
         return "\n".join(lines)
 
 
-@dataclass
-class _World:
-    """Simulated state of one network model."""
-
-    model: NetworkModel
-    device_ribs: Dict[str, DeviceRib]
-    global_rib: GlobalRib
-    traffic: Optional[TrafficSimulationResult]
-
-
 class ChangeVerifier:
-    """Verifies change plans against a pre-processed base network."""
+    """Verifies change plans against a pre-processed base network.
+
+    ``backend`` injects any :class:`ExecutionBackend`; when omitted one is
+    built from the legacy ``distributed``/``route_subtasks``/``workers``
+    knobs. The backend is always wrapped in an :class:`IncrementalBackend`
+    sharing this verifier's engine, so warm-started requests splice against
+    the snapshotted base state.
+    """
 
     def __init__(
         self,
@@ -110,24 +157,38 @@ class ChangeVerifier:
         workers: int = 1,
         max_rounds: int = 50,
         incremental: bool = True,
+        backend: Optional[ExecutionBackend] = None,
+        ctx: Optional[RunContext] = None,
     ) -> None:
         self.base_model = base_model
         self.input_routes = list(input_routes)
         self.input_flows = list(input_flows)
-        self.distributed = distributed
         self.route_subtasks = route_subtasks
         self.traffic_subtasks = traffic_subtasks
         self.workers = workers
         self.max_rounds = max_rounds
         self.incremental = incremental
-        self._base_world: Optional[_World] = None
+        self._base_world: Optional[World] = None
         self._base_igp: Optional[IgpState] = None
         self._base_local_inputs: Optional[Dict[str, List[InputRoute]]] = None
         self._engine = IncrementalEngine(base_model)
+        if backend is None:
+            if distributed:
+                backend = DistributedBackend(
+                    mode="thread",
+                    route_subtasks=route_subtasks,
+                    traffic_subtasks=traffic_subtasks,
+                    workers=workers,
+                )
+            else:
+                backend = CentralizedBackend(max_rounds=max_rounds)
+        self.distributed = backend.is_distributed
+        self.backend: ExecutionBackend = IncrementalBackend(backend, self._engine)
+        self.ctx = ensure_context(ctx, "verifier")
 
     # -- pre-processing phase ---------------------------------------------------
 
-    def prepare_base(self) -> None:
+    def prepare_base(self, ctx: Optional[RunContext] = None) -> None:
         """Simulate the base network (the daily pre-processing run).
 
         Besides the base world itself, this caches the base IGP state and
@@ -135,25 +196,35 @@ class ChangeVerifier:
         whenever the plan cannot move them) and snapshots the base RIBs
         into the content-addressed store.
         """
-        self._base_igp = compute_igp(self.base_model)
-        self._base_local_inputs = {
-            name: build_local_inputs_for_device(self.base_model, device)
-            for name, device in self.base_model.devices.items()
-        }
-        base_locals = [
-            item for items in self._base_local_inputs.values() for item in items
-        ]
-        self._base_world = self._simulate(
-            self.base_model,
-            self.input_routes,
-            igp=self._base_igp,
-            local_inputs=base_locals,
-        )
-        if self.incremental:
-            self._engine.snapshot_base(self._base_world.device_ribs)
+        ctx = ctx if ctx is not None else self.ctx
+        with ctx.span("prepare_base"):
+            with ctx.span("compute_igp"):
+                self._base_igp = compute_igp(self.base_model)
+            self._base_local_inputs = {
+                name: build_local_inputs_for_device(self.base_model, device)
+                for name, device in self.base_model.devices.items()
+            }
+            base_locals = [
+                item for items in self._base_local_inputs.values() for item in items
+            ]
+            self._base_world = self._simulate(
+                self.base_model,
+                self.input_routes,
+                igp=self._base_igp,
+                local_inputs=base_locals,
+                ctx=ctx,
+            )
+            if self.incremental:
+                self._engine.snapshot_base(self._base_world.device_ribs, ctx=ctx)
+            ctx.event(
+                "pipeline.base_prepared",
+                devices=len(self.base_model.devices),
+                inputs=len(self.input_routes),
+                flows=len(self.input_flows),
+            )
 
     @property
-    def base_world(self) -> _World:
+    def base_world(self) -> World:
         if self._base_world is None:
             self.prepare_base()
         assert self._base_world is not None
@@ -161,82 +232,131 @@ class ChangeVerifier:
 
     # -- change verification phase -------------------------------------------------
 
-    def verify(self, plan: ChangePlan) -> VerificationReport:
+    def verify(
+        self, plan: ChangePlan, ctx: Optional[RunContext] = None
+    ) -> VerificationReport:
         """Verify one change plan (the per-request phase)."""
-        started = time.perf_counter()
+        ctx = ctx if ctx is not None else self.ctx
         report = VerificationReport(plan=plan)
+        with ctx.span("verify", plan=plan.name) as span:
+            with ctx.span("build_updated_model"):
+                updated_model = plan.build_updated_model(self.base_model)
 
-        updated_model = plan.build_updated_model(self.base_model)
+            updated_world, stats = self.simulate_plan(plan, updated_model, ctx=ctx)
+            report.incremental = stats
+            report.updated_world = updated_world
 
-        route_started = time.perf_counter()
-        updated_world, stats = self.simulate_plan(plan, updated_model)
-        report.route_sim_seconds = time.perf_counter() - route_started
-        report.incremental = stats
-        report.updated_world = updated_world
-
-        base = self.base_world
-        ctx = VerificationContext(
-            base_model=self.base_model,
-            updated_model=updated_model,
-            base_rib=base.global_rib,
-            updated_rib=updated_world.global_rib,
-            base_device_ribs=base.device_ribs,
-            updated_device_ribs=updated_world.device_ribs,
-            base_traffic=base.traffic,
-            updated_traffic=updated_world.traffic,
-            flows=self.input_flows,
-        )
-        for intent in plan.intents:
-            report.intent_results.append(intent.evaluate(ctx))
-        report.elapsed_seconds = time.perf_counter() - started
+            base = self.base_world
+            with ctx.span("check_intents", intents=len(plan.intents)):
+                vctx = VerificationContext(
+                    base_model=self.base_model,
+                    updated_model=updated_model,
+                    base_rib=base.global_rib,
+                    updated_rib=updated_world.global_rib,
+                    base_device_ribs=base.device_ribs,
+                    updated_device_ribs=updated_world.device_ribs,
+                    base_traffic=base.traffic,
+                    updated_traffic=updated_world.traffic,
+                    flows=self.input_flows,
+                )
+                for intent in plan.intents:
+                    report.intent_results.append(intent.evaluate(vctx))
+                ctx.count("intents.checked", len(plan.intents))
+                ctx.count(
+                    "intents.violated",
+                    sum(1 for r in report.intent_results if not r.satisfied),
+                )
+            ctx.event(
+                "pipeline.verified",
+                plan=plan.name,
+                verdict="pass" if report.ok else "risk",
+                mode=stats.mode,
+            )
+        report.trace = span
         return report
 
     def simulate_plan(
-        self, plan: ChangePlan, updated_model: Optional[NetworkModel] = None
-    ) -> Tuple[_World, IncrementalStats]:
+        self,
+        plan: ChangePlan,
+        updated_model: Optional[NetworkModel] = None,
+        ctx: Optional[RunContext] = None,
+    ) -> Tuple[World, IncrementalStats]:
         """Simulate the updated network of a plan (incrementally when on).
 
         Exposed separately from :meth:`verify` so the equivalence harness
         and benchmarks can obtain the simulated world without intent
         evaluation.
         """
-        if updated_model is None:
-            updated_model = plan.build_updated_model(self.base_model)
-        updated_inputs = self.input_routes + plan.new_input_routes
+        ctx = ctx if ctx is not None else self.ctx
+        with ctx.span("simulate_plan", plan=plan.name):
+            if updated_model is None:
+                updated_model = plan.build_updated_model(self.base_model)
+            updated_inputs = self.input_routes + plan.new_input_routes
 
-        if not self.incremental:
-            diff = self._engine.analyze(updated_model, plan.new_input_routes)[0]
-            igp, igp_reused = self._updated_igp(updated_model, diff)
-            local_inputs = self._updated_local_inputs(updated_model, diff)
-            world = self._simulate(
-                updated_model, updated_inputs, igp=igp, local_inputs=local_inputs
-            )
-            return world, IncrementalStats(
-                mode=MODE_FULL,
-                total_devices=len(updated_model.devices),
-                total_inputs=len(updated_inputs) + len(local_inputs),
-                igp_reused=igp_reused,
-            )
-        return self._simulate_incremental(plan, updated_model, updated_inputs)
+            if not self.incremental:
+                diff = self._engine.analyze(
+                    updated_model, plan.new_input_routes, ctx=ctx
+                )[0]
+                igp, igp_reused = self._updated_igp(updated_model, diff)
+                local_inputs = self._updated_local_inputs(updated_model, diff)
+                world = self._simulate(
+                    updated_model,
+                    updated_inputs,
+                    igp=igp,
+                    local_inputs=local_inputs,
+                    ctx=ctx,
+                )
+                stats = IncrementalStats(
+                    mode=MODE_FULL,
+                    total_devices=len(updated_model.devices),
+                    total_inputs=len(updated_inputs) + len(local_inputs),
+                    igp_reused=igp_reused,
+                )
+            else:
+                world, stats = self._simulate_incremental(
+                    plan, updated_model, updated_inputs, ctx
+                )
+            self._mirror_stats(ctx, stats)
+        return world, stats
 
     # -- simulation helpers ------------------------------------------------------------
+
+    @staticmethod
+    def _mirror_stats(ctx: RunContext, stats: IncrementalStats) -> None:
+        """Mirror the numeric stats into ``incremental.*`` counters."""
+        ctx.count(f"incremental.mode.{stats.mode}")
+        for name in _STATS_COUNTERS:
+            value = getattr(stats, name)
+            if value:
+                ctx.count(f"incremental.{name}", value)
 
     def _simulate_incremental(
         self,
         plan: ChangePlan,
         updated_model: NetworkModel,
         updated_inputs: List[InputRoute],
-    ) -> Tuple[_World, IncrementalStats]:
+        ctx: RunContext,
+    ) -> Tuple[World, IncrementalStats]:
         base = self.base_world  # ensures snapshots and caches exist
-        diff, blast = self._engine.analyze(updated_model, plan.new_input_routes)
+        diff, blast = self._engine.analyze(
+            updated_model, plan.new_input_routes, ctx=ctx
+        )
         igp, igp_reused = self._updated_igp(updated_model, diff)
         local_inputs = self._updated_local_inputs(updated_model, diff)
         all_inputs = list(updated_inputs) + local_inputs
         snapshots_before = self._engine.snapshots.stats.as_dict()
 
         if blast.widened:
+            ctx.event(
+                "pipeline.widened", level=30,
+                plan=plan.name, reasons=";".join(blast.reasons),
+            )
             world = self._simulate(
-                updated_model, updated_inputs, igp=igp, local_inputs=local_inputs
+                updated_model,
+                updated_inputs,
+                igp=igp,
+                local_inputs=local_inputs,
+                ctx=ctx,
             )
             return world, IncrementalStats(
                 mode=MODE_WIDENED,
@@ -253,8 +373,10 @@ class ChangeVerifier:
             if diff.is_empty:
                 traffic = base.traffic
             else:
-                traffic = self._traffic_sim(updated_model, base.device_ribs, igp)
-            world = _World(
+                traffic = self._traffic_sim(
+                    updated_model, base.device_ribs, igp, ctx
+                )
+            world = World(
                 model=updated_model,
                 device_ribs=base.device_ribs,
                 global_rib=base.global_rib,
@@ -269,20 +391,24 @@ class ChangeVerifier:
             )
 
         covered = self._engine.covered_inputs(all_inputs, blast)
-        if self.distributed:
-            partitioner = CoveredSubsetPartitioner(
-                lambda item: blast.covers(item.route.prefix)
-            )
-            partial_ribs, skipped = self._route_sim(
-                updated_model, all_inputs, igp, partitioner=partitioner
-            )
-        else:
-            partial_ribs, skipped = self._route_sim(updated_model, covered, igp)
-
-        splice = self._engine.splice(base.device_ribs, partial_ribs, blast)
-        device_ribs = splice.device_ribs
-        traffic = self._traffic_sim(updated_model, device_ribs, igp)
-        world = _World(
+        outcome = self.backend.run_routes(
+            RouteSimRequest(
+                model=updated_model,
+                inputs=all_inputs,
+                igp=igp,
+                max_rounds=self.max_rounds,
+                warm_start=WarmStart(
+                    blast=blast,
+                    base_ribs=base.device_ribs,
+                    covered_inputs=covered,
+                ),
+            ),
+            ctx,
+        )
+        splice = outcome.splice
+        device_ribs = outcome.device_ribs
+        traffic = self._traffic_sim(updated_model, device_ribs, igp, ctx)
+        world = World(
             model=updated_model,
             device_ribs=device_ribs,
             global_rib=GlobalRib.from_device_ribs(device_ribs.values()).best_routes(),
@@ -299,7 +425,7 @@ class ChangeVerifier:
             reused_slots=splice.reused_slots,
             reused_devices=splice.reused_devices,
             igp_reused=igp_reused,
-            skipped_subtasks=skipped,
+            skipped_subtasks=outcome.skipped_subtasks,
             snapshot_stats=self._snapshot_delta(snapshots_before),
         )
 
@@ -332,36 +458,28 @@ class ChangeVerifier:
                 inputs.extend(cached)
         return inputs
 
-    def _route_sim(
+    def _traffic_sim(
         self,
         model: NetworkModel,
-        all_inputs: Sequence[InputRoute],
+        device_ribs: Dict[str, DeviceRib],
         igp: IgpState,
-        partitioner=None,
-    ) -> Tuple[Dict[str, DeviceRib], int]:
-        if self.distributed:
-            route_sim = DistributedRouteSimulation(model, igp=igp)
-            route_result = route_sim.run(
-                list(all_inputs),
-                subtasks=self.route_subtasks,
-                workers=self.workers,
-                partitioner=partitioner,
-            )
-            return route_result.device_ribs, route_result.skipped_subtasks
-        result = simulate_routes(
-            model, all_inputs, include_local_inputs=False, igp=igp,
-            max_rounds=self.max_rounds,
-        )
-        return result.device_ribs, 0
-
-    def _traffic_sim(
-        self, model: NetworkModel, device_ribs: Dict[str, DeviceRib], igp: IgpState
+        ctx: RunContext,
     ) -> Optional[TrafficSimulationResult]:
         if not self.input_flows:
             return None
-        return TrafficSimulator(model, device_ribs, igp=igp).simulate(
-            self.input_flows
+        # The pipeline always runs traffic in-process over the merged RIBs
+        # (no route-task artifacts are passed), even with a distributed
+        # backend — full per-flow path detail is needed for intent checks.
+        outcome = self.backend.run_traffic(
+            TrafficSimRequest(
+                model=model,
+                flows=self.input_flows,
+                device_ribs=device_ribs,
+                igp=igp,
+            ),
+            ctx,
         )
+        return outcome.result
 
     def _simulate(
         self,
@@ -369,17 +487,29 @@ class ChangeVerifier:
         input_routes: Sequence[InputRoute],
         igp: Optional[IgpState] = None,
         local_inputs: Optional[List[InputRoute]] = None,
-    ) -> _World:
+        ctx: Optional[RunContext] = None,
+    ) -> World:
+        ctx = ctx if ctx is not None else self.ctx
         all_inputs = list(input_routes) + (
             local_inputs
             if local_inputs is not None
             else build_local_input_routes(model)
         )
         if igp is None:
-            igp = compute_igp(model)
-        device_ribs, _ = self._route_sim(model, all_inputs, igp)
-        traffic = self._traffic_sim(model, device_ribs, igp)
-        return _World(
+            with ctx.span("compute_igp"):
+                igp = compute_igp(model)
+        outcome = self.backend.run_routes(
+            RouteSimRequest(
+                model=model,
+                inputs=all_inputs,
+                igp=igp,
+                max_rounds=self.max_rounds,
+            ),
+            ctx,
+        )
+        device_ribs = outcome.device_ribs
+        traffic = self._traffic_sim(model, device_ribs, igp, ctx)
+        return World(
             model=model,
             device_ribs=device_ribs,
             global_rib=GlobalRib.from_device_ribs(device_ribs.values()).best_routes(),

@@ -6,24 +6,31 @@ correct model and inputs; Hoyan's side is corrupted by the fault; the §5.1
 validation compares Hoyan's simulated routes and loads against the
 monitoring feeds derived from the ground truth. A fault counts as detected
 when the validation reports at least one discrepancy.
+
+All simulation dispatch goes through an
+:class:`~repro.exec.base.ExecutionBackend` (centralized by default), and
+each fault run is timed on a :class:`~repro.obs.RunContext` span.
 """
 
 from __future__ import annotations
 
-import copy
-import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.diagnosis.validation import AccuracyReport, AccuracyValidator
+from repro.diagnosis.validation import AccuracyValidator
+from repro.exec import (
+    CentralizedBackend,
+    ExecutionBackend,
+    RouteSimRequest,
+    TrafficSimRequest,
+)
 from repro.monitor.faults import FAULT_LIBRARY, FaultSpec, HoyanSetup, apply_fault
 from repro.monitor.route_monitor import RouteMonitor
 from repro.monitor.traffic_monitor import TrafficMonitor
 from repro.net.model import NetworkModel
+from repro.obs import RunContext, ensure_context
 from repro.routing.inputs import InputRoute
-from repro.routing.simulator import simulate_routes
 from repro.traffic.flow import Flow
-from repro.traffic.simulator import TrafficSimulator
 
 
 @dataclass
@@ -58,20 +65,38 @@ def build_ground_truth(
     model: NetworkModel,
     input_routes: Sequence[InputRoute],
     flows: Sequence[Flow],
+    backend: Optional[ExecutionBackend] = None,
+    ctx: Optional[RunContext] = None,
 ) -> GroundTruth:
     """Simulate the real network and derive the monitoring feeds."""
-    result = simulate_routes(model, input_routes)
-    traffic = TrafficSimulator(model, result.device_ribs, result.igp).simulate(flows)
-    monitor = RouteMonitor(model)
-    return GroundTruth(
-        model=model,
-        input_routes=list(input_routes),
-        flows=list(flows),
-        device_ribs=result.device_ribs,
-        monitored_routes=monitor.collect(result.device_ribs),
-        observed_loads=TrafficMonitor().collect_link_loads(traffic),
-        igp=result.igp,
-    )
+    backend = backend if backend is not None else CentralizedBackend()
+    ctx = ensure_context(ctx, "campaign")
+    with ctx.span("ground_truth"):
+        routes = backend.run_routes(
+            RouteSimRequest(
+                model=model, inputs=input_routes, include_local_inputs=True
+            ),
+            ctx,
+        )
+        traffic = backend.run_traffic(
+            TrafficSimRequest(
+                model=model,
+                flows=flows,
+                device_ribs=routes.device_ribs,
+                igp=routes.igp,
+            ),
+            ctx,
+        )
+        monitor = RouteMonitor(model)
+        return GroundTruth(
+            model=model,
+            input_routes=list(input_routes),
+            flows=list(flows),
+            device_ribs=routes.device_ribs,
+            monitored_routes=monitor.collect(routes.device_ribs),
+            observed_loads=TrafficMonitor().collect_link_loads(traffic.result),
+            igp=routes.igp,
+        )
 
 
 def run_fault(
@@ -79,46 +104,66 @@ def run_fault(
     fault: FaultSpec,
     seed: int = 0,
     load_threshold_fraction: float = 0.02,
+    backend: Optional[ExecutionBackend] = None,
+    ctx: Optional[RunContext] = None,
 ) -> CampaignRow:
     """Inject one fault on Hoyan's side and run the accuracy validation."""
-    started = time.perf_counter()
-    setup = HoyanSetup(
-        model=truth.model.copy(),
-        input_routes=list(truth.input_routes),
-        input_flows=list(truth.flows),
-        route_monitor=RouteMonitor(truth.model),
-        traffic_monitor=TrafficMonitor(),
-    )
-    detail = apply_fault(fault, setup, seed=seed)
+    backend = backend if backend is not None else CentralizedBackend()
+    ctx = ensure_context(ctx, "campaign")
+    with ctx.span("campaign.fault", fault=fault.name) as span:
+        setup = HoyanSetup(
+            model=truth.model.copy(),
+            input_routes=list(truth.input_routes),
+            input_flows=list(truth.flows),
+            route_monitor=RouteMonitor(truth.model),
+            traffic_monitor=TrafficMonitor(),
+        )
+        detail = apply_fault(fault, setup, seed=seed)
 
-    # The monitoring feed Hoyan actually receives (route-agent faults and
-    # NetFlow misreports corrupt it here).
-    monitored_routes = setup.route_monitor.collect(truth.device_ribs)
-    hoyan_flows = setup.traffic_monitor.as_input_flows(
-        setup.traffic_monitor.collect_flows(truth.flows)
-    )
+        # The monitoring feed Hoyan actually receives (route-agent faults and
+        # NetFlow misreports corrupt it here).
+        monitored_routes = setup.route_monitor.collect(truth.device_ribs)
+        hoyan_flows = setup.traffic_monitor.as_input_flows(
+            setup.traffic_monitor.collect_flows(truth.flows)
+        )
 
-    # Hoyan's own simulation, on its (possibly corrupted) model and inputs.
-    simulated = simulate_routes(
-        setup.model, setup.input_routes, max_rounds=setup.max_rounds
-    )
-    simulated_traffic = TrafficSimulator(
-        setup.model, simulated.device_ribs, simulated.igp
-    ).simulate(hoyan_flows)
+        # Hoyan's own simulation, on its (possibly corrupted) model and inputs.
+        simulated = backend.run_routes(
+            RouteSimRequest(
+                model=setup.model,
+                inputs=setup.input_routes,
+                include_local_inputs=True,
+                max_rounds=setup.max_rounds,
+            ),
+            ctx,
+        )
+        simulated_traffic = backend.run_traffic(
+            TrafficSimRequest(
+                model=setup.model,
+                flows=hoyan_flows,
+                device_ribs=simulated.device_ribs,
+                igp=simulated.igp,
+            ),
+            ctx,
+        )
 
-    validator = AccuracyValidator(
-        truth.model, load_threshold_fraction=load_threshold_fraction
-    )
-    route_report = validator.validate_routes(simulated.device_ribs, monitored_routes)
-    load_report = validator.validate_loads(
-        simulated_traffic.loads, truth.observed_loads
-    )
+        validator = AccuracyValidator(
+            truth.model, load_threshold_fraction=load_threshold_fraction
+        )
+        route_report = validator.validate_routes(
+            simulated.device_ribs, monitored_routes
+        )
+        load_report = validator.validate_loads(
+            simulated_traffic.loads, truth.observed_loads
+        )
+        ctx.count("campaign.route_discrepancies", len(route_report.route_discrepancies))
+        ctx.count("campaign.load_discrepancies", len(load_report.link_discrepancies))
     return CampaignRow(
         fault=fault,
         detail=detail,
         route_discrepancies=len(route_report.route_discrepancies),
         load_discrepancies=len(load_report.link_discrepancies),
-        elapsed_seconds=time.perf_counter() - started,
+        elapsed_seconds=span.duration,
     )
 
 
@@ -128,12 +173,20 @@ def run_campaign(
     flows: Sequence[Flow],
     faults: Optional[Sequence[FaultSpec]] = None,
     seed: int = 0,
+    backend: Optional[ExecutionBackend] = None,
+    ctx: Optional[RunContext] = None,
 ) -> List[CampaignRow]:
     """Run every Table-4 issue class against a shared ground truth."""
-    truth = build_ground_truth(model, input_routes, flows)
+    backend = backend if backend is not None else CentralizedBackend()
+    ctx = ensure_context(ctx, "campaign")
+    truth = build_ground_truth(model, input_routes, flows, backend=backend, ctx=ctx)
     rows = []
     for fault in faults if faults is not None else FAULT_LIBRARY:
-        rows.append(run_fault(truth, fault, seed=seed))
+        row = run_fault(truth, fault, seed=seed, backend=backend, ctx=ctx)
+        ctx.count("campaign.faults")
+        if row.detected:
+            ctx.count("campaign.detected")
+        rows.append(row)
     return rows
 
 

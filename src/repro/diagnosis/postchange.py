@@ -14,15 +14,15 @@ exercises the exact comparison-and-verdict path.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from repro.diagnosis.validation import AccuracyReport, RouteDiscrepancy
+from repro.exec import CentralizedBackend, ExecutionBackend, RouteSimRequest
 from repro.net.model import NetworkModel
+from repro.obs import RunContext, ensure_context
 from repro.routing.inputs import InputRoute
 from repro.routing.rib import DeviceRib
-from repro.routing.simulator import simulate_routes
 
 
 @dataclass
@@ -51,6 +51,8 @@ def validate_post_change(
     input_routes: Sequence[InputRoute],
     live_ribs: Dict[str, DeviceRib],
     time_budget_seconds: float = 300.0,
+    backend: Optional[ExecutionBackend] = None,
+    ctx: Optional[RunContext] = None,
 ) -> PostChangeVerdict:
     """Simulate the expected post-change network and compare with the live one.
 
@@ -59,44 +61,58 @@ def validate_post_change(
     An inconsistency recommends rollback; exceeding the time budget makes
     the run unusable for in-time rollback regardless of the result.
     """
-    started = time.perf_counter()
-    expected = simulate_routes(expected_model, input_routes)
+    backend = backend if backend is not None else CentralizedBackend()
+    ctx = ensure_context(ctx, "postchange")
+    with ctx.span("postchange.validate") as span:
+        expected = backend.run_routes(
+            RouteSimRequest(
+                model=expected_model,
+                inputs=input_routes,
+                include_local_inputs=True,
+            ),
+            ctx,
+        )
 
-    # Post-change validation compares FULL RIBs (best + ECMP), not the
-    # best-only agent feed: vendor implementation quirks often surface as
-    # ECMP-set differences invisible to the monitoring system (§5.1's blind
-    # spot, Figure 9's symptom).
-    report = AccuracyReport()
-    expected_rows = {
-        row.identity(): row
-        for rib in expected.device_ribs.values()
-        for row in rib.all_rows()
-        if row.route.protocol == "bgp"
-    }
-    live_rows = {
-        row.identity(): row
-        for rib in live_ribs.values()
-        for row in rib.all_rows()
-        if row.route.protocol == "bgp"
-    }
-    report.routes_compared = len(expected_rows.keys() | live_rows.keys())
-    for identity, row in expected_rows.items():
-        if identity not in live_rows:
-            report.route_discrepancies.append(
-                RouteDiscrepancy(
-                    "missing", row.device, row.vrf, str(row.route.prefix),
-                    detail=f"simulated but absent on the live network: {row}",
-                )
-            )
-    for identity, row in live_rows.items():
-        if identity not in expected_rows:
-            report.route_discrepancies.append(
-                RouteDiscrepancy(
-                    "extra", row.device, row.vrf, str(row.route.prefix),
-                    detail=f"on the live network but not simulated: {row}",
-                )
-            )
-    elapsed = time.perf_counter() - started
+        # Post-change validation compares FULL RIBs (best + ECMP), not the
+        # best-only agent feed: vendor implementation quirks often surface as
+        # ECMP-set differences invisible to the monitoring system (§5.1's
+        # blind spot, Figure 9's symptom).
+        report = AccuracyReport()
+        with ctx.span("postchange.compare"):
+            expected_rows = {
+                row.identity(): row
+                for rib in expected.device_ribs.values()
+                for row in rib.all_rows()
+                if row.route.protocol == "bgp"
+            }
+            live_rows = {
+                row.identity(): row
+                for rib in live_ribs.values()
+                for row in rib.all_rows()
+                if row.route.protocol == "bgp"
+            }
+            report.routes_compared = len(expected_rows.keys() | live_rows.keys())
+            for identity, row in expected_rows.items():
+                if identity not in live_rows:
+                    report.route_discrepancies.append(
+                        RouteDiscrepancy(
+                            "missing", row.device, row.vrf, str(row.route.prefix),
+                            detail=f"simulated but absent on the live network: {row}",
+                        )
+                    )
+            for identity, row in live_rows.items():
+                if identity not in expected_rows:
+                    report.route_discrepancies.append(
+                        RouteDiscrepancy(
+                            "extra", row.device, row.vrf, str(row.route.prefix),
+                            detail=f"on the live network but not simulated: {row}",
+                        )
+                    )
+        ctx.count("postchange.routes_compared", report.routes_compared)
+        ctx.count(
+            "postchange.route_discrepancies", len(report.route_discrepancies)
+        )
+    elapsed = span.duration
 
     if elapsed > time_budget_seconds:
         recommendation = (

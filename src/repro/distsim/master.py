@@ -41,6 +41,7 @@ from repro.distsim.worker import (
     run_subtask_in_process,
 )
 from repro.net.model import NetworkModel
+from repro.obs import RunContext, ensure_context
 from repro.routing.inputs import InputRoute
 from repro.routing.isis import IgpState, compute_igp
 from repro.routing.rib import DeviceRib, GlobalRib
@@ -90,6 +91,10 @@ class RunReport:
     completed and dead-lettered runs expose how many retries fired, how long
     backoff slept, which subtasks were poisoned, and — under chaos — how
     many faults each injection site produced.
+
+    ``rounds``/``retries``/``backoff_seconds`` are views derived from the
+    run's observability counters (``distsim.rounds`` etc. on the drain
+    span), filled in when the drain finishes rather than hand-maintained.
     """
 
     seed: Optional[int] = None
@@ -220,7 +225,11 @@ class _TaskRunner:
     # -- supervised drain ------------------------------------------------------
 
     def _drain(
-        self, workers: int, messages: Dict[str, Message], processes: bool = False
+        self,
+        workers: int,
+        messages: Dict[str, Message],
+        processes: bool = False,
+        ctx: Optional[RunContext] = None,
     ) -> RunReport:
         """Run subtasks until each is finished or dead-lettered.
 
@@ -232,31 +241,46 @@ class _TaskRunner:
         last failure reason, and the run raises :class:`TaskFailed` rather
         than silently returning partial results.
         """
+        ctx = ensure_context(ctx)
         self.dlq = DeadLetterQueue()
         report = RunReport(
             seed=self.chaos_policy.seed if self.chaos_policy is not None else None
         )
-        if processes:
-            self._drain_processes(workers, messages, report)
-        else:
-            self._drain_threads(workers, messages, report)
+        with ctx.span("drain", mode="process" if processes else "thread") as span:
+            if processes:
+                self._drain_processes(workers, messages, report, ctx)
+            else:
+                self._drain_threads(workers, messages, report, ctx)
 
-        for subtask_id, message in messages.items():
-            report.attempts[subtask_id] = message.attempt
-        report.dead_letters = self.dlq.entries()
-        if self.chaos is not None:
-            report.fault_counters = self.chaos.counters()
+            # The recovery telemetry is a view over the drain span's
+            # counters, not independently-maintained state.
+            report.rounds = int(span.total("distsim.rounds"))
+            report.retries = int(span.total("distsim.retries"))
+            report.backoff_seconds = span.total("distsim.backoff_seconds")
+            for subtask_id, message in messages.items():
+                report.attempts[subtask_id] = message.attempt
+            report.dead_letters = self.dlq.entries()
+            if self.chaos is not None:
+                report.fault_counters = self.chaos.counters()
+                for site, hits in report.fault_counters.items():
+                    ctx.count(f"chaos.{site}", hits)
 
-        failed = [r for r in self.db.failed() if r.subtask_id in messages]
-        if failed:
-            details = "; ".join(f"{r.subtask_id}: {r.error}" for r in failed[:5])
-            raise TaskFailed(
-                f"{len(failed)} subtasks failed permanently ({details})",
-                report=report,
-            )
+            failed = [r for r in self.db.failed() if r.subtask_id in messages]
+            if failed:
+                details = "; ".join(f"{r.subtask_id}: {r.error}" for r in failed[:5])
+                ctx.event(
+                    "distsim.task_failed", level=30,
+                    failed=len(failed), dead_letters=len(report.dead_letters),
+                )
+                raise TaskFailed(
+                    f"{len(failed)} subtasks failed permanently ({details})",
+                    report=report,
+                )
         return report
 
-    def _supervise(self, messages: Dict[str, Message], report: RunReport) -> bool:
+    def _supervise(
+        self, messages: Dict[str, Message], report: RunReport, ctx: RunContext
+    ) -> bool:
         """Re-dispatch unfinished subtasks; returns True while work remains."""
         to_retry: List[str] = []
         for subtask_id, message in messages.items():
@@ -276,6 +300,10 @@ class _TaskRunner:
                     f"retries exhausted after {message.attempt} attempts: {reason}",
                     attempts=message.attempt,
                 )
+                ctx.event(
+                    "distsim.dead_letter", level=30,
+                    subtask=subtask_id, attempts=message.attempt, reason=reason,
+                )
                 continue
             to_retry.append(subtask_id)
         if not to_retry:
@@ -286,16 +314,24 @@ class _TaskRunner:
         )
         if delay > 0:
             self.retry_policy.sleep(delay)
-            report.backoff_seconds += delay
+            ctx.count("distsim.backoff_seconds", delay)
         for subtask_id in to_retry:
             retried = messages[subtask_id].retry()
             messages[subtask_id] = retried
-            report.retries += 1
+            ctx.count("distsim.retries")
+            ctx.event(
+                "distsim.retry", level=10,
+                subtask=subtask_id, attempt=retried.attempt,
+            )
             self.mq.push(retried)  # a chaos MQ may lose this push too
         return True
 
     def _drain_threads(
-        self, workers: int, messages: Dict[str, Message], report: RunReport
+        self,
+        workers: int,
+        messages: Dict[str, Message],
+        report: RunReport,
+        ctx: RunContext,
     ) -> None:
         worker_store = (
             ChaosObjectStore(self.store, self.chaos) if self.chaos else self.store
@@ -309,6 +345,7 @@ class _TaskRunner:
                 self.db,
                 self.worker_config,
                 chaos=self.chaos,
+                ctx=ctx,
             )
             for index in range(max(1, workers))
         ]
@@ -331,7 +368,7 @@ class _TaskRunner:
                     )
 
         while True:
-            report.rounds += 1
+            ctx.count("distsim.rounds")
             if len(pool) == 1:
                 loop(pool[0])
             else:
@@ -342,13 +379,17 @@ class _TaskRunner:
                     thread.start()
                 for thread in threads:
                     thread.join()
-            if not self._supervise(messages, report):
+            if not self._supervise(messages, report, ctx):
                 return
 
     # -- process mode ----------------------------------------------------------
 
     def _drain_processes(
-        self, workers: int, messages: Dict[str, Message], report: RunReport
+        self,
+        workers: int,
+        messages: Dict[str, Message],
+        report: RunReport,
+        ctx: RunContext,
     ) -> None:
         """Consume the queue with a pool of worker processes.
 
@@ -376,7 +417,7 @@ class _TaskRunner:
             initargs=(context_blob,),
         ) as pool:
             while True:
-                report.rounds += 1
+                ctx.count("distsim.rounds")
                 pending: Dict[concurrent.futures.Future, Message] = {}
                 while True:
                     message = self.mq.pop()
@@ -404,7 +445,7 @@ class _TaskRunner:
                         if self.chaos is not None and outcome.get("chaos_counters"):
                             self.chaos.merge_counters(outcome["chaos_counters"])
                         self._apply_outcome(message, outcome)
-                if not self._supervise(messages, report):
+                if not self._supervise(messages, report, ctx):
                     return
 
     def _process_job(self, message: Message) -> Dict[str, Any]:
@@ -481,46 +522,66 @@ class DistributedRouteSimulation(_TaskRunner):
         processes: bool = False,
         partitioner=None,
         task_name: str = "route-task",
+        ctx: Optional[RunContext] = None,
     ) -> RouteTaskResult:
+        ctx = ensure_context(ctx)
         started = time.perf_counter()
-        partitioner = partitioner or OrderingPartitioner()
-        chunks = partitioner.split_routes(list(input_routes), subtasks)
+        with ctx.span(
+            "distsim.route_task",
+            task=task_name,
+            subtasks=subtasks,
+            workers=workers,
+            mode="process" if processes else "thread",
+        ):
+            partitioner = partitioner or OrderingPartitioner()
+            with ctx.span("partition", strategy=partitioner.name):
+                chunks = partitioner.split_routes(list(input_routes), subtasks)
 
-        messages: Dict[str, Message] = {}
-        skipped = 0
-        for index, chunk in enumerate(chunks):
-            if not chunk:
-                skipped += 1
-                continue
-            subtask_id = f"{task_name}/route-{index:04d}"
-            input_key = f"{subtask_id}/input"
-            result_key = f"{subtask_id}/result"
-            self.store.put(input_key, chunk)
-            record = SubtaskRecord(subtask_id=subtask_id, kind="route")
-            record.ranges = ranges_of_prefixes([r.route.prefix for r in chunk])
-            self.db.register(record)
-            message = Message(
-                subtask_id=subtask_id,
-                kind="route",
-                payload={"input_key": input_key, "result_key": result_key},
+            messages: Dict[str, Message] = {}
+            skipped = 0
+            with ctx.span("dispatch"):
+                for index, chunk in enumerate(chunks):
+                    if not chunk:
+                        skipped += 1
+                        continue
+                    subtask_id = f"{task_name}/route-{index:04d}"
+                    input_key = f"{subtask_id}/input"
+                    result_key = f"{subtask_id}/result"
+                    self.store.put(input_key, chunk)
+                    record = SubtaskRecord(subtask_id=subtask_id, kind="route")
+                    record.ranges = ranges_of_prefixes(
+                        [r.route.prefix for r in chunk]
+                    )
+                    self.db.register(record)
+                    message = Message(
+                        subtask_id=subtask_id,
+                        kind="route",
+                        payload={"input_key": input_key, "result_key": result_key},
+                    )
+                    messages[subtask_id] = message
+                    self.mq.push(message)
+            ctx.count("distsim.subtasks_dispatched", len(messages))
+            ctx.count("distsim.subtasks_skipped", skipped)
+            ctx.event(
+                "distsim.route_task.dispatched", level=10,
+                task=task_name, dispatched=len(messages), skipped=skipped,
             )
-            messages[subtask_id] = message
-            self.mq.push(message)
 
-        report = self._drain(workers, messages, processes=processes)
-        task_ids = list(messages)
+            report = self._drain(workers, messages, processes=processes, ctx=ctx)
+            task_ids = list(messages)
 
-        rib_maps = [
-            self.store.get(record.result_key)
-            for record in self.db.all(kind="route")
-            if record.subtask_id in task_ids and record.result_key
-        ]
-        merged = merge_device_ribs(rib_maps)
-        durations = [
-            record.duration
-            for record in self.db.all(kind="route")
-            if record.subtask_id in task_ids and record.status == FINISHED
-        ]
+            with ctx.span("merge"):
+                rib_maps = [
+                    self.store.get(record.result_key)
+                    for record in self.db.all(kind="route")
+                    if record.subtask_id in task_ids and record.result_key
+                ]
+                merged = merge_device_ribs(rib_maps)
+            durations = [
+                record.duration
+                for record in self.db.all(kind="route")
+                if record.subtask_id in task_ids and record.status == FINISHED
+            ]
         return RouteTaskResult(
             device_ribs=merged,
             db=self.db,
@@ -547,44 +608,59 @@ class DistributedTrafficSimulation(_TaskRunner):
         processes: bool = False,
         partitioner=None,
         task_name: str = "traffic-task",
+        ctx: Optional[RunContext] = None,
     ) -> TrafficTaskResult:
+        ctx = ensure_context(ctx)
         started = time.perf_counter()
-        partitioner = partitioner or OrderingPartitioner()
-        chunks = partitioner.split_flows(list(flows), subtasks)
+        with ctx.span(
+            "distsim.traffic_task",
+            task=task_name,
+            subtasks=subtasks,
+            workers=workers,
+            mode="process" if processes else "thread",
+        ):
+            partitioner = partitioner or OrderingPartitioner()
+            with ctx.span("partition", strategy=partitioner.name):
+                chunks = partitioner.split_flows(list(flows), subtasks)
 
-        messages: Dict[str, Message] = {}
-        for index, chunk in enumerate(chunks):
-            if not chunk:
-                continue
-            subtask_id = f"{task_name}/traffic-{index:04d}"
-            input_key = f"{subtask_id}/input"
-            result_key = f"{subtask_id}/result"
-            self.store.put(input_key, chunk)
-            self.db.register(SubtaskRecord(subtask_id=subtask_id, kind="traffic"))
-            message = Message(
-                subtask_id=subtask_id,
-                kind="traffic",
-                payload={"input_key": input_key, "result_key": result_key},
-            )
-            messages[subtask_id] = message
-            self.mq.push(message)
+            messages: Dict[str, Message] = {}
+            with ctx.span("dispatch"):
+                for index, chunk in enumerate(chunks):
+                    if not chunk:
+                        continue
+                    subtask_id = f"{task_name}/traffic-{index:04d}"
+                    input_key = f"{subtask_id}/input"
+                    result_key = f"{subtask_id}/result"
+                    self.store.put(input_key, chunk)
+                    self.db.register(
+                        SubtaskRecord(subtask_id=subtask_id, kind="traffic")
+                    )
+                    message = Message(
+                        subtask_id=subtask_id,
+                        kind="traffic",
+                        payload={"input_key": input_key, "result_key": result_key},
+                    )
+                    messages[subtask_id] = message
+                    self.mq.push(message)
+            ctx.count("distsim.subtasks_dispatched", len(messages))
 
-        report = self._drain(workers, messages, processes=processes)
-        task_ids = list(messages)
+            report = self._drain(workers, messages, processes=processes, ctx=ctx)
+            task_ids = list(messages)
 
-        loads = LinkLoadMap()
-        paths: Dict = {}
-        for record in self.db.all(kind="traffic"):
-            if record.subtask_id not in task_ids or not record.result_key:
-                continue
-            result = self.store.get(record.result_key)
-            loads = loads.merge(result["loads"])
-            paths.update(result["paths"])
-        durations = [
-            record.duration
-            for record in self.db.all(kind="traffic")
-            if record.subtask_id in task_ids and record.status == FINISHED
-        ]
+            with ctx.span("merge"):
+                loads = LinkLoadMap()
+                paths: Dict = {}
+                for record in self.db.all(kind="traffic"):
+                    if record.subtask_id not in task_ids or not record.result_key:
+                        continue
+                    result = self.store.get(record.result_key)
+                    loads = loads.merge(result["loads"])
+                    paths.update(result["paths"])
+            durations = [
+                record.duration
+                for record in self.db.all(kind="traffic")
+                if record.subtask_id in task_ids and record.status == FINISHED
+            ]
         return TrafficTaskResult(
             loads=loads,
             paths=paths,

@@ -73,6 +73,7 @@ class Worker:
         db: SubtaskDB,
         config: Optional[WorkerConfig] = None,
         chaos=None,
+        ctx=None,
     ) -> None:
         self.name = name
         self.model = model
@@ -82,6 +83,13 @@ class Worker:
         self.config = config or WorkerConfig()
         #: optional repro.distsim.chaos.ChaosEngine injecting faults
         self.chaos = chaos
+        #: optional repro.obs.RunContext for subtask counters (None inside
+        #: process-mode children, whose counters cannot cross the boundary)
+        self.ctx = ctx
+
+    def _count(self, name: str, value: float = 1) -> None:
+        if self.ctx is not None:
+            self.ctx.count(name, value)
 
     # -- message handling -----------------------------------------------------
 
@@ -133,6 +141,7 @@ class Worker:
                 duration=time.perf_counter() - started,
                 attempts=message.attempt,
             )
+            self._count("distsim.subtask_failures")
             return False
         finally:
             if self.chaos is not None:
@@ -142,6 +151,7 @@ class Worker:
             status=FINISHED,
             duration=time.perf_counter() - started,
         )
+        self._count("distsim.subtasks_finished")
         return True
 
     # -- route subtask -----------------------------------------------------------

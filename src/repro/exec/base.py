@@ -1,0 +1,190 @@
+"""The pluggable execution-backend interface.
+
+Every consumer of route- and traffic-simulation — the change-verification
+pipeline, diagnosis, k-failure checking, the benchmark harnesses, the CLI —
+dispatches through one :class:`ExecutionBackend` instead of branching on
+"centralized vs distributed vs incremental" at each call site. A backend
+takes a :class:`RouteSimRequest` / :class:`TrafficSimRequest` and returns a
+:class:`RouteSimOutcome` / :class:`TrafficSimOutcome`; *how* the work runs
+(in-process, thread workers, process workers, warm-started) is the
+backend's business.
+
+Implementations:
+
+* :class:`~repro.exec.centralized.CentralizedBackend` — in-process
+  simulation (optionally the chunked Figure-1 runner with a memory budget);
+* :class:`~repro.exec.distributed.DistributedBackend` — the master/worker
+  framework with thread or process pools;
+* :class:`~repro.exec.incremental.IncrementalBackend` — a decorator that
+  warm-starts route simulation from base-world snapshots when the request
+  carries a :class:`~repro.exec.incremental.WarmStart`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.net.model import NetworkModel
+from repro.obs import RunContext
+from repro.routing.inputs import InputRoute
+from repro.routing.isis import IgpState
+from repro.routing.rib import DeviceRib, GlobalRib
+from repro.traffic.flow import Flow
+
+
+@dataclass
+class RouteSimRequest:
+    """One route-simulation dispatch.
+
+    ``subtasks``/``workers``/``partitioner``/``worker_config`` override the
+    backend's configured defaults for this call (distributed backends only);
+    ``warm_start`` is honored by :class:`IncrementalBackend` and ignored by
+    the terminal backends.
+    """
+
+    model: NetworkModel
+    inputs: Sequence[InputRoute]
+    igp: Optional[IgpState] = None
+    include_local_inputs: bool = False
+    max_rounds: int = 50
+    subtasks: Optional[int] = None
+    workers: Optional[int] = None
+    partitioner: Any = None
+    worker_config: Any = None
+    task_name: str = "route-task"
+    warm_start: Any = None
+
+
+@dataclass
+class RouteSimOutcome:
+    """Merged result of a route-simulation dispatch, backend-agnostic.
+
+    ``device_ribs``/``igp`` are always populated. ``result`` carries the
+    in-process :class:`~repro.routing.simulator.SimulationResult` when the
+    backend ran centralized, ``task`` the distributed
+    :class:`~repro.distsim.master.RouteTaskResult` (store/DB/report/
+    makespan model) when it ran distributed, and ``splice`` the
+    :class:`~repro.incremental.engine.SpliceResult` when a warm start
+    spliced base state back in.
+    """
+
+    device_ribs: Dict[str, DeviceRib]
+    igp: IgpState
+    backend: str = "centralized"
+    skipped_subtasks: int = 0
+    rib_rows: Optional[int] = None
+    result: Any = None
+    task: Any = None
+    splice: Any = None
+    resimulated_inputs: Optional[int] = None
+
+    def global_rib(self, best_only: bool = False) -> GlobalRib:
+        rib = GlobalRib.from_device_ribs(self.device_ribs.values())
+        return rib.best_routes() if best_only else rib
+
+    @property
+    def subtask_durations(self) -> List[float]:
+        return list(self.task.subtask_durations) if self.task is not None else []
+
+    def makespan(self, servers: int) -> float:
+        if self.task is None:
+            raise ValueError("makespan model requires a distributed run")
+        return self.task.makespan(servers)
+
+    @property
+    def report(self):
+        """The distributed run's :class:`RunReport` (None when centralized)."""
+        return self.task.report if self.task is not None else None
+
+
+@dataclass
+class TrafficSimRequest:
+    """One traffic-simulation dispatch.
+
+    ``device_ribs`` drives the in-process path. ``route_outcome`` — a
+    :class:`RouteSimOutcome` whose ``task`` holds the route store/DB —
+    enables genuinely distributed traffic subtasks with RIB-file dependency
+    reduction; without it a distributed backend falls back to the
+    in-process simulator over the merged RIBs.
+    """
+
+    model: NetworkModel
+    flows: Sequence[Flow]
+    device_ribs: Optional[Dict[str, DeviceRib]] = None
+    igp: Optional[IgpState] = None
+    route_outcome: Optional[RouteSimOutcome] = None
+    use_ecs: bool = True
+    subtasks: Optional[int] = None
+    workers: Optional[int] = None
+    partitioner: Any = None
+    worker_config: Any = None
+    task_name: str = "traffic-task"
+
+
+@dataclass
+class TrafficSimOutcome:
+    """Merged result of a traffic-simulation dispatch."""
+
+    loads: Any
+    paths: Dict = field(default_factory=dict)
+    backend: str = "centralized"
+    #: in-process TrafficSimulationResult (None for distributed subtasks)
+    result: Any = None
+    #: distributed TrafficTaskResult (None for in-process runs)
+    task: Any = None
+
+    def makespan(self, servers: int) -> float:
+        if self.task is None:
+            raise ValueError("makespan model requires a distributed run")
+        return self.task.makespan(servers)
+
+    @property
+    def loaded_rib_fractions(self) -> List[float]:
+        return list(self.task.loaded_rib_fractions) if self.task is not None else []
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy interface: how simulation requests are executed."""
+
+    #: human-readable backend identity ("centralized", "distributed-thread", ...)
+    name: str = "backend"
+    #: True when subtasks run through the distributed master/worker framework
+    is_distributed: bool = False
+
+    @abc.abstractmethod
+    def run_routes(
+        self, request: RouteSimRequest, ctx: Optional[RunContext] = None
+    ) -> RouteSimOutcome:
+        """Execute a route-simulation request."""
+
+    @abc.abstractmethod
+    def run_traffic(
+        self, request: TrafficSimRequest, ctx: Optional[RunContext] = None
+    ) -> TrafficSimOutcome:
+        """Execute a traffic-simulation request."""
+
+
+#: Backend names accepted by :func:`make_backend` and the CLI ``--backend``.
+BACKEND_NAMES = ("centralized", "distributed-thread", "distributed-process")
+
+
+def make_backend(name: str = "centralized", **options: Any) -> ExecutionBackend:
+    """Build a terminal backend by name.
+
+    ``options`` are forwarded to the backend constructor; distributed names
+    accept ``route_subtasks``/``traffic_subtasks``/``workers``/``chaos``/
+    ``retry``/``worker_config``, centralized accepts ``max_rounds`` and the
+    chunked-runner knobs.
+    """
+    from repro.exec.centralized import CentralizedBackend
+    from repro.exec.distributed import DistributedBackend
+
+    if name == "centralized":
+        return CentralizedBackend(**options)
+    if name == "distributed-thread":
+        return DistributedBackend(mode="thread", **options)
+    if name == "distributed-process":
+        return DistributedBackend(mode="process", **options)
+    raise ValueError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

@@ -1,0 +1,108 @@
+"""Post-merge installation of connected routes into subtask-built RIBs.
+
+Subtask workers simulate with ``include_connected=False``: static and
+loopback-direct routes would otherwise appear in every subtask's result
+file, widening its recorded address range and defeating the ordering
+heuristic's dependency reduction (see ``RouteSimulator.include_connected``).
+The merged result therefore lacks those rows, while the in-process
+``RouteSimulator`` path includes them.
+
+The backend layer normalizes the difference here: after merging, the
+master-side backends re-install the connected routes with the exact
+contender logic of ``RouteSimulator._assemble_ribs`` — admin preference
+picks the active protocol, losers are demoted to candidates, and exactly
+one BEST survives per (vrf, prefix). With this, every backend produces
+byte-identical ``rib_fingerprint`` digests for the same inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.net.addr import Prefix
+from repro.net.model import NetworkModel
+from repro.routing.attributes import Route, SOURCE_LOCAL
+from repro.routing.rib import (
+    ROUTE_TYPE_BEST,
+    ROUTE_TYPE_CANDIDATE,
+    ROUTE_TYPE_ECMP,
+    DeviceRib,
+)
+
+
+def _connected_entries(
+    model: NetworkModel, name: str, device
+) -> Dict[Tuple[str, Prefix], List[Tuple[Route, str]]]:
+    entries: Dict[Tuple[str, Prefix], List[Tuple[Route, str]]] = {}
+    for static in device.statics:
+        route = Route(
+            prefix=static.prefix,
+            nexthop=static.nexthop,
+            protocol="static",
+            source=SOURCE_LOCAL,
+            preference=static.preference,
+            origin_router=name,
+            origin_vrf=static.vrf,
+        )
+        entries.setdefault((static.vrf, static.prefix), []).append(
+            (route, ROUTE_TYPE_BEST)
+        )
+    loopback = model.loopback_of(name)
+    if loopback is not None:
+        direct = Route(
+            prefix=Prefix.from_address(loopback),
+            protocol="direct",
+            source=SOURCE_LOCAL,
+            preference=0,
+            origin_router=name,
+        )
+        entries.setdefault(("global", direct.prefix), []).append(
+            (direct, ROUTE_TYPE_BEST)
+        )
+    return entries
+
+
+def _resolve(entries: List[Tuple[Route, str]]) -> List[Tuple[Route, str]]:
+    """The `_assemble_ribs` demotion rules, applied to a combined entry list."""
+    if len(entries) == 1 and entries[0][1] == ROUTE_TYPE_BEST:
+        return entries
+    best_pref = min(r.preference for r, t in entries if t != ROUTE_TYPE_CANDIDATE)
+    final: List[Tuple[Route, str]] = []
+    for route, route_type in entries:
+        if route_type == ROUTE_TYPE_CANDIDATE:
+            final.append((route, route_type))
+        elif route.preference == best_pref:
+            final.append((route, route_type))
+        else:
+            final.append((route, ROUTE_TYPE_CANDIDATE))
+    seen_best = False
+    normalized: List[Tuple[Route, str]] = []
+    for route, route_type in final:
+        if route_type == ROUTE_TYPE_BEST:
+            if seen_best:
+                route_type = ROUTE_TYPE_ECMP
+            seen_best = True
+        normalized.append((route, route_type))
+    return normalized
+
+
+def install_connected_routes(
+    model: NetworkModel, device_ribs: Dict[str, DeviceRib]
+) -> Dict[str, DeviceRib]:
+    """Install static/loopback-direct routes into merged device RIBs in place.
+
+    Also materializes an (empty) RIB for every device in the model, matching
+    the in-process simulator which emits one per device.
+    """
+    for name, device in model.devices.items():
+        rib = device_ribs.get(name)
+        if rib is None:
+            rib = device_ribs[name] = DeviceRib(name)
+        if not model.topology.router_is_up(name):
+            continue
+        for (vrf, prefix), connected in _connected_entries(
+            model, name, device
+        ).items():
+            combined = connected + rib.entries_for(prefix, vrf)
+            rib.replace_prefix(vrf, prefix, _resolve(combined))
+    return device_ribs

@@ -1,0 +1,173 @@
+"""Distributed execution backend: master/worker with thread or process pools.
+
+Each ``run_routes`` builds a fresh
+:class:`~repro.distsim.master.DistributedRouteSimulation` (fresh MQ, object
+store, and subtask DB — matching the historical per-call behavior), so
+chaos fault injection and retry accounting start clean per task. Traffic
+simulation runs distributed only when the request carries the preceding
+route outcome (whose task holds the shared store/DB that lets traffic
+workers discover RIB result files); otherwise it falls back to the
+in-process simulator over the merged RIBs, which is what the verification
+pipeline always did.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.distsim.chaos import ChaosPolicy
+from repro.distsim.master import (
+    DistributedRouteSimulation,
+    DistributedTrafficSimulation,
+    RetryPolicy,
+)
+from repro.distsim.worker import WorkerConfig
+from repro.exec.base import (
+    ExecutionBackend,
+    RouteSimOutcome,
+    RouteSimRequest,
+    TrafficSimOutcome,
+    TrafficSimRequest,
+)
+from repro.exec.connected import install_connected_routes
+from repro.obs import RunContext, ensure_context
+from repro.routing.inputs import InputRoute, build_local_input_routes
+from repro.traffic.simulator import TrafficSimulator
+
+#: Supported worker-pool modes.
+MODES = ("thread", "process")
+
+
+class DistributedBackend(ExecutionBackend):
+    """Execution through the distributed master/worker framework."""
+
+    is_distributed = True
+
+    def __init__(
+        self,
+        mode: str = "thread",
+        route_subtasks: int = 100,
+        traffic_subtasks: int = 128,
+        workers: int = 1,
+        chaos: Optional[ChaosPolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+        max_retries: int = 3,
+        worker_config: Optional[WorkerConfig] = None,
+    ) -> None:
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; expected one of {MODES}")
+        self.mode = mode
+        self.route_subtasks = route_subtasks
+        self.traffic_subtasks = traffic_subtasks
+        self.workers = workers
+        self.chaos = chaos
+        self.retry = retry
+        self.max_retries = max_retries
+        self.worker_config = worker_config
+        self.name = f"distributed-{mode}"
+
+    @property
+    def processes(self) -> bool:
+        return self.mode == "process"
+
+    def run_routes(
+        self, request: RouteSimRequest, ctx: Optional[RunContext] = None
+    ) -> RouteSimOutcome:
+        ctx = ensure_context(ctx)
+        inputs: List[InputRoute] = list(request.inputs)
+        if request.include_local_inputs:
+            inputs = list(build_local_input_routes(request.model)) + inputs
+        subtasks = request.subtasks if request.subtasks is not None else self.route_subtasks
+        workers = request.workers if request.workers is not None else self.workers
+        with ctx.span(
+            "route_sim", backend=self.name, inputs=len(inputs), subtasks=subtasks
+        ):
+            ctx.count("route_sim.calls")
+            ctx.count("route_sim.inputs", len(inputs))
+            sim = DistributedRouteSimulation(
+                request.model,
+                igp=request.igp,
+                worker_config=request.worker_config or self.worker_config,
+                chaos=self.chaos,
+                retry=self.retry,
+                max_retries=self.max_retries,
+            )
+            task = sim.run(
+                inputs,
+                subtasks=subtasks,
+                workers=workers,
+                processes=self.processes,
+                partitioner=request.partitioner,
+                task_name=request.task_name,
+                ctx=ctx,
+            )
+            install_connected_routes(request.model, task.device_ribs)
+            return RouteSimOutcome(
+                device_ribs=task.device_ribs,
+                igp=sim.igp,
+                backend=self.name,
+                skipped_subtasks=task.skipped_subtasks,
+                task=task,
+            )
+
+    def run_traffic(
+        self, request: TrafficSimRequest, ctx: Optional[RunContext] = None
+    ) -> TrafficSimOutcome:
+        ctx = ensure_context(ctx)
+        route = request.route_outcome
+        if route is not None and route.task is not None:
+            subtasks = (
+                request.subtasks if request.subtasks is not None else self.traffic_subtasks
+            )
+            workers = request.workers if request.workers is not None else self.workers
+            with ctx.span(
+                "traffic_sim", backend=self.name, flows=len(request.flows),
+                subtasks=subtasks,
+            ):
+                ctx.count("traffic_sim.calls")
+                sim = DistributedTrafficSimulation(
+                    request.model,
+                    igp=request.igp if request.igp is not None else route.igp,
+                    store=route.task.store,
+                    db=route.task.db,
+                    worker_config=request.worker_config or self.worker_config,
+                    chaos=self.chaos,
+                    retry=self.retry,
+                    max_retries=self.max_retries,
+                )
+                task = sim.run(
+                    request.flows,
+                    subtasks=subtasks,
+                    workers=workers,
+                    processes=self.processes,
+                    partitioner=request.partitioner,
+                    task_name=request.task_name,
+                    ctx=ctx,
+                )
+                return TrafficSimOutcome(
+                    loads=task.loads,
+                    paths=task.paths,
+                    backend=self.name,
+                    task=task,
+                )
+        # No route-task artifacts to share: run in-process over merged RIBs.
+        device_ribs = request.device_ribs
+        if device_ribs is None and route is not None:
+            device_ribs = route.device_ribs
+        if device_ribs is None:
+            raise ValueError("traffic simulation needs device_ribs or route_outcome")
+        igp = request.igp
+        if igp is None and route is not None:
+            igp = route.igp
+        with ctx.span("traffic_sim", backend="centralized", flows=len(request.flows)):
+            ctx.count("traffic_sim.calls")
+            result = TrafficSimulator(
+                request.model, device_ribs, igp=igp, use_ecs=request.use_ecs
+            ).simulate(request.flows, ctx=ctx)
+            ctx.count("traffic_sim.cost_units", result.cost_units)
+            return TrafficSimOutcome(
+                loads=result.loads,
+                paths=result.paths,
+                backend="centralized",
+                result=result,
+            )

@@ -22,6 +22,7 @@ splicing base rows there reproduces exactly what the full run would emit.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
@@ -129,15 +130,22 @@ class IncrementalEngine:
 
     # -- base world ---------------------------------------------------------
 
-    def snapshot_base(self, device_ribs: Mapping[str, DeviceRib]) -> None:
+    def snapshot_base(
+        self, device_ribs: Mapping[str, DeviceRib], ctx=None
+    ) -> None:
         """Snapshot the base world's RIBs, invalidating the previous one."""
-        self.snapshots.invalidate(BASE_WORLD_TOKEN)
-        self._snapshot_keys = {
-            name: self.snapshots.put(
-                rib, deps=(BASE_WORLD_TOKEN, device_token(name))
-            )
-            for name, rib in device_ribs.items()
-        }
+        with (
+            ctx.span("incremental.snapshot_base", devices=len(device_ribs))
+            if ctx
+            else nullcontext()
+        ):
+            self.snapshots.invalidate(BASE_WORLD_TOKEN)
+            self._snapshot_keys = {
+                name: self.snapshots.put(
+                    rib, deps=(BASE_WORLD_TOKEN, device_token(name))
+                )
+                for name, rib in device_ribs.items()
+            }
 
     def base_rib(self, name: str, fallback: DeviceRib) -> DeviceRib:
         """Fetch a base device RIB, preferring the snapshot store."""
@@ -152,12 +160,14 @@ class IncrementalEngine:
         self,
         updated_model: NetworkModel,
         new_input_routes: Iterable[InputRoute] = (),
+        ctx=None,
     ) -> Tuple[ModelDiff, BlastRadius]:
         """Diff the updated model against base and bound the blast radius."""
-        diff = diff_models(
-            self.base_model, updated_model, tuple(new_input_routes)
-        )
-        blast = analyze_blast_radius(diff, self.base_model, updated_model)
+        with ctx.span("incremental.analyze") if ctx else nullcontext():
+            diff = diff_models(
+                self.base_model, updated_model, tuple(new_input_routes)
+            )
+            blast = analyze_blast_radius(diff, self.base_model, updated_model)
         return diff, blast
 
     @staticmethod
@@ -174,6 +184,7 @@ class IncrementalEngine:
         base_ribs: Mapping[str, DeviceRib],
         partial_ribs: Mapping[str, DeviceRib],
         blast: BlastRadius,
+        ctx=None,
     ) -> SpliceResult:
         """Merge a partial re-simulation into the unaffected base state.
 
@@ -183,6 +194,19 @@ class IncrementalEngine:
         slot on either side keeps its base RIB object — served through the
         snapshot store so reuse shows up as cache hits.
         """
+        with (
+            ctx.span("incremental.splice", devices=len(base_ribs))
+            if ctx
+            else nullcontext()
+        ):
+            return self._splice(base_ribs, partial_ribs, blast)
+
+    def _splice(
+        self,
+        base_ribs: Mapping[str, DeviceRib],
+        partial_ribs: Mapping[str, DeviceRib],
+        blast: BlastRadius,
+    ) -> SpliceResult:
         result = SpliceResult(device_ribs={})
         names = list(base_ribs)
         names.extend(sorted(set(partial_ribs) - set(base_ribs)))

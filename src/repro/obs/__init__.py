@@ -1,0 +1,33 @@
+"""Observability spine: hierarchical spans, counters, and structured logs.
+
+Every subsystem — pipeline, execution backends, the distributed framework,
+the incremental engine, routing and traffic simulation, diagnosis — accepts
+an optional :class:`RunContext` and records *where* a run spent its time
+(span tree), *what* it decided (named counters attached to spans), and
+*what happened* (stdlib-``logging`` structured events). Result objects such
+as ``VerificationReport.elapsed_seconds`` are views over the span tree
+rather than hand-maintained ``time.perf_counter()`` pairs.
+
+The CLI exposes the spine end-to-end: ``repro verify --trace out.json``
+dumps the full span tree (schema in ``docs/observability.md``) and the
+global ``--log-level`` flag routes the structured events to stderr.
+"""
+
+from repro.obs.context import (
+    NULL_SPAN,
+    RunContext,
+    Span,
+    TRACE_SCHEMA,
+    ensure_context,
+)
+from repro.obs.logconfig import configure_logging, get_logger
+
+__all__ = [
+    "NULL_SPAN",
+    "RunContext",
+    "Span",
+    "TRACE_SCHEMA",
+    "configure_logging",
+    "ensure_context",
+    "get_logger",
+]

@@ -1,0 +1,190 @@
+"""Hierarchical span timers and named counters for one run.
+
+A :class:`RunContext` owns a tree of :class:`Span` objects. Code opens
+spans with ``with ctx.span("route_sim"):`` and bumps counters with
+``ctx.count("distsim.retries")``; counters attach to the innermost open
+span of the *calling thread*, so a span subtree carries exactly the
+counters produced while it was open. The finished tree serializes to the
+``repro.trace/v1`` JSON documented in ``docs/observability.md``.
+
+The context is thread-safe: the span stack is thread-local (worker threads
+without their own open span attach to the root), and tree mutation is
+guarded by one lock. Spans are cheap — two ``perf_counter()`` calls plus a
+small object — so threading a context through hot paths is safe.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.obs.logconfig import get_logger
+
+#: Version tag embedded in every serialized trace.
+TRACE_SCHEMA = "repro.trace/v1"
+
+
+class Span:
+    """One timed node of the span tree, with its own counters."""
+
+    __slots__ = ("name", "meta", "started", "ended", "children", "counters")
+
+    def __init__(self, name: str, meta: Optional[Dict[str, Any]] = None) -> None:
+        self.name = name
+        self.meta: Dict[str, Any] = meta or {}
+        self.started = time.perf_counter()
+        self.ended: Optional[float] = None
+        self.children: List["Span"] = []
+        self.counters: Dict[str, float] = {}
+
+    def finish(self) -> None:
+        if self.ended is None:
+            self.ended = time.perf_counter()
+
+    @property
+    def duration(self) -> float:
+        """Seconds spent in this span (still growing while open)."""
+        return (self.ended if self.ended is not None else time.perf_counter()) - self.started
+
+    def walk(self) -> Iterator["Span"]:
+        """Depth-first iteration over this span and its descendants."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First descendant (or self) with the given name, DFS order."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def find_all(self, name: str) -> List["Span"]:
+        return [node for node in self.walk() if node.name == name]
+
+    def total(self, counter: str) -> float:
+        """Sum of a counter over this span's subtree."""
+        return sum(node.counters.get(counter, 0.0) for node in self.walk())
+
+    def to_dict(self) -> Dict[str, Any]:
+        node: Dict[str, Any] = {
+            "name": self.name,
+            "duration_seconds": round(self.duration, 6),
+        }
+        if self.meta:
+            node["meta"] = dict(self.meta)
+        if self.counters:
+            node["counters"] = dict(self.counters)
+        if self.children:
+            node["children"] = [child.to_dict() for child in self.children]
+        return node
+
+
+class _NullSpan:
+    """Sentinel returned where a span is expected but nothing was timed."""
+
+    name = "null"
+    duration = 0.0
+    children: List[Span] = []
+    counters: Dict[str, float] = {}
+
+    def total(self, counter: str) -> float:
+        return 0.0
+
+    def find(self, name: str) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class RunContext:
+    """Observability state of one run: span tree, counters, event log."""
+
+    def __init__(self, name: str = "run", logger_name: str = "repro.obs") -> None:
+        self.root = Span(name)
+        self._lock = threading.Lock()
+        self._stacks = threading.local()
+        self._log = get_logger(logger_name)
+
+    # -- spans ----------------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._stacks, "spans", None)
+        if stack is None:
+            stack = []
+            self._stacks.spans = stack
+        return stack
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span of the calling thread (root if none)."""
+        stack = self._stack()
+        return stack[-1] if stack else self.root
+
+    @contextmanager
+    def span(self, name: str, **meta: Any) -> Iterator[Span]:
+        """Open a child span of the calling thread's current span."""
+        child = Span(name, meta or None)
+        parent = self.current
+        with self._lock:
+            parent.children.append(child)
+        stack = self._stack()
+        stack.append(child)
+        try:
+            yield child
+        finally:
+            stack.pop()
+            child.finish()
+            if self._log.isEnabledFor(10):  # logging.DEBUG
+                self._log.debug(
+                    "span %s duration=%.6fs%s",
+                    name,
+                    child.duration,
+                    "".join(f" {k}={v}" for k, v in child.meta.items()),
+                )
+
+    # -- counters -------------------------------------------------------------
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add to a named counter on the calling thread's current span."""
+        span = self.current
+        with self._lock:
+            span.counters[name] = span.counters.get(name, 0.0) + value
+
+    def counters(self) -> Dict[str, float]:
+        """All counters aggregated over the whole tree."""
+        merged: Dict[str, float] = {}
+        with self._lock:
+            for node in self.root.walk():
+                for key, value in node.counters.items():
+                    merged[key] = merged.get(key, 0.0) + value
+        return merged
+
+    # -- structured events ----------------------------------------------------
+
+    def event(self, name: str, level: int = 20, **fields: Any) -> None:
+        """Emit a structured ``key=value`` event through stdlib logging."""
+        if self._log.isEnabledFor(level):
+            self._log.log(
+                level,
+                "%s%s",
+                name,
+                "".join(f" {key}={value}" for key, value in fields.items()),
+            )
+
+    # -- serialization --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema": TRACE_SCHEMA,
+            "root": self.root.to_dict(),
+            "counters": self.counters(),
+        }
+
+
+def ensure_context(ctx: Optional[RunContext], name: str = "run") -> RunContext:
+    """The given context, or a fresh private one when none was threaded in."""
+    return ctx if ctx is not None else RunContext(name)

@@ -1,0 +1,65 @@
+"""stdlib-``logging`` setup for the ``repro`` namespace.
+
+Library code never prints: modules get a namespaced logger via
+:func:`get_logger` and emit structured events through it. By default the
+``repro`` logger propagates to whatever the host application configured;
+the CLI's global ``--log-level`` flag calls :func:`configure_logging` to
+attach a stderr handler with a uniform format. Tests can call it with
+``force=True`` to reconfigure.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+#: Root of the package's logger namespace.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+# Library convention: quiet by default. Without this, stdlib logging's
+# last-resort handler would print WARNING+ events to stderr even when the
+# host application never configured logging.
+logging.getLogger(ROOT_LOGGER).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = ROOT_LOGGER) -> logging.Logger:
+    """A logger under the ``repro`` namespace (prefix added if missing)."""
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: str = "WARNING",
+    stream: Optional[TextIO] = None,
+    force: bool = False,
+) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` logger at the given level.
+
+    Idempotent: a second call adjusts the level instead of stacking
+    handlers, unless ``force=True`` replaces the handler outright.
+    """
+    logger = logging.getLogger(ROOT_LOGGER)
+    numeric = logging.getLevelName(str(level).upper())
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    existing = [
+        handler
+        for handler in logger.handlers
+        if getattr(handler, "_repro_handler", False)
+    ]
+    if force:
+        for handler in existing:
+            logger.removeHandler(handler)
+        existing = []
+    if not existing:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    logger.setLevel(numeric)
+    logger.propagate = False
+    return logger

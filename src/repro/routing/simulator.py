@@ -11,6 +11,7 @@ decides between protocols competing for the same prefix.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -75,13 +76,16 @@ class RouteSimulator:
         self,
         input_routes: Optional[Iterable[InputRoute]] = None,
         include_local_inputs: bool = True,
+        ctx=None,
     ) -> SimulationResult:
         """Run BGP for the input routes and assemble RIBs.
 
         ``input_routes=None`` simulates only the locally originated routes
         (redistribution). Subtasks pass their input subset and set
         ``include_local_inputs=False`` when local routes are provided by the
-        master's input-building phase instead.
+        master's input-building phase instead. ``ctx`` (an optional
+        :class:`repro.obs.RunContext`) records fixpoint/assembly sub-spans
+        and BGP message counters; omitted on hot subtask paths.
         """
         started = time.perf_counter()
         inputs: List[InputRoute] = list(input_routes or [])
@@ -89,8 +93,12 @@ class RouteSimulator:
             inputs.extend(build_local_input_routes(self.model))
 
         bgp = BgpSimulator(self.model, self.igp, max_rounds=self.max_rounds)
-        result = bgp.run(inputs)
-        ribs = self._assemble_ribs(result)
+        with ctx.span("bgp_fixpoint", inputs=len(inputs)) if ctx else nullcontext():
+            result = bgp.run(inputs)
+        if ctx is not None:
+            ctx.count("bgp.messages", result.stats.messages)
+        with ctx.span("assemble_ribs") if ctx else nullcontext():
+            ribs = self._assemble_ribs(result)
         elapsed = time.perf_counter() - started
         return SimulationResult(
             device_ribs=ribs,

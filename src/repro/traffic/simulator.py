@@ -9,6 +9,7 @@ aggregates per-link loads.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -72,7 +73,12 @@ class TrafficSimulator:
         self.use_ecs = use_ecs
         self.engine = ForwardingEngine(model, ribs, self.igp)
 
-    def simulate(self, flows: Iterable[Flow]) -> TrafficSimulationResult:
+    def simulate(self, flows: Iterable[Flow], ctx=None) -> TrafficSimulationResult:
+        """Forward the flows and aggregate link loads.
+
+        ``ctx`` (an optional :class:`repro.obs.RunContext`) records EC
+        computation and forwarding sub-spans plus flow/EC counters.
+        """
         started = time.perf_counter()
         flows = list(flows)
         loads = LinkLoadMap()
@@ -80,24 +86,28 @@ class TrafficSimulator:
         cost_units = 0
 
         if self.use_ecs:
-            universe = build_prefix_universe(self.ribs.values())
-            index: Optional[FlowEcIndex] = compute_flow_ecs(
-                flows, universe, model=self.model
-            )
+            with ctx.span("flow_ecs", flows=len(flows)) if ctx else nullcontext():
+                universe = build_prefix_universe(self.ribs.values())
+                index: Optional[FlowEcIndex] = compute_flow_ecs(
+                    flows, universe, model=self.model
+                )
             work: List[Tuple[Flow, float]] = [
                 (ec.representative, ec.total_volume) for ec in index.classes
             ]
+            if ctx is not None:
+                ctx.count("traffic.flow_ecs", len(index.classes))
         else:
             index = None
             work = [(flow, flow.volume) for flow in flows]
 
-        for flow, volume in work:
-            spread = self.engine.forward_spread(flow)
-            paths[flow] = spread
-            for path, fraction in spread:
-                cost_units += max(1, len(path.routers))
-                for a, b in path.links:
-                    loads.add(a, b, volume * fraction)
+        with ctx.span("forwarding", work=len(work)) if ctx else nullcontext():
+            for flow, volume in work:
+                spread = self.engine.forward_spread(flow)
+                paths[flow] = spread
+                for path, fraction in spread:
+                    cost_units += max(1, len(path.routers))
+                    for a, b in path.links:
+                        loads.add(a, b, volume * fraction)
 
         return TrafficSimulationResult(
             paths=paths,

@@ -14,12 +14,9 @@ import random
 import pytest
 
 from repro import perfopts
-from repro.distsim.master import (
-    DistributedRouteSimulation,
-    DistributedTrafficSimulation,
-    makespan,
-)
+from repro.distsim.master import makespan
 from repro.distsim.worker import WorkerConfig
+from repro.exec import DistributedBackend, RouteSimRequest, TrafficSimRequest
 from repro.routing.simulator import simulate_routes
 from repro.workload.flows import generate_flows
 from repro.workload.routes import generate_input_routes
@@ -68,22 +65,28 @@ def _merged_rib_signature(result):
 def test_thread_and_process_workers_identical():
     model, inventory, inputs = _wan(seed=5)
 
-    threads = DistributedRouteSimulation(model)
-    by_threads = threads.run(inputs, subtasks=6, workers=2)
-    processes = DistributedRouteSimulation(model)
-    by_processes = processes.run(inputs, subtasks=6, workers=2, processes=True)
+    threads = DistributedBackend(mode="thread")
+    by_threads = threads.run_routes(
+        RouteSimRequest(model=model, inputs=inputs, subtasks=6, workers=2)
+    )
+    processes = DistributedBackend(mode="process")
+    by_processes = processes.run_routes(
+        RouteSimRequest(model=model, inputs=inputs, subtasks=6, workers=2)
+    )
     assert _merged_rib_signature(by_threads) == _merged_rib_signature(by_processes)
 
     flows = generate_flows(inventory, inputs, n_flows=25, seed=5)
-    traffic_threads = DistributedTrafficSimulation(
-        model, igp=threads.igp, store=threads.store, db=threads.db
+    loads_threads = threads.run_traffic(
+        TrafficSimRequest(
+            model=model, flows=flows, route_outcome=by_threads,
+            subtasks=4, workers=2,
+        )
     )
-    loads_threads = traffic_threads.run(flows, subtasks=4, workers=2)
-    traffic_processes = DistributedTrafficSimulation(
-        model, igp=processes.igp, store=processes.store, db=processes.db
-    )
-    loads_processes = traffic_processes.run(
-        flows, subtasks=4, workers=2, processes=True
+    loads_processes = processes.run_traffic(
+        TrafficSimRequest(
+            model=model, flows=flows, route_outcome=by_processes,
+            subtasks=4, workers=2,
+        )
     )
     assert loads_threads.loads.loads == loads_processes.loads.loads
     assert loads_threads.paths == loads_processes.paths
@@ -98,21 +101,27 @@ def _fail_first_attempt(message) -> bool:
 
 def test_process_mode_retries_failed_subtasks():
     model, _, inputs = _wan(seed=13, n_prefixes=20)
-    runner = DistributedRouteSimulation(
-        model, worker_config=WorkerConfig(failure_hook=_fail_first_attempt)
+    backend = DistributedBackend(
+        mode="process",
+        worker_config=WorkerConfig(failure_hook=_fail_first_attempt),
     )
-    result = runner.run(inputs, subtasks=3, workers=1, processes=True)
-    assert result.device_ribs
-    assert all(r.attempts == 2 for r in runner.db.all(kind="route"))
+    outcome = backend.run_routes(
+        RouteSimRequest(model=model, inputs=inputs, subtasks=3, workers=1)
+    )
+    assert outcome.device_ribs
+    assert all(r.attempts == 2 for r in outcome.task.db.all(kind="route"))
 
 
 def test_process_mode_rejects_unpicklable_hook():
     model, _, inputs = _wan(seed=13, n_prefixes=10)
-    runner = DistributedRouteSimulation(
-        model, worker_config=WorkerConfig(failure_hook=lambda message: False)
+    backend = DistributedBackend(
+        mode="process",
+        worker_config=WorkerConfig(failure_hook=lambda message: False),
     )
     with pytest.raises(ValueError, match="picklable"):
-        runner.run(inputs, subtasks=2, workers=1, processes=True)
+        backend.run_routes(
+            RouteSimRequest(model=model, inputs=inputs, subtasks=2, workers=1)
+        )
 
 
 def _naive_makespan(durations, servers):

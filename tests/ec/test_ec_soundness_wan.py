@@ -4,8 +4,8 @@ test_route_ec.py)."""
 
 import pytest
 
-from repro.distsim import DistributedRouteSimulation
 from repro.distsim.worker import WorkerConfig
+from repro.exec import DistributedBackend, RouteSimRequest
 from repro.net.addr import Prefix
 from repro.routing.simulator import simulate_routes
 from repro.workload import WanParams, generate_input_routes, generate_wan
@@ -29,10 +29,12 @@ def test_ec_distributed_matches_monolithic_on_wan(seed):
             if row.route.prefix not in loops
         }
 
-    with_ecs = DistributedRouteSimulation(model).run(routes, subtasks=7)
-    without = DistributedRouteSimulation(
-        model, worker_config=WorkerConfig(use_route_ecs=False)
-    ).run(routes, subtasks=7)
+    with_ecs = DistributedBackend().run_routes(
+        RouteSimRequest(model=model, inputs=routes, subtasks=7)
+    )
+    without = DistributedBackend(
+        worker_config=WorkerConfig(use_route_ecs=False)
+    ).run_routes(RouteSimRequest(model=model, inputs=routes, subtasks=7))
 
     reference = strip(mono.global_rib(best_only=True))
     assert strip(with_ecs.global_rib(best_only=True)) == reference

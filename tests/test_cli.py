@@ -117,6 +117,101 @@ class TestAuditRclVsb:
         assert "sr_tunnel_zeroes_igp_cost" in out
 
 
+class TestTraceAndBackendFlags:
+    def write_noop_plan(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps({
+            "name": "noop",
+            "change_type": "os-patch",
+            "device_commands": {},
+            "rcl_intents": ["PRE = POST"],
+        }), encoding="utf-8")
+        return path
+
+    def test_verify_trace_follows_schema(self, snapshot, tmp_path):
+        plan = self.write_noop_plan(tmp_path)
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "verify", str(snapshot), str(plan), "--trace", str(trace_path),
+        ]) == 0
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert doc["schema"] == "repro.trace/v1"
+        root = doc["root"]
+        assert root["name"] == "verify"
+        assert root["duration_seconds"] > 0
+        children = [child["name"] for child in root.get("children", [])]
+        assert "build_updated_model" in children
+        assert "simulate_plan" in children
+        assert "check_intents" in children
+        assert doc["counters"]["intents.checked"] == 1
+
+    def test_verify_through_distributed_backend(self, snapshot, tmp_path):
+        plan = self.write_noop_plan(tmp_path)
+        assert main([
+            "verify", str(snapshot), str(plan),
+            "--backend", "distributed-thread", "--workers", "2",
+            "--route-subtasks", "6",
+        ]) == 0
+
+    def test_simulate_backends_agree_on_rib_rows(self, snapshot, capsys):
+        assert main(["simulate", str(snapshot)]) == 0
+        centralized = capsys.readouterr().out
+        assert main([
+            "simulate", str(snapshot), "--backend", "distributed-thread",
+        ]) == 0
+        distributed = capsys.readouterr().out
+        import re
+
+        def rib_rows(out):
+            return re.search(r"(\d+) RIB rows", out).group(1)
+
+        assert rib_rows(centralized) == rib_rows(distributed)
+
+    def test_simulate_writes_trace(self, snapshot, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "simulate", str(snapshot), "--trace", str(trace_path),
+        ]) == 0
+        doc = json.loads(trace_path.read_text(encoding="utf-8"))
+        assert doc["schema"] == "repro.trace/v1"
+        assert doc["root"]["children"]
+
+    def test_log_level_routes_events_to_stderr(self, snapshot, tmp_path, capsys):
+        import logging
+
+        plan = self.write_noop_plan(tmp_path)
+        try:
+            assert main([
+                "--log-level", "INFO", "verify", str(snapshot), str(plan),
+            ]) == 0
+            err = capsys.readouterr().err
+            assert "pipeline.verified" in err
+        finally:
+            logger = logging.getLogger("repro")
+            for handler in list(logger.handlers):
+                if getattr(handler, "_repro_handler", False):
+                    logger.removeHandler(handler)
+            logger.setLevel(logging.NOTSET)
+            logger.propagate = True
+
+
+class TestCampaign:
+    def test_campaign_detects_selected_fault(self, snapshot, capsys):
+        assert main([
+            "campaign", str(snapshot), "--fault", "unknown-vsb",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "1/1 issue classes detected" in out
+
+    def test_campaign_unknown_fault_exits_two(self, snapshot, capsys):
+        assert main([
+            "campaign", str(snapshot), "--fault", "not-a-fault",
+        ]) == 2
+        out = capsys.readouterr().out
+        assert "unknown fault(s): not-a-fault" in out
+        assert "known:" in out
+
+
 class TestChaos:
     def test_chaos_invariant_holds_and_writes_report(self, tmp_path, capsys):
         report_path = tmp_path / "chaos.json"

@@ -1,0 +1,42 @@
+"""Repo lint guards enforced as tests.
+
+Library code must not print: human-readable output belongs to the CLI
+(``src/repro/cli.py``), everything else reports through return values,
+``RunContext`` counters/spans, or stdlib logging. The same rule is
+enforced in CI by ruff's ``T20`` (flake8-print) rules; this test keeps it
+binding for plain ``pytest`` runs too.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: the one module allowed to talk to humans on stdout
+ALLOWED = {SRC / "cli.py"}
+
+
+def _print_calls(path):
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("print", "pprint")
+        ):
+            yield node.lineno
+
+
+def test_no_print_in_library_code():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        if path in ALLOWED:
+            continue
+        offenders.extend(
+            f"{path.relative_to(SRC.parent.parent)}:{line}"
+            for line in _print_calls(path)
+        )
+    assert not offenders, (
+        "print() in library code (use repro.obs logging or return values; "
+        "human output belongs in cli.py): " + ", ".join(offenders)
+    )
