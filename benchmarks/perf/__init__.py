@@ -37,6 +37,8 @@ from repro.net.vendors import VENDOR_A
 from repro.obs import RunContext
 from repro.routing.attributes import Route, SOURCE_EBGP
 from repro.net.addr import Prefix
+from repro.traffic import TrafficSimulator
+from repro.workload.flows import generate_flows
 from repro.workload.routes import generate_input_routes
 from repro.workload.wan import WanParams, generate_wan
 
@@ -64,6 +66,16 @@ SEED_BASELINE: Dict[str, Any] = {
         "seed_seconds": [0.283, 0.258],
         "optimized_seconds": [0.196, 0.206],
         "speedup_mean": 1.35,
+    },
+    # Data-plane fast path: measured against the pre-fastpath revision
+    # (commit 49ce56f) with the same alternating fresh-process protocol,
+    # traffic_sim_medium scenario (regions=3, 120 prefixes, 1500 flows).
+    # LinkLoadMap totals were byte-identical across revisions in every pair.
+    "traffic_sim_medium": {
+        "baseline_commit": "49ce56f",
+        "baseline_seconds": [0.637, 0.581, 0.686, 0.713],
+        "optimized_seconds": [0.262, 0.247, 0.269, 0.259],
+        "speedup_mean": 2.52,
     },
 }
 
@@ -182,6 +194,56 @@ def bench_policy_eval(repeats: int, rounds: int = 40) -> Dict[str, Any]:
     }
 
 
+def bench_traffic_sim(
+    regions: int, n_prefixes: int, n_flows: int, repeats: int
+) -> Dict[str, Any]:
+    """Traffic simulation over a converged WAN, fast path on vs. off.
+
+    Route simulation runs once outside the timed region; each timed run
+    builds a fresh :class:`TrafficSimulator` (fresh forwarding engine, no
+    carried-over FIBs or memo tables) and simulates the full flow set —
+    EC reduction, spread forwarding, load aggregation. The flags-off run
+    exercises the interpreted scans the fast path replaces, and both runs
+    must agree byte-for-byte on the link loads.
+    """
+    model, inventory = generate_wan(WanParams(regions=regions, seed=7))
+    inputs = generate_input_routes(inventory, n_prefixes=n_prefixes, seed=7)
+    flows = generate_flows(inventory, inputs, n_flows=n_flows, seed=7)
+    backend = CentralizedBackend()
+    outcome = backend.run_routes(
+        RouteSimRequest(model=model, inputs=inputs, include_local_inputs=True)
+    )
+    last: Dict[str, Any] = {}
+
+    def run():
+        ctx = RunContext("bench")
+        sim = TrafficSimulator(model, outcome.device_ribs, outcome.igp)
+        result = sim.simulate(flows, ctx=ctx)
+        last["ctx"] = ctx
+        return result
+
+    with perfopts.configured(
+        topo_index=False, compiled_fib=False, spread_memo=False
+    ):
+        unoptimized, check_off = _best_of(run, repeats)
+    optimized, check_on = _best_of(run, repeats)
+    assert check_on.loads.loads == check_off.loads.loads, (
+        "fast-path flags changed link loads"
+    )
+    return {
+        "optimized_seconds": round(optimized, 4),
+        "unoptimized_seconds": round(unoptimized, 4),
+        "speedup": round(unoptimized / optimized, 2) if optimized else None,
+        "regions": regions,
+        "prefixes": n_prefixes,
+        "flows": n_flows,
+        "flow_ecs": len(check_on.ec_index.classes),
+        "phases_seconds": _phase_seconds(
+            last["ctx"], ("traffic.compile", "traffic.forward", "traffic.merge")
+        ),
+    }
+
+
 def bench_distributed_e2e(repeats: int) -> Dict[str, Any]:
     """Distributed route simulation: thread pool vs. process pool."""
     model, inventory = generate_wan(WanParams(regions=3, seed=7))
@@ -239,9 +301,11 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
     scenarios: Dict[str, Any] = {
         "route_sim_small": bench_route_sim(2, 50, repeats),
         "policy_eval": bench_policy_eval(repeats, rounds=10 if smoke else 40),
+        "traffic_sim_small": bench_traffic_sim(2, 40, 300, repeats),
     }
     if not smoke:
         scenarios["route_sim_medium"] = bench_route_sim(4, 200, repeats)
+        scenarios["traffic_sim_medium"] = bench_traffic_sim(3, 120, 1500, repeats)
         scenarios["distributed_route_e2e"] = bench_distributed_e2e(repeats)
     return {
         "meta": {

@@ -45,10 +45,28 @@ class FlowEc:
 class FlowEcIndex:
     classes: List[FlowEc]
     total_flows: int
+    #: lazily built member -> representative map (see representative_of)
+    _rep_of: Optional[Dict["Flow", "Flow"]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def representatives(self) -> List[Flow]:
         return [ec.representative for ec in self.classes]
+
+    def representative_of(self, flow: "Flow") -> Optional["Flow"]:
+        """The representative of the EC containing ``flow`` (O(1) amortized).
+
+        The member map is built once on first use instead of scanning
+        every class's member list per query.
+        """
+        if self._rep_of is None:
+            rep_of: Dict["Flow", "Flow"] = {}
+            for ec in self.classes:
+                for member in ec.members:
+                    rep_of[member] = ec.representative
+            self._rep_of = rep_of
+        return self._rep_of.get(flow)
 
     @property
     def reduction_factor(self) -> float:
@@ -71,12 +89,15 @@ def build_prefix_universe(ribs: Iterable[DeviceRib]) -> PrefixTrie:
     return universe
 
 
-def _policy_signature(model: Optional[NetworkModel], flow: Flow) -> Tuple:
-    """Which PBR rules / ACL rules anywhere in the network match this flow."""
-    if model is None:
-        return ()
+def _policy_signature(policy_devices, flow: Flow) -> Tuple:
+    """Which PBR rules / ACL rules anywhere in the network match this flow.
+
+    ``policy_devices`` is the precomputed list of devices that have at
+    least one PBR rule or ACL; devices without either contribute zero
+    bits, so skipping them leaves the signature unchanged.
+    """
     bits: List[bool] = []
-    for device in model.devices.values():
+    for device in policy_devices:
         for rule in device.pbr_rules:
             bits.append(rule.matches_flow(flow))
         for acl in device.acls.values():
@@ -98,6 +119,15 @@ def compute_flow_ecs(
     classes: Dict[Tuple, FlowEc] = {}
     total = 0
     dst_cache: Dict[Tuple, Tuple] = {}
+    # Only devices with PBR rules or ACLs can discriminate flows; the
+    # signature is cached per (src, dst, protocol, dst_port) — the only
+    # flow fields PBR/ACL matchers consult.
+    policy_devices = (
+        [d for d in model.devices.values() if d.pbr_rules or d.acls]
+        if model is not None
+        else []
+    )
+    policy_cache: Dict[Tuple, Tuple] = {}
     for flow in flows:
         total += 1
         dst_key = (flow.dst, flow.vrf)
@@ -107,12 +137,20 @@ def compute_flow_ecs(
                 (p.value, p.length) for p, _ in universe.all_matches(flow.dst)
             )
             dst_cache[dst_key] = signature
+        if policy_devices:
+            policy_key = (flow.src, flow.dst, flow.protocol, flow.dst_port)
+            policy_sig = policy_cache.get(policy_key)
+            if policy_sig is None:
+                policy_sig = _policy_signature(policy_devices, flow)
+                policy_cache[policy_key] = policy_sig
+        else:
+            policy_sig = ()
         key = (
             flow.ingress,
             flow.vrf,
             flow.dst.family,
             signature,
-            _policy_signature(model, flow),
+            policy_sig,
         )
         ec = classes.get(key)
         if ec is None:

@@ -40,12 +40,18 @@ class CentralizedBackend(ExecutionBackend):
         memory_limit_rows: Optional[int] = None,
         chunk_size: int = 64,
         use_ecs: bool = True,
+        traffic_workers: Optional[int] = None,
+        traffic_parallel_mode: str = "thread",
     ) -> None:
         self.max_rounds = max_rounds
         self.chunked = chunked or memory_limit_rows is not None
         self.memory_limit_rows = memory_limit_rows
         self.chunk_size = chunk_size
         self.use_ecs = use_ecs
+        #: default forwarding fan-out for traffic requests (request.workers
+        #: overrides per call); results are worker-count independent.
+        self.traffic_workers = traffic_workers
+        self.traffic_parallel_mode = traffic_parallel_mode
         self.name = "centralized-chunked" if self.chunked else "centralized"
 
     def run_routes(
@@ -100,12 +106,18 @@ class CentralizedBackend(ExecutionBackend):
         igp = request.igp
         if igp is None and request.route_outcome is not None:
             igp = request.route_outcome.igp
+        workers = request.workers if request.workers is not None else self.traffic_workers
         with ctx.span("traffic_sim", backend=self.name, flows=len(request.flows)):
             ctx.count("traffic_sim.calls")
             simulator = TrafficSimulator(
                 request.model, device_ribs, igp=igp, use_ecs=request.use_ecs
             )
-            result = simulator.simulate(request.flows, ctx=ctx)
+            result = simulator.simulate(
+                request.flows,
+                ctx=ctx,
+                workers=workers,
+                parallel_mode=self.traffic_parallel_mode,
+            )
             ctx.count("traffic_sim.cost_units", result.cost_units)
             return TrafficSimOutcome(
                 loads=result.loads,

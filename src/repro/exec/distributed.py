@@ -159,11 +159,17 @@ class DistributedBackend(ExecutionBackend):
         igp = request.igp
         if igp is None and route is not None:
             igp = route.igp
+        workers = request.workers if request.workers is not None else self.workers
         with ctx.span("traffic_sim", backend="centralized", flows=len(request.flows)):
             ctx.count("traffic_sim.calls")
             result = TrafficSimulator(
                 request.model, device_ribs, igp=igp, use_ecs=request.use_ecs
-            ).simulate(request.flows, ctx=ctx)
+            ).simulate(
+                request.flows,
+                ctx=ctx,
+                workers=workers,
+                parallel_mode=self.mode,
+            )
             ctx.count("traffic_sim.cost_units", result.cost_units)
             return TrafficSimOutcome(
                 loads=result.loads,

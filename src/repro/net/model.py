@@ -75,11 +75,7 @@ class NetworkModel:
         owner = self._loopback_owner.get(address)
         if owner is not None:
             return owner
-        for link in self.topology.links:
-            for iface in (link.a, link.b):
-                if iface.address == address:
-                    return iface.router
-        return None
+        return self.topology.owner_of_interface_address(address)
 
     @property
     def device_names(self) -> List[str]:

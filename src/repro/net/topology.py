@@ -13,6 +13,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
 
+from repro import perfopts
 from repro.net.addr import IPAddress, as_address
 
 
@@ -129,6 +130,24 @@ class Topology:
         self._failed_links: Set[FrozenSet[Tuple[str, str]]] = set()
         self._failed_routers: Set[str] = set()
         self._iface_counter = itertools.count(1)
+        #: monotonically increasing mutation counter; every inventory or
+        #: failure-overlay change bumps it so derived caches (the indices
+        #: below, compiled FIBs) can detect staleness in O(1).
+        self._version = 0
+        self._addr_index: Optional[Dict[IPAddress, str]] = None
+        self._addr_index_version = -1
+        self._ingress_iface: Dict[Tuple[str, str], Optional[str]] = {}
+        self._ingress_iface_version = -1
+        self._up_link_cache: Dict[Tuple[str, str], bool] = {}
+        self._up_link_version = -1
+
+    @property
+    def version(self) -> int:
+        """Mutation counter (bumped by inventory and failure-overlay ops)."""
+        return self._version
+
+    def _touch(self) -> None:
+        self._version += 1
 
     # -- inventory ---------------------------------------------------------
 
@@ -137,6 +156,7 @@ class Topology:
             raise TopologyError(f"duplicate router {router.name!r}")
         self._routers[router.name] = router
         self._adjacency[router.name] = []
+        self._touch()
         return router
 
     def remove_router(self, name: str) -> None:
@@ -147,6 +167,7 @@ class Topology:
         del self._routers[name]
         del self._adjacency[name]
         self._failed_routers.discard(name)
+        self._touch()
 
     def add_link(self, link: Link) -> Link:
         for endpoint in link.endpoints:
@@ -157,6 +178,7 @@ class Topology:
         self._links[link.key] = link
         self._adjacency[link.a.router].append(link)
         self._adjacency[link.b.router].append(link)
+        self._touch()
         return link
 
     def connect(
@@ -192,6 +214,7 @@ class Topology:
         self._adjacency[link.a.router].remove(link)
         self._adjacency[link.b.router].remove(link)
         self._failed_links.discard(link.key)
+        self._touch()
 
     # -- lookups -----------------------------------------------------------
 
@@ -238,21 +261,26 @@ class Topology:
         if link.key not in self._links:
             raise TopologyError(f"unknown link {link}")
         self._failed_links.add(link.key)
+        self._touch()
 
     def restore_link(self, link: Link) -> None:
         self._failed_links.discard(link.key)
+        self._touch()
 
     def fail_router(self, name: str) -> None:
         if name not in self._routers:
             raise TopologyError(f"unknown router {name!r}")
         self._failed_routers.add(name)
+        self._touch()
 
     def restore_router(self, name: str) -> None:
         self._failed_routers.discard(name)
+        self._touch()
 
     def clear_failures(self) -> None:
         self._failed_links.clear()
         self._failed_routers.clear()
+        self._touch()
 
     def link_is_up(self, link: Link) -> bool:
         return (
@@ -275,6 +303,67 @@ class Topology:
         for link in self._adjacency.get(router, []):
             if self.link_is_up(link):
                 yield link.other_end(router).router, link
+
+    # -- derived indices (version-invalidated) -------------------------------
+    #
+    # The traffic fast path asks three questions millions of times per run:
+    # who owns an interface address, which interface on B faces A (for the
+    # ingress-ACL check), and whether A and B share an up link. Each answer
+    # is cached against :attr:`version`, so any inventory or failure-overlay
+    # mutation invalidates all three. ``perfopts.OPTS.topo_index`` disables
+    # the caches (falling back to the linear scans) for A/B measurement.
+
+    def owner_of_interface_address(self, address: IPAddress) -> Optional[str]:
+        """The router owning an interface with this address, if any."""
+        if not perfopts.OPTS.topo_index:
+            for link in self._links.values():
+                for iface in (link.a, link.b):
+                    if iface.address == address:
+                        return iface.router
+            return None
+        if self._addr_index is None or self._addr_index_version != self._version:
+            index: Dict[IPAddress, str] = {}
+            for link in self._links.values():
+                for iface in (link.a, link.b):
+                    if iface.address is not None and iface.address not in index:
+                        index[iface.address] = iface.router
+            self._addr_index = index
+            self._addr_index_version = self._version
+        return self._addr_index.get(address)
+
+    def ingress_interface_name(self, came_from: str, router: str) -> Optional[str]:
+        """Name of the interface on ``router`` facing ``came_from``."""
+        if not perfopts.OPTS.topo_index:
+            link = self.find_link(came_from, router)
+            return link.interface_on(router).name if link is not None else None
+        if self._ingress_iface_version != self._version:
+            self._ingress_iface = {}
+            self._ingress_iface_version = self._version
+        key = (came_from, router)
+        if key not in self._ingress_iface:
+            link = self.find_link(came_from, router)
+            self._ingress_iface[key] = (
+                link.interface_on(router).name if link is not None else None
+            )
+        return self._ingress_iface[key]
+
+    def has_up_link(self, a: str, b: str) -> bool:
+        """Whether routers ``a`` and ``b`` are connected by an up link."""
+        if not perfopts.OPTS.topo_index:
+            return self.find_link(a, b) is not None and any(
+                self.link_is_up(l) for l in self.links_between(a, b)
+            )
+        if self._up_link_version != self._version:
+            self._up_link_cache = {}
+            self._up_link_version = self._version
+        key = (a, b)
+        hit = self._up_link_cache.get(key)
+        if hit is None:
+            hit = self.find_link(a, b) is not None and any(
+                self.link_is_up(l) for l in self.links_between(a, b)
+            )
+            self._up_link_cache[key] = hit
+        return hit
 
     # -- misc ----------------------------------------------------------------
 

@@ -37,6 +37,16 @@ class PerfOptions:
     igp_cost_cache: bool = True
     #: intern ``Prefix.parse`` / ``IPAddress.parse`` results
     intern_parse: bool = True
+    #: one-time topology indices: interface-address -> owner, ingress-ACL
+    #: lookup per (neighbor, router), and the up-link adjacency cache
+    #: (version-invalidated on every topology mutation)
+    topo_index: bool = True
+    #: per-device compiled FIBs: memoized LPM hits with ECMP-presorted route
+    #: lists and precomputed spread-mode branch resolution
+    compiled_fib: bool = True
+    #: memoize spread-mode forwarding decisions per
+    #: (router, ingress-ACL class, flow EC signature)
+    spread_memo: bool = True
 
 
 #: The process-wide option set consulted by the hot paths.

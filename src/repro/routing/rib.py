@@ -88,6 +88,13 @@ class DeviceRib:
         self._tables: Dict[str, Dict[Prefix, List[Tuple[Route, str]]]] = {}
         self._tries: Dict[str, PrefixTrie] = {}
         self._tries_dirty = True
+        #: mutation counter consumed by compiled FIBs to detect staleness
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter (bumped by ``install``/``replace_prefix``)."""
+        return self._generation
 
     # -- mutation ---------------------------------------------------------
 
@@ -97,6 +104,7 @@ class DeviceRib:
         table = self._tables.setdefault(vrf, {})
         table.setdefault(route.prefix, []).append((route, route_type))
         self._tries_dirty = True
+        self._generation += 1
 
     def replace_prefix(
         self, vrf: str, prefix: Prefix, entries: List[Tuple[Route, str]]
@@ -108,6 +116,7 @@ class DeviceRib:
         else:
             table.pop(prefix, None)
         self._tries_dirty = True
+        self._generation += 1
 
     # -- queries -----------------------------------------------------------
 

@@ -5,12 +5,16 @@ RIBs and the input flows, compute every flow's forwarding path and every
 link's traffic load.
 """
 
+from repro.traffic.fastpath import CompiledFib, FastPathStats, FibEntry
 from repro.traffic.flow import Flow, make_flow
 from repro.traffic.forwarding import FlowPath, ForwardingEngine
 from repro.traffic.load import LinkLoadMap, aggregate_loads
 from repro.traffic.simulator import TrafficSimulationResult, TrafficSimulator
 
 __all__ = [
+    "CompiledFib",
+    "FastPathStats",
+    "FibEntry",
     "Flow",
     "make_flow",
     "FlowPath",

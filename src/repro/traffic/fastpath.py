@@ -1,0 +1,132 @@
+"""Compiled data-plane fast path: per-device FIBs and forwarding stats.
+
+The interpreted forwarding path re-answers the same questions for every
+flow at every hop: the RIB longest-prefix match, the deterministic ECMP
+order of the matched routes, and (in spread mode) the resolved physical
+next-hop set. A :class:`CompiledFib` caches those answers per device —
+keyed on ``(vrf, destination)`` with entries shared per ``(vrf, prefix)``
+— so each EC representative pays the interpreted cost once and every
+subsequent flow through the same device indexes into compiled state.
+
+Compiled state is *semantically transparent* (see ``repro.perfopts``):
+with the ``compiled_fib``/``spread_memo``/``topo_index`` flags off, the
+engine falls back to the interpreted scans and must produce byte-identical
+results. Staleness is detected against :attr:`DeviceRib.generation` and
+``Topology.version`` — see ``docs/performance.md`` for the invalidation
+rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.addr import IPAddress, Prefix
+from repro.routing.attributes import Route
+from repro.routing.rib import DeviceRib
+
+#: Sentinel distinguishing "cached None" from "not cached".
+_MISSING = object()
+
+
+@dataclass
+class FastPathStats:
+    """Cache-effectiveness counters of one :class:`ForwardingEngine`."""
+
+    fib_compiles: int = 0
+    fib_entry_compiles: int = 0
+    lpm_hits: int = 0
+    lpm_misses: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    invalidations: int = 0
+
+    def as_counters(self) -> Dict[str, int]:
+        """Counter-name to value map (``traffic.*`` namespace)."""
+        return {
+            "traffic.fib_compiles": self.fib_compiles,
+            "traffic.fib_entry_compiles": self.fib_entry_compiles,
+            "traffic.fib_lpm_hits": self.lpm_hits,
+            "traffic.fib_lpm_misses": self.lpm_misses,
+            "traffic.spread_memo_hits": self.memo_hits,
+            "traffic.spread_memo_misses": self.memo_misses,
+            "traffic.fastpath_invalidations": self.invalidations,
+        }
+
+
+class FibEntry:
+    """Compiled state for one ``(vrf, prefix)`` of a device RIB.
+
+    ``routes`` preserves RIB insertion order (spread-mode resolution
+    iterates it, and early-terminal semantics depend on that order);
+    ``ecmp_routes`` is the deterministic ECMP order the per-flow hash
+    indexes into — presorted once instead of per flow. ``spread_branch``
+    caches the flow-independent spread-mode resolution of this entry
+    (filled in lazily by the engine, which owns IGP/SR resolution).
+    """
+
+    __slots__ = ("prefix", "prefix_str", "routes", "ecmp_routes", "spread_branch")
+
+    def __init__(self, prefix: Prefix, routes: List[Route]) -> None:
+        self.prefix = prefix
+        self.prefix_str = str(prefix)
+        self.routes: List[Route] = list(routes)
+        if len(self.routes) <= 1:
+            self.ecmp_routes: List[Route] = self.routes
+        else:
+            self.ecmp_routes = sorted(
+                self.routes, key=lambda r: (str(r.nexthop or ""), r.as_path)
+            )
+        self.spread_branch: Optional[Any] = None
+
+    def pick(self, ecmp_hash: int) -> Route:
+        """The ECMP choice for a flow hash (same pick as ``_pick_ecmp``)."""
+        ordered = self.ecmp_routes
+        if len(ordered) == 1:
+            return ordered[0]
+        return ordered[ecmp_hash % len(ordered)]
+
+
+class CompiledFib:
+    """Per-device compiled FIB: memoized LPM with per-prefix entries."""
+
+    __slots__ = ("device", "rib", "generation", "stats", "_by_dst", "_by_prefix")
+
+    def __init__(
+        self, device: str, rib: Optional[DeviceRib], stats: FastPathStats
+    ) -> None:
+        self.device = device
+        self.rib = rib
+        self.generation = rib.generation if rib is not None else -1
+        self.stats = stats
+        #: (vrf, dst address) -> FibEntry or None (cached LPM miss)
+        self._by_dst: Dict[Tuple[str, IPAddress], Optional[FibEntry]] = {}
+        #: (vrf, prefix) -> shared FibEntry
+        self._by_prefix: Dict[Tuple[str, Prefix], FibEntry] = {}
+
+    def fresh(self) -> bool:
+        """Whether the underlying RIB is unchanged since compilation."""
+        current = self.rib.generation if self.rib is not None else -1
+        return current == self.generation
+
+    def lookup(self, dst: IPAddress, vrf: str) -> Optional[FibEntry]:
+        """Memoized longest-prefix match; None when no route matches."""
+        key = (vrf, dst)
+        entry = self._by_dst.get(key, _MISSING)
+        if entry is not _MISSING:
+            self.stats.lpm_hits += 1
+            return entry  # type: ignore[return-value]
+        self.stats.lpm_misses += 1
+        hit = self.rib.lpm(dst, vrf=vrf) if self.rib is not None else None
+        if hit is None:
+            self._by_dst[key] = None
+            return None
+        prefix, routes = hit
+        pkey = (vrf, prefix)
+        shared = self._by_prefix.get(pkey)
+        if shared is None:
+            shared = FibEntry(prefix, routes)
+            self._by_prefix[pkey] = shared
+            self.stats.fib_entry_compiles += 1
+        self._by_dst[key] = shared
+        return shared

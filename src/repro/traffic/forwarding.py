@@ -4,19 +4,32 @@ Each hop: ingress ACL check, PBR override, RIB longest-prefix match, ECMP
 selection by flow hash, and recursive next-hop resolution (IGP next hops, or
 the SR tunnel when an SR policy steers towards the next hop's owner — the
 forwarding half of the Figure 9 behaviour).
+
+The engine carries a compiled fast path (``repro.traffic.fastpath``): per
+device a :class:`~repro.traffic.fastpath.CompiledFib` memoizes LPM hits
+with ECMP-presorted route lists, and spread-mode decisions are memoized per
+``(router, ingress-ACL class, flow EC signature)`` so a whole flow EC pays
+the interpreted cost once per device instead of once per flow per hop. All
+of it is gated on ``repro.perfopts`` flags and invalidated against
+``Topology.version`` / ``DeviceRib.generation`` (plus an explicit
+:meth:`ForwardingEngine.invalidate` escape hatch); enabled or disabled,
+forwarding results are byte-identical.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro import perfopts
 from repro.net.addr import IPAddress
+from repro.net.device import AclConfig, DeviceConfig, SrPolicyConfig
 from repro.net.model import NetworkModel
 from repro.routing.attributes import Route, SOURCE_EBGP
 from repro.routing.isis import IgpState
 from repro.routing.rib import DeviceRib
 from repro.routing.sr import first_tunnel_hops
+from repro.traffic.fastpath import CompiledFib, FastPathStats, FibEntry
 from repro.traffic.flow import Flow
 
 STATUS_DELIVERED = "delivered"
@@ -27,6 +40,9 @@ STATUS_LOOP = "loop"              # forwarding loop detected
 STATUS_STRANDED = "stranded"      # route present but next hop unresolvable
 
 MAX_HOPS = 64
+
+#: Sentinel distinguishing "memoized" from "absent" in cache dicts.
+_MISSING = object()
 
 
 @dataclass
@@ -64,11 +80,55 @@ class ForwardingEngine:
         self.model = model
         self.ribs = ribs
         self.igp = igp
+        #: cache hit/miss counters of the compiled fast path
+        self.stats = FastPathStats()
+        self._fibs: Dict[str, CompiledFib] = {}
+        self._spread_memo: Dict[Tuple, Any] = {}
+        self._sr_cache: Dict[Tuple[str, str], Optional[SrPolicyConfig]] = {}
+        self._topo_version = -1
+        self._rib_stamp: Tuple[int, int] = (-1, -1)
+
+    # -- compiled-state lifecycle ------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every piece of compiled state (FIBs, memo tables, caches).
+
+        Called automatically when the topology version or any RIB
+        generation changes between forwards; call it explicitly after
+        mutating device configs (ACLs, PBR, SR policies) on a live engine.
+        """
+        self._fibs.clear()
+        self._spread_memo.clear()
+        self._sr_cache.clear()
+        self._topo_version = self.model.topology.version
+        self._rib_stamp = self._rib_fingerprint()
+        self.stats.invalidations += 1
+
+    def _rib_fingerprint(self) -> Tuple[int, int]:
+        return (len(self.ribs), sum(r.generation for r in self.ribs.values()))
+
+    def _ensure_fresh(self) -> None:
+        """Invalidate compiled state if the model moved under the engine."""
+        if (
+            self.model.topology.version != self._topo_version
+            or self._rib_fingerprint() != self._rib_stamp
+        ):
+            self.invalidate()
+
+    def _fib(self, router: str) -> CompiledFib:
+        fib = self._fibs.get(router)
+        rib = self.ribs.get(router)
+        if fib is None or fib.rib is not rib or not fib.fresh():
+            fib = CompiledFib(router, rib, self.stats)
+            self._fibs[router] = fib
+            self.stats.fib_compiles += 1
+        return fib
 
     # -- public -----------------------------------------------------------
 
     def forward(self, flow: Flow, max_hops: int = MAX_HOPS) -> FlowPath:
         """Compute the flow's path from its ingress router."""
+        self._ensure_fresh()
         current = flow.ingress
         if current not in self.model.devices:
             return FlowPath(flow, [], STATUS_DROPPED, detail="unknown ingress")
@@ -92,6 +152,34 @@ class ForwardingEngine:
             routers.append(current)
         return FlowPath(flow, routers, STATUS_LOOP, matched, detail="hop limit")
 
+    # -- per-hop helpers ------------------------------------------------------
+
+    def _ingress_acl(
+        self, device: DeviceConfig, router: str, came_from: Optional[str]
+    ) -> Optional[AclConfig]:
+        """The ACL guarding the interface a flow from ``came_from`` enters."""
+        if came_from is None or not device.interface_acls:
+            return None
+        iface_name = self.model.topology.ingress_interface_name(came_from, router)
+        if iface_name is None:
+            return None
+        acl_name = device.interface_acls.get(iface_name)
+        if acl_name is None:
+            return None
+        return device.acls.get(acl_name)
+
+    def _sr_policy(self, router: str, target: str) -> Optional[SrPolicyConfig]:
+        """``device.sr_policy_towards`` with a per-engine cache."""
+        if not perfopts.OPTS.compiled_fib:
+            return self.model.device(router).sr_policy_towards(target)
+        key = (router, target)
+        hit = self._sr_cache.get(key, _MISSING)
+        if hit is not _MISSING:
+            return hit  # type: ignore[return-value]
+        policy = self.model.device(router).sr_policy_towards(target)
+        self._sr_cache[key] = policy
+        return policy
+
     # -- per-hop logic ------------------------------------------------------
 
     def _step(
@@ -105,15 +193,9 @@ class ForwardingEngine:
         device = self.model.device(router)
 
         # Ingress ACL on the receiving interface
-        if came_from is not None and device.interface_acls:
-            link = self.model.topology.find_link(came_from, router)
-            if link is not None:
-                iface = link.interface_on(router)
-                acl_name = device.interface_acls.get(iface.name)
-                if acl_name is not None:
-                    acl = device.acls.get(acl_name)
-                    if acl is not None and not acl.permits(flow):
-                        return STATUS_BLOCKED
+        acl = self._ingress_acl(device, router, came_from)
+        if acl is not None and not acl.permits(flow):
+            return STATUS_BLOCKED
 
         # Local delivery: the destination is owned by this router.
         owner = self.model.owner_of_address(flow.dst)
@@ -125,18 +207,27 @@ class ForwardingEngine:
             if rule.matches_flow(flow):
                 return self._towards(flow, router, rule.nexthop, "pbr")
 
-        # RIB longest-prefix match.
-        rib = self.ribs.get(router)
-        hit = rib.lpm(flow.dst, vrf=flow.vrf) if rib is not None else None
-        if hit is None:
-            # Internal destinations (loopbacks, link subnets) are reachable
-            # through IS-IS even without a BGP/static RIB entry.
-            if owner is not None and self.igp.reachable(router, owner):
-                return self._towards(flow, router, owner, "igp")
-            return (None, STATUS_DROPPED)
-        prefix, routes = hit
-        matched.append(str(prefix))
-        route = self._pick_ecmp(flow, routes)
+        # RIB longest-prefix match (compiled FIB when enabled).
+        if perfopts.OPTS.compiled_fib:
+            entry = self._fib(router).lookup(flow.dst, flow.vrf)
+            if entry is None:
+                if owner is not None and self.igp.reachable(router, owner):
+                    return self._towards(flow, router, owner, "igp")
+                return (None, STATUS_DROPPED)
+            matched.append(entry.prefix_str)
+            route = entry.pick(flow.ecmp_hash())
+        else:
+            rib = self.ribs.get(router)
+            hit = rib.lpm(flow.dst, vrf=flow.vrf) if rib is not None else None
+            if hit is None:
+                # Internal destinations (loopbacks, link subnets) are reachable
+                # through IS-IS even without a BGP/static RIB entry.
+                if owner is not None and self.igp.reachable(router, owner):
+                    return self._towards(flow, router, owner, "igp")
+                return (None, STATUS_DROPPED)
+            prefix, routes = hit
+            matched.append(str(prefix))
+            route = self._pick_ecmp(flow, routes)
 
         # A border router exits traffic for routes it learned over eBGP or
         # injected locally from an external feed.
@@ -154,14 +245,10 @@ class ForwardingEngine:
 
     def _towards(self, flow: Flow, router: str, target: str, why: str):
         """Resolve the next physical hop towards a target router."""
-        device = self.model.device(router)
-        if self.model.topology.find_link(router, target) is not None and any(
-            self.model.topology.link_is_up(l)
-            for l in self.model.topology.links_between(router, target)
-        ):
+        if self.model.topology.has_up_link(router, target):
             return (target, why)
         # SR tunnel towards the target, if configured and resolvable.
-        policy = device.sr_policy_towards(target)
+        policy = self._sr_policy(router, target)
         if policy is not None:
             hops = first_tunnel_hops(self.model, self.igp, router, policy)
             if hops:
@@ -182,64 +269,104 @@ class ForwardingEngine:
         hops at every branch point, which is how link loads are computed for
         a whole flow EC (every member shares the same path *set*, §3.1).
         Returns ``[(path, fraction)]`` with fractions summing to 1.
+
+        The traversal is an iterative depth-first walk over (mostly
+        memoized) ``_branches`` decisions; the explicit stack replays the
+        historical recursion order exactly, so results are independent of
+        whether decisions come from the memo table or fresh evaluation.
         """
+        self._ensure_fresh()
         results: List[Tuple[FlowPath, float]] = []
         if flow.ingress not in self.model.devices:
             return [(FlowPath(flow, [], STATUS_DROPPED, detail="unknown ingress"), 1.0)]
 
-        def walk(router: str, came_from: Optional[str], trail: List[str],
-                 visited: set, fraction: float, matched: List[str], hops: int) -> None:
+        # Frame: (router, came_from, trail, seen-before-router, fraction,
+        # matched-before-router, matched-added-by-parent-branch, hops).
+        # ``seen`` excludes ``router`` itself so the loop check on pop
+        # mirrors the parent-side check of the recursive formulation.
+        stack: List[Tuple] = [
+            (flow.ingress, None, [flow.ingress], frozenset(), 1.0, (), (), 0)
+        ]
+        while stack:
+            router, came_from, trail, seen, fraction, base, extra, hops = stack.pop()
+            if router in seen:
+                results.append(
+                    (FlowPath(flow, trail, STATUS_LOOP, list(base)), fraction)
+                )
+                continue
+            matched = list(base) + list(extra)
             if hops > max_hops:
                 results.append(
                     (FlowPath(flow, trail, STATUS_LOOP, matched, "hop limit"), fraction)
                 )
-                return
+                continue
             branches = self._branches(flow, router, came_from)
             if isinstance(branches, str):
                 results.append((FlowPath(flow, trail, branches, matched), fraction))
-                return
+                continue
             kind, payload = branches
             if kind == "terminal":
                 results.append((FlowPath(flow, trail, payload, matched), fraction))
-                return
+                continue
             next_matched, options = payload
             share = fraction / len(options)
-            for next_router in options:
-                if next_router in visited:
-                    results.append(
-                        (
-                            FlowPath(
-                                flow, trail + [next_router], STATUS_LOOP, matched
-                            ),
-                            share,
-                        )
-                    )
-                    continue
-                walk(
+            child_seen = seen | {router}
+            children = [
+                (
                     next_router,
                     router,
                     trail + [next_router],
-                    visited | {next_router},
+                    child_seen,
                     share,
-                    matched + next_matched,
+                    tuple(matched),
+                    tuple(next_matched),
                     hops + 1,
                 )
-
-        walk(flow.ingress, None, [flow.ingress], {flow.ingress}, 1.0, [], 0)
+                for next_router in options
+            ]
+            stack.extend(reversed(children))
         return results
 
     def _branches(self, flow: Flow, router: str, came_from: Optional[str]):
-        """Spread-mode decision: terminal status or the ECMP next-hop set."""
+        """Spread-mode decision: terminal status or the ECMP next-hop set.
+
+        Memoized per ``(router, ingress-ACL class, flow EC signature)``:
+        two flows with the same (src, dst, protocol, dst_port, vrf) — the
+        only fields ACL/PBR matchers and the RIB consult — entering a
+        router through interfaces guarded by the same ACL necessarily
+        branch identically, whatever their ingress or source port.
+        """
         device = self.model.device(router)
-        if came_from is not None and device.interface_acls:
-            link = self.model.topology.find_link(came_from, router)
-            if link is not None:
-                iface = link.interface_on(router)
-                acl_name = device.interface_acls.get(iface.name)
-                if acl_name is not None:
-                    acl = device.acls.get(acl_name)
-                    if acl is not None and not acl.permits(flow):
-                        return STATUS_BLOCKED
+        acl = self._ingress_acl(device, router, came_from)
+        if not perfopts.OPTS.spread_memo:
+            return self._branches_impl(flow, device, router, acl)
+        key = (
+            router,
+            acl.name if acl is not None else None,
+            flow.src,
+            flow.dst,
+            flow.protocol,
+            flow.dst_port,
+            flow.vrf,
+        )
+        hit = self._spread_memo.get(key, _MISSING)
+        if hit is not _MISSING:
+            self.stats.memo_hits += 1
+            return hit
+        self.stats.memo_misses += 1
+        value = self._branches_impl(flow, device, router, acl)
+        self._spread_memo[key] = value
+        return value
+
+    def _branches_impl(
+        self,
+        flow: Flow,
+        device: DeviceConfig,
+        router: str,
+        acl: Optional[AclConfig],
+    ):
+        if acl is not None and not acl.permits(flow):
+            return STATUS_BLOCKED
         owner = self.model.owner_of_address(flow.dst)
         if owner == router:
             return ("terminal", STATUS_DELIVERED)
@@ -249,6 +376,19 @@ class ForwardingEngine:
                 if not hops:
                     return ("terminal", STATUS_STRANDED)
                 return ("hops", ([], sorted(hops)))
+        if perfopts.OPTS.compiled_fib:
+            entry = self._fib(router).lookup(flow.dst, flow.vrf)
+            if entry is None:
+                if owner is not None and self.igp.reachable(router, owner):
+                    hops = self._hops_towards(flow, router, owner)
+                    if hops:
+                        return ("hops", ([], sorted(hops)))
+                return ("terminal", STATUS_DROPPED)
+            branch = entry.spread_branch
+            if branch is None:
+                branch = self._resolve_spread_branch(router, entry)
+                entry.spread_branch = branch
+            return branch
         rib = self.ribs.get(router)
         hit = rib.lpm(flow.dst, vrf=flow.vrf) if rib is not None else None
         if hit is None:
@@ -258,6 +398,14 @@ class ForwardingEngine:
                     return ("hops", ([], sorted(hops)))
             return ("terminal", STATUS_DROPPED)
         prefix, routes = hit
+        return self._resolve_rib_routes(router, str(prefix), routes)
+
+    def _resolve_spread_branch(self, router: str, entry: FibEntry):
+        """Flow-independent spread resolution of a compiled FIB entry."""
+        return self._resolve_rib_routes(router, entry.prefix_str, entry.routes)
+
+    def _resolve_rib_routes(self, router: str, prefix_str: str, routes):
+        """Spread-mode resolution of an LPM hit (RIB insertion order)."""
         options: set = set()
         for route in routes:
             if route.source == SOURCE_EBGP and route.origin_router == router:
@@ -271,20 +419,18 @@ class ForwardingEngine:
                 continue
             if nh_owner == router:
                 return ("terminal", STATUS_DELIVERED)
-            options.update(self._hops_towards(flow, router, nh_owner))
+            options.update(self._hops_towards(None, router, nh_owner))
         if not options:
             return ("terminal", STATUS_STRANDED)
-        return ("hops", ([str(prefix)], sorted(options)))
+        return ("hops", ([prefix_str], sorted(options)))
 
-    def _hops_towards(self, flow: Flow, router: str, target: str) -> Tuple[str, ...]:
+    def _hops_towards(
+        self, flow: Optional[Flow], router: str, target: str
+    ) -> Tuple[str, ...]:
         """All physical next hops towards a target router (spread mode)."""
-        device = self.model.device(router)
-        if self.model.topology.find_link(router, target) is not None and any(
-            self.model.topology.link_is_up(l)
-            for l in self.model.topology.links_between(router, target)
-        ):
+        if self.model.topology.has_up_link(router, target):
             return (target,)
-        policy = device.sr_policy_towards(target)
+        policy = self._sr_policy(router, target)
         if policy is not None:
             hops = first_tunnel_hops(self.model, self.igp, router, policy)
             if hops:

@@ -4,6 +4,12 @@ A traffic-simulation subtask (§3.2) takes the input flows assigned to it,
 reduces them to equivalence classes, forwards one representative per EC in
 spread mode (even ECMP volume split), scales by the EC's pooled volume, and
 aggregates per-link loads.
+
+Forwarding can fan out across threads or processes (``workers`` /
+``parallel_mode``): EC representatives are split into contiguous batches,
+each batch forwards independently, and paths/loads are merged centrally in
+the original work order — so worker count and scheduling never change the
+result (float accumulation order is part of the contract).
 """
 
 from __future__ import annotations
@@ -21,6 +27,28 @@ from repro.traffic.flow import Flow
 from repro.traffic.forwarding import FlowPath, ForwardingEngine
 from repro.traffic.load import LinkLoadMap
 
+#: Accepted values for ``parallel_mode``.
+PARALLEL_MODES = ("thread", "process")
+
+# Process-pool worker state, initialized once per pool worker so the model,
+# RIBs, and IGP ship (pickled) once instead of once per batch.
+_PROC_ENGINE: Optional[ForwardingEngine] = None
+
+
+def _init_process_worker(blob: bytes) -> None:
+    import pickle
+
+    global _PROC_ENGINE
+    model, ribs, igp = pickle.loads(blob)
+    _PROC_ENGINE = ForwardingEngine(model, ribs, igp)
+
+
+def _forward_batch_in_process(
+    batch: List[Flow],
+) -> List[List[Tuple[FlowPath, float]]]:
+    assert _PROC_ENGINE is not None, "process worker not initialized"
+    return [_PROC_ENGINE.forward_spread(flow) for flow in batch]
+
 
 @dataclass
 class TrafficSimulationResult:
@@ -37,9 +65,9 @@ class TrafficSimulationResult:
         if flow in self.paths:
             return self.paths[flow]
         if self.ec_index is not None:
-            for ec in self.ec_index.classes:
-                if flow in ec.members:
-                    return self.paths.get(ec.representative, [])
+            representative = self.ec_index.representative_of(flow)
+            if representative is not None:
+                return self.paths.get(representative, [])
         return []
 
     def primary_path(self, flow: Flow) -> Optional[FlowPath]:
@@ -73,12 +101,28 @@ class TrafficSimulator:
         self.use_ecs = use_ecs
         self.engine = ForwardingEngine(model, ribs, self.igp)
 
-    def simulate(self, flows: Iterable[Flow], ctx=None) -> TrafficSimulationResult:
+    def simulate(
+        self,
+        flows: Iterable[Flow],
+        ctx=None,
+        workers: Optional[int] = None,
+        parallel_mode: str = "thread",
+    ) -> TrafficSimulationResult:
         """Forward the flows and aggregate link loads.
 
-        ``ctx`` (an optional :class:`repro.obs.RunContext`) records EC
-        computation and forwarding sub-spans plus flow/EC counters.
+        ``ctx`` (an optional :class:`repro.obs.RunContext`) records
+        ``traffic.compile`` / ``traffic.forward`` / ``traffic.merge``
+        sub-spans plus flow/EC and fast-path cache counters. ``workers``
+        > 1 fans forwarding out across threads (``parallel_mode=
+        "thread"``) or processes (``"process"``); loads are always merged
+        centrally in work order, so results are identical for any worker
+        count or mode.
         """
+        if parallel_mode not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel_mode {parallel_mode!r}; expected one of "
+                f"{PARALLEL_MODES}"
+            )
         started = time.perf_counter()
         flows = list(flows)
         loads = LinkLoadMap()
@@ -86,7 +130,7 @@ class TrafficSimulator:
         cost_units = 0
 
         if self.use_ecs:
-            with ctx.span("flow_ecs", flows=len(flows)) if ctx else nullcontext():
+            with ctx.span("traffic.compile", flows=len(flows)) if ctx else nullcontext():
                 universe = build_prefix_universe(self.ribs.values())
                 index: Optional[FlowEcIndex] = compute_flow_ecs(
                     flows, universe, model=self.model
@@ -100,14 +144,28 @@ class TrafficSimulator:
             index = None
             work = [(flow, flow.volume) for flow in flows]
 
-        with ctx.span("forwarding", work=len(work)) if ctx else nullcontext():
-            for flow, volume in work:
-                spread = self.engine.forward_spread(flow)
+        with ctx.span(
+            "traffic.forward", work=len(work), workers=workers or 1
+        ) if ctx else nullcontext():
+            if workers is not None and workers > 1 and len(work) > 1:
+                spreads = self._forward_parallel(
+                    [flow for flow, _ in work], workers, parallel_mode
+                )
+            else:
+                spreads = [self.engine.forward_spread(flow) for flow, _ in work]
+
+        with ctx.span("traffic.merge", work=len(work)) if ctx else nullcontext():
+            for (flow, volume), spread in zip(work, spreads):
                 paths[flow] = spread
                 for path, fraction in spread:
                     cost_units += max(1, len(path.routers))
                     for a, b in path.links:
                         loads.add(a, b, volume * fraction)
+
+        if ctx is not None:
+            for name, value in self.engine.stats.as_counters().items():
+                if value:
+                    ctx.count(name, value)
 
         return TrafficSimulationResult(
             paths=paths,
@@ -116,3 +174,83 @@ class TrafficSimulator:
             elapsed_seconds=time.perf_counter() - started,
             cost_units=cost_units,
         )
+
+    # -- parallel forwarding -------------------------------------------------
+
+    def _forward_parallel(
+        self, flows: List[Flow], workers: int, parallel_mode: str
+    ) -> List[List[Tuple[FlowPath, float]]]:
+        """Forward flows in contiguous batches across threads or processes.
+
+        Returns spread results in the order of ``flows`` regardless of
+        completion order; callers aggregate loads from that order.
+        """
+        workers = min(workers, len(flows))
+        batches = _split_batches(flows, workers)
+        if parallel_mode == "process":
+            return self._forward_batches_process(batches, workers)
+        return self._forward_batches_thread(batches, workers)
+
+    def _forward_batches_thread(
+        self, batches: List[List[Flow]], workers: int
+    ) -> List[List[Tuple[FlowPath, float]]]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        # Warm the engine's compiled state up front: the first forward
+        # triggers freshness checks and FIB compiles, and doing it once
+        # here keeps the concurrent phase read-mostly. (CPython dict ops
+        # are atomic under the GIL, and the memo tables are insert-only
+        # with value-identical entries, so concurrent fills are benign.)
+        if batches and batches[0]:
+            first = batches[0][0]
+            warm = self.engine.forward_spread(first)
+            results_first = [warm]
+            batches = [batches[0][1:]] + batches[1:]
+        else:
+            results_first = []
+
+        def run(batch: List[Flow]) -> List[List[Tuple[FlowPath, float]]]:
+            return [self.engine.forward_spread(flow) for flow in batch]
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            per_batch = list(pool.map(run, batches))
+        out = list(results_first)
+        for chunk in per_batch:
+            out.extend(chunk)
+        return out
+
+    def _forward_batches_process(
+        self, batches: List[List[Flow]], workers: int
+    ) -> List[List[Tuple[FlowPath, float]]]:
+        import pickle
+
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+
+            blob = pickle.dumps((self.model, self.ribs, self.igp))
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_process_worker,
+                initargs=(blob,),
+            ) as pool:
+                per_batch = list(pool.map(_forward_batch_in_process, batches))
+        except (pickle.PicklingError, OSError, ImportError):
+            # Unpicklable model or no process support: degrade to threads.
+            return self._forward_batches_thread(batches, workers)
+        out: List[List[Tuple[FlowPath, float]]] = []
+        for chunk in per_batch:
+            out.extend(chunk)
+        return out
+
+
+def _split_batches(items: List[Flow], parts: int) -> List[List[Flow]]:
+    """Split into ``parts`` contiguous batches of near-equal size."""
+    parts = max(1, min(parts, len(items)))
+    size, remainder = divmod(len(items), parts)
+    batches: List[List[Flow]] = []
+    start = 0
+    for i in range(parts):
+        end = start + size + (1 if i < remainder else 0)
+        batches.append(items[start:end])
+        start = end
+    return batches
