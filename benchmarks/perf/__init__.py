@@ -27,6 +27,8 @@ import json
 import os
 import pathlib
 import platform
+import subprocess
+import sys
 import time
 from typing import Any, Callable, Dict, Optional, Tuple
 
@@ -293,10 +295,152 @@ def bench_distributed_e2e(repeats: int) -> Dict[str, Any]:
     }
 
 
+# -- the large tier ------------------------------------------------------------
+
+
+def _run_large_child(
+    scenario: str, preset: str, prefixes: int, flows: int, flags: str
+) -> Dict[str, Any]:
+    """One variant in a fresh interpreter (see ``_large_child`` docstring)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "benchmarks.perf._large_child",
+            "--scenario",
+            scenario,
+            "--preset",
+            preset,
+            "--prefixes",
+            str(prefixes),
+            "--flows",
+            str(flows),
+            "--flags",
+            flags,
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return json.loads(completed.stdout.strip().splitlines()[-1])
+
+
+def bench_large(
+    scenario: str, preset: str = "large", prefixes: int = 200, flows: int = 4000
+) -> Dict[str, Any]:
+    """A/B one large scenario: perf flags on vs. off, fresh process each.
+
+    Wall clock (one pass — at this scale run-to-run noise is far below the
+    effects measured) and true per-variant peak RSS, which is impossible
+    in-process because ``ru_maxrss`` never shrinks. Asserts the two
+    variants' result fingerprints are byte-identical — the optimization
+    layers' semantic-transparency contract, enforced on every report run.
+    """
+    optimized = _run_large_child(scenario, preset, prefixes, flows, "on")
+    unoptimized = _run_large_child(scenario, preset, prefixes, flows, "off")
+    assert optimized["fingerprint"] == unoptimized["fingerprint"], (
+        f"perf flags changed {scenario} results on preset {preset}"
+    )
+    out: Dict[str, Any] = {
+        "preset": preset,
+        "prefixes": prefixes,
+        "optimized_seconds": optimized["seconds"],
+        "unoptimized_seconds": unoptimized["seconds"],
+        "speedup": (
+            round(unoptimized["seconds"] / optimized["seconds"], 2)
+            if optimized["seconds"]
+            else None
+        ),
+        "optimized_peak_rss_bytes": optimized["peak_rss_bytes"],
+        "unoptimized_peak_rss_bytes": unoptimized["peak_rss_bytes"],
+        "rss_reduction": (
+            round(unoptimized["peak_rss_bytes"] / optimized["peak_rss_bytes"], 2)
+            if optimized["peak_rss_bytes"]
+            else None
+        ),
+        "fingerprint": optimized["fingerprint"][:16],
+    }
+    if scenario == "traffic":
+        out["flows"] = flows
+        out["flow_ecs"] = optimized.get("flow_ecs")
+    else:
+        out["rib_rows"] = optimized.get("rib_rows")
+    if scenario == "ship":
+        on_children = optimized.get("children_peak_rss_bytes")
+        off_children = unoptimized.get("children_peak_rss_bytes")
+        out["optimized_children_peak_rss_bytes"] = on_children
+        out["unoptimized_children_peak_rss_bytes"] = off_children
+        if on_children and off_children:
+            out["children_rss_reduction"] = round(off_children / on_children, 2)
+    return out
+
+
+def bench_ship(preset: str = "large_smoke", prefixes: int = 200) -> Dict[str, Any]:
+    """A/B the zero-copy shipping path (process-pool distributed route sim)."""
+    return bench_large("ship", preset, prefixes, flows=0)
+
+
+def run_large_benchmarks(
+    preset: str = "large", prefixes: int = 200, flows: int = 4000
+) -> Dict[str, Any]:
+    """The standing large tier: route + traffic at ``preset`` scale.
+
+    The ``large_smoke`` suite additionally A/Bs the zero-copy shipping
+    transport (process pools are transport-bound, not sim-bound, so smoke
+    scale measures it fine without another multi-minute pass).
+    """
+    suffix = "large_smoke" if preset == "large_smoke" else "large"
+    scenarios = {
+        f"route_sim_{suffix}": bench_large("route", preset, prefixes, flows),
+        f"traffic_sim_{suffix}": bench_large("traffic", preset, prefixes, flows),
+    }
+    if preset == "large_smoke":
+        scenarios["ship_route_large_smoke"] = bench_ship(preset, prefixes)
+    return scenarios
+
+
+def check_large_smoke(
+    current: Dict[str, Any],
+    committed: Optional[Dict[str, Any]],
+    rss_threshold: float = 1.2,
+) -> list:
+    """CI gate for the large-smoke tier: peak RSS must not regress >20%.
+
+    Compares ``optimized_peak_rss_bytes`` of every ``*_large_smoke``
+    scenario in ``current`` against the committed report's recorded
+    baseline. Returns failure strings (empty = pass).
+    """
+    failures = []
+    if committed is None:
+        return failures
+    for name, data in current.items():
+        if not name.endswith("_large_smoke"):
+            continue
+        baseline = committed.get("scenarios", {}).get(name)
+        if baseline is None:
+            continue
+        now = data.get("optimized_peak_rss_bytes")
+        then = baseline.get("optimized_peak_rss_bytes")
+        if not now or not then:
+            continue
+        if now > then * rss_threshold:
+            failures.append(
+                f"{name}.optimized_peak_rss_bytes: {now} > "
+                f"{rss_threshold}x committed {then}"
+            )
+    return failures
+
+
 # -- report --------------------------------------------------------------------
 
 
-def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
+def run_benchmarks(smoke: bool = False, large: bool = False) -> Dict[str, Any]:
     repeats = 2 if smoke else 3
     scenarios: Dict[str, Any] = {
         "route_sim_small": bench_route_sim(2, 50, repeats),
@@ -307,6 +451,26 @@ def run_benchmarks(smoke: bool = False) -> Dict[str, Any]:
         scenarios["route_sim_medium"] = bench_route_sim(4, 200, repeats)
         scenarios["traffic_sim_medium"] = bench_traffic_sim(3, 120, 1500, repeats)
         scenarios["distributed_route_e2e"] = bench_distributed_e2e(repeats)
+    if large:
+        scenarios.update(run_large_benchmarks(preset="large_smoke"))
+        scenarios.update(run_large_benchmarks(preset="large"))
+        scenarios["scaling_curve"] = {
+            "note": (
+                "wall-clock and peak RSS across WAN sizes (flags on); "
+                "small/medium seconds are CPU-time best-of-N from the "
+                "scenarios above, large is one fresh-process wall-clock pass"
+            ),
+            "route_sim": {
+                "small": scenarios["route_sim_small"]["seconds"],
+                "medium": scenarios["route_sim_medium"]["seconds"],
+                "large": scenarios["route_sim_large"]["optimized_seconds"],
+            },
+            "traffic_sim": {
+                "small": scenarios["traffic_sim_small"]["optimized_seconds"],
+                "medium": scenarios["traffic_sim_medium"]["optimized_seconds"],
+                "large": scenarios["traffic_sim_large"]["optimized_seconds"],
+            },
+        }
     return {
         "meta": {
             "generated_by": "python -m benchmarks.perf"

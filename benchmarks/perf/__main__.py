@@ -1,4 +1,4 @@
-"""CLI for the perf harness: ``python -m benchmarks.perf [--smoke]``."""
+"""CLI for the perf harness: ``python -m benchmarks.perf [--smoke|--large|--large-smoke]``."""
 
 from __future__ import annotations
 
@@ -9,9 +9,11 @@ import sys
 
 from benchmarks.perf import (
     REPORT_PATH,
+    check_large_smoke,
     check_smoke,
     load_report,
     run_benchmarks,
+    run_large_benchmarks,
     write_report,
 )
 
@@ -28,6 +30,18 @@ def main(argv=None) -> int:
         "fails on a >2x regression instead of rewriting it",
     )
     parser.add_argument(
+        "--large",
+        action="store_true",
+        help="include the large tier (paper-scale presets, fresh-process "
+        "peak-RSS A/B) in the full report",
+    )
+    parser.add_argument(
+        "--large-smoke",
+        action="store_true",
+        help="CI large tier: run only the scaled-down large_smoke preset and "
+        "fail if its peak RSS regressed >20%% vs the committed report",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=REPORT_PATH,
@@ -39,9 +53,43 @@ def main(argv=None) -> int:
         default=2.0,
         help="smoke-mode regression factor (default: 2.0)",
     )
+    parser.add_argument(
+        "--rss-threshold",
+        type=float,
+        default=1.2,
+        help="large-smoke peak-RSS regression factor (default: 1.2)",
+    )
     args = parser.parse_args(argv)
 
-    report = run_benchmarks(smoke=args.smoke)
+    if args.large_smoke:
+        scenarios = run_large_benchmarks(preset="large_smoke")
+        print(json.dumps(scenarios, indent=2))
+        committed = load_report(args.output)
+        if committed is None:
+            print(
+                f"no committed report at {args.output}; run a full "
+                "`python -m benchmarks.perf --large` and commit it first",
+                file=sys.stderr,
+            )
+            return 1
+        failures = check_large_smoke(
+            scenarios, committed, rss_threshold=args.rss_threshold
+        )
+        for name, data in scenarios.items():
+            if data.get("fingerprint") is None:
+                failures.append(f"{name}: missing fingerprint")
+        if failures:
+            print("LARGE-SMOKE REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            "large-smoke ok: peak RSS within "
+            f"{args.rss_threshold}x of {args.output}"
+        )
+        return 0
+
+    report = run_benchmarks(smoke=args.smoke, large=args.large)
     print(json.dumps(report["scenarios"], indent=2))
 
     if args.smoke:

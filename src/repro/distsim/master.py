@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro.distsim import shipping
 from repro.distsim.chaos import ChaosEngine, ChaosMessageQueue, ChaosObjectStore, ChaosPolicy
 from repro.distsim.mq import DeadLetter, DeadLetterQueue, Message, MessageQueue
 from repro.distsim.partition import OrderingPartitioner, ranges_of_prefixes
@@ -398,11 +399,17 @@ class _TaskRunner:
         child's result blob and record fields are applied back here. The
         same supervision loop as thread mode re-dispatches failed or lost
         subtasks between rounds, reusing one process pool throughout.
+
+        The simulation context (model, IGP, worker config, chaos policy) is
+        serialized exactly once and shipped through one shared-memory
+        segment (``repro.distsim.shipping``): each worker's ``initargs``
+        carry only the segment token, and workers deserialize lazily on
+        their first subtask. With the ``shm_ship`` flag off the token
+        inlines the pickled bytes — same results, classic transport.
         """
         try:
-            context_blob = pickle.dumps(
-                (self.model, self.igp, self.worker_config, self.chaos_policy),
-                protocol=pickle.HIGHEST_PROTOCOL,
+            shipped = shipping.ship(
+                (self.model, self.igp, self.worker_config, self.chaos_policy)
             )
         except Exception as exc:
             raise ValueError(
@@ -410,43 +417,59 @@ class _TaskRunner:
                 "(a closure failure_hook cannot cross the process boundary; "
                 "use a module-level hook or threads instead)"
             ) from exc
+        ctx.count("distsim.ship_bytes", shipped.nbytes)
+        if shipped.via_shared_memory:
+            ctx.count("distsim.ship_shm_segments")
 
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=max(1, workers),
-            initializer=init_process_worker,
-            initargs=(context_blob,),
-        ) as pool:
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=max(1, workers),
+                initializer=init_process_worker,
+                initargs=(shipped.token,),
+            ) as pool:
+                self._drain_process_rounds(pool, messages, report, ctx)
+        finally:
+            shipped.close()
+
+    def _drain_process_rounds(
+        self,
+        pool: concurrent.futures.ProcessPoolExecutor,
+        messages: Dict[str, Message],
+        report: RunReport,
+        ctx: RunContext,
+    ) -> None:
+        """Dispatch/collect rounds against an already-initialized pool."""
+        while True:
+            ctx.count("distsim.rounds")
+            pending: Dict[concurrent.futures.Future, Message] = {}
             while True:
-                ctx.count("distsim.rounds")
-                pending: Dict[concurrent.futures.Future, Message] = {}
-                while True:
-                    message = self.mq.pop()
-                    if message is None:
-                        break
-                    record = self.db.get(message.subtask_id)
-                    if record.status == FINISHED and record.result_key:
-                        # Duplicate delivery of a finished subtask: skip the
-                        # dispatch entirely (idempotent upload).
-                        if self.chaos is not None:
-                            self.chaos.count("worker.duplicate_skip")
-                        continue
-                    job_blob = pickle.dumps(
-                        self._process_job(message),
-                        protocol=pickle.HIGHEST_PROTOCOL,
-                    )
-                    pending[pool.submit(run_subtask_in_process, job_blob)] = message
-                while pending:
-                    done, _ = concurrent.futures.wait(
-                        pending, return_when=concurrent.futures.FIRST_COMPLETED
-                    )
-                    for future in done:
-                        message = pending.pop(future)
-                        outcome: Dict[str, Any] = pickle.loads(future.result())
-                        if self.chaos is not None and outcome.get("chaos_counters"):
-                            self.chaos.merge_counters(outcome["chaos_counters"])
-                        self._apply_outcome(message, outcome)
-                if not self._supervise(messages, report, ctx):
-                    return
+                message = self.mq.pop()
+                if message is None:
+                    break
+                record = self.db.get(message.subtask_id)
+                if record.status == FINISHED and record.result_key:
+                    # Duplicate delivery of a finished subtask: skip the
+                    # dispatch entirely (idempotent upload).
+                    if self.chaos is not None:
+                        self.chaos.count("worker.duplicate_skip")
+                    continue
+                job_blob = pickle.dumps(
+                    self._process_job(message),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                pending[pool.submit(run_subtask_in_process, job_blob)] = message
+            while pending:
+                done, _ = concurrent.futures.wait(
+                    pending, return_when=concurrent.futures.FIRST_COMPLETED
+                )
+                for future in done:
+                    message = pending.pop(future)
+                    outcome: Dict[str, Any] = pickle.loads(future.result())
+                    if self.chaos is not None and outcome.get("chaos_counters"):
+                        self.chaos.merge_counters(outcome["chaos_counters"])
+                    self._apply_outcome(message, outcome)
+            if not self._supervise(messages, report, ctx):
+                return
 
     def _process_job(self, message: Message) -> Dict[str, Any]:
         """Collect everything a subtask reads from the store into one job."""
@@ -571,12 +594,16 @@ class DistributedRouteSimulation(_TaskRunner):
             task_ids = list(messages)
 
             with ctx.span("merge"):
-                rib_maps = [
+                # Streaming per-subtask assembly: each result file is
+                # deserialized, folded into the merged RIBs, and released
+                # before the next store read — peak RSS holds one result
+                # blob plus the merged output, independent of subtask count.
+                task_id_set = set(task_ids)
+                merged = merge_device_ribs(
                     self.store.get(record.result_key)
                     for record in self.db.all(kind="route")
-                    if record.subtask_id in task_ids and record.result_key
-                ]
-                merged = merge_device_ribs(rib_maps)
+                    if record.subtask_id in task_id_set and record.result_key
+                )
             durations = [
                 record.duration
                 for record in self.db.all(kind="route")

@@ -1,0 +1,148 @@
+"""Zero-copy context shipping for process pools.
+
+Process-mode execution (distsim worker pools, parallel traffic batches)
+needs the simulation context — network model, RIBs, IGP state — inside
+every pool worker. The naive path pickles that context into each worker's
+``initargs``, so an N-worker pool pushes N copies of a potentially huge
+blob through pipes. At paper scale the context blob is hundreds of
+megabytes; N pipe copies dominate pool start-up *and* keep N+1 transient
+copies resident in the master.
+
+:func:`ship` serializes the context **once** and parks the bytes in a
+``multiprocessing.shared_memory`` segment. What crosses the pipe per worker
+is a :class:`ShipToken` — segment name plus length, a few dozen bytes.
+Workers attach the segment and unpickle **lazily on first use**, reading
+straight out of the shared mapping (no intermediate bytes copy), then
+detach; the master unlinks the segment after the pool is done.
+
+Fallbacks keep the path portable and flag-controlled:
+
+* the ``shm_ship`` perf flag (``repro.perfopts``) forces the classic
+  inline-bytes shipping when off — results are identical either way, the
+  flag exists so benchmarks can A/B the transport;
+* platforms without a usable ``/dev/shm`` (or with ``shared_memory``
+  missing) silently degrade to inline bytes.
+
+Attaching processes unregister the segment from their ``resource_tracker``
+before detaching: with the default fork start method, tracker state is
+shared with the master, and a double-registered segment would be
+double-unlinked at interpreter exit (cpython issue 39959).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple, Union
+
+from repro import perfopts
+
+try:  # pragma: no cover - availability probe
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - platforms without shm support
+    _shared_memory = None
+
+__all__ = ["InlineToken", "ShipToken", "ShippedContext", "load", "ship"]
+
+
+@dataclass(frozen=True)
+class ShipToken:
+    """Address of a pickled payload parked in a shared-memory segment."""
+
+    segment: str
+    length: int
+
+
+@dataclass(frozen=True)
+class InlineToken:
+    """Fallback token: the pickled payload itself rides along."""
+
+    blob: bytes
+
+
+Token = Union[ShipToken, InlineToken]
+
+
+class ShippedContext:
+    """Owner handle of one shipped context (master side).
+
+    Serializes the payload exactly once at construction. ``token`` is what
+    crosses the process boundary; :meth:`close` releases the segment once
+    every worker had a chance to attach (after pool shutdown).
+    """
+
+    def __init__(self, payload: Any) -> None:
+        # _segment first: if pickling raises, __del__ still finds it.
+        self._segment: Optional["_shared_memory.SharedMemory"] = None
+        blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        self.nbytes = len(blob)
+        self.token: Token = InlineToken(blob)
+        if perfopts.OPTS.shm_ship and _shared_memory is not None and blob:
+            try:
+                segment = _shared_memory.SharedMemory(create=True, size=len(blob))
+            except (OSError, ValueError):
+                return  # no usable /dev/shm: keep the inline fallback
+            segment.buf[: len(blob)] = blob
+            self._segment = segment
+            self.token = ShipToken(segment=segment.name, length=len(blob))
+
+    @property
+    def via_shared_memory(self) -> bool:
+        return self._segment is not None
+
+    def close(self) -> None:
+        """Release the segment (idempotent). Inline tokens have nothing to free."""
+        segment, self._segment = self._segment, None
+        if segment is not None:
+            try:
+                segment.close()
+                segment.unlink()
+            except (FileNotFoundError, OSError):  # pragma: no cover - already gone
+                pass
+
+    def __enter__(self) -> "ShippedContext":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC safety net
+        self.close()
+
+
+def ship(payload: Any) -> ShippedContext:
+    """Serialize ``payload`` once and stage it for pool workers."""
+    return ShippedContext(payload)
+
+
+def load(token: Token) -> Any:
+    """Materialize a shipped payload inside a worker (or the master).
+
+    Shared-memory tokens unpickle directly from the mapped buffer — the
+    payload bytes are never copied into worker-private memory — then detach
+    the segment; the master keeps it alive until :meth:`ShippedContext.close`.
+    """
+    if isinstance(token, InlineToken):
+        return pickle.loads(token.blob)
+    if _shared_memory is None:  # pragma: no cover - token cannot exist then
+        raise RuntimeError("shared_memory unavailable for ShipToken")
+    segment = _shared_memory.SharedMemory(name=token.segment)
+    try:
+        return pickle.loads(segment.buf[: token.length])
+    finally:
+        _untrack(segment.name)
+        segment.close()
+
+
+def _untrack(name: str) -> None:
+    """Drop a segment from this process's resource tracker, if registered.
+
+    Only the shipping master owns the segment's lifetime; an attaching
+    worker must not leave a tracker registration behind (see module docs).
+    """
+    try:  # pragma: no cover - tracker internals vary across versions
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(f"/{name}", "shared_memory")
+    except Exception:  # noqa: BLE001 - best effort, never break a worker
+        pass

@@ -13,7 +13,7 @@ import os
 import pickle
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.distsim.mq import Message, MessageQueue
 from repro.distsim.storage import ObjectStore
@@ -31,8 +31,16 @@ class SubtaskFailure(Exception):
     """Raised by the failure injector to simulate a crashed subtask."""
 
 
-def merge_device_ribs(rib_maps: List[Dict[str, DeviceRib]]) -> Dict[str, DeviceRib]:
-    """Union the device RIBs produced by several route subtasks."""
+def merge_device_ribs(
+    rib_maps: Iterable[Dict[str, DeviceRib]],
+) -> Dict[str, DeviceRib]:
+    """Union the device RIBs produced by several route subtasks.
+
+    Accepts any iterable and consumes it one map at a time, so callers can
+    stream result files out of the object store (a generator of
+    ``store.get(...)`` calls) and peak memory holds one undeserialized
+    subtask result plus the merged output — not every result at once.
+    """
     merged: Dict[str, DeviceRib] = {}
     for rib_map in rib_maps:
         for device, rib in rib_map.items():
@@ -218,8 +226,9 @@ class Worker:
         flows = self.store.get(input_key)
 
         rib_keys = self._select_rib_files(message, flows)
-        rib_maps = [self.store.get(key) for key in rib_keys]
-        ribs = merge_device_ribs(rib_maps)
+        # Streamed: each RIB result file is deserialized, folded into the
+        # merged map, and released before the next is fetched.
+        ribs = merge_device_ribs(self.store.get(key) for key in rib_keys)
 
         simulator = TrafficSimulator(
             self.model, ribs, igp=self.igp, use_ecs=self.config.use_flow_ecs
@@ -274,16 +283,35 @@ class Worker:
 # pickled blobs, and the child returns its result and DB record fields the
 # same way. The entry points below are module-level so they pickle under any
 # multiprocessing start method (spawn included).
+#
+# The simulation context arrives as a ``repro.distsim.shipping`` token —
+# either the name of a shared-memory segment the master wrote once, or the
+# inline pickled bytes — and is deserialized lazily on the first subtask so
+# pool start-up stays O(token), not O(context).
 
-#: per-process (model, igp, worker config, chaos policy), set once by the
-#: pool initializer.
+#: shipping token installed by the pool initializer.
+_PROCESS_TOKEN: Optional[Any] = None
+#: lazily materialized (model, igp, worker config, chaos policy).
 _PROCESS_CONTEXT: Optional[Tuple] = None
 
 
-def init_process_worker(context_blob: bytes) -> None:
-    """Pool initializer: install the shared simulation context."""
+def init_process_worker(token: Any) -> None:
+    """Pool initializer: stage the shipped simulation context."""
+    global _PROCESS_TOKEN, _PROCESS_CONTEXT
+    _PROCESS_TOKEN = token
+    _PROCESS_CONTEXT = None
+
+
+def _process_context() -> Tuple:
+    """The worker-process context, deserialized on first use."""
     global _PROCESS_CONTEXT
-    _PROCESS_CONTEXT = pickle.loads(context_blob)
+    if _PROCESS_CONTEXT is None:
+        if _PROCESS_TOKEN is None:
+            raise RuntimeError("worker process used before init_process_worker")
+        from repro.distsim import shipping
+
+        _PROCESS_CONTEXT = shipping.load(_PROCESS_TOKEN)
+    return _PROCESS_CONTEXT
 
 
 def run_subtask_in_process(job_blob: bytes) -> bytes:
@@ -300,9 +328,7 @@ def run_subtask_in_process(job_blob: bytes) -> bytes:
     so the child injects exactly the faults the thread-mode engine would;
     its fault counters travel back in the outcome for the master to merge.
     """
-    if _PROCESS_CONTEXT is None:
-        raise RuntimeError("worker process used before init_process_worker")
-    model, igp, config, chaos_policy = _PROCESS_CONTEXT
+    model, igp, config, chaos_policy = _process_context()
     job: Dict[str, Any] = pickle.loads(job_blob)
     message: Message = job["message"]
 

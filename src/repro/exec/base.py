@@ -23,15 +23,40 @@ Implementations:
 from __future__ import annotations
 
 import abc
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Optional, Sequence
 
 from repro.net.model import NetworkModel
-from repro.obs import RunContext
+from repro.obs import RunContext, peak_rss_bytes
+from repro.routing import interning
 from repro.routing.inputs import InputRoute
 from repro.routing.isis import IgpState
 from repro.routing.rib import DeviceRib, GlobalRib
 from repro.traffic.flow import Flow
+
+
+@contextmanager
+def resource_accounting(ctx: RunContext) -> Iterator[None]:
+    """Record memory / interning behaviour of one dispatch on ``ctx``.
+
+    On exit, attaches ``routes.interned`` / ``routes.unique`` (the delta of
+    the process-wide interning totals over the guarded block — allocations
+    saved vs. first-sighting routes) to the calling thread's current span,
+    and updates the ``memory.peak_rss_bytes`` high-water gauge on the root
+    span. Backends open this inside their ``route_sim`` / ``traffic_sim``
+    spans so the interning counters land on the dispatch that produced them.
+    """
+    before = interning.stats_snapshot()
+    try:
+        yield
+    finally:
+        delta = interning.stats_snapshot().delta_since(before)
+        if delta.route_hits:
+            ctx.count("routes.interned", delta.route_hits)
+        if delta.route_misses:
+            ctx.count("routes.unique", delta.route_misses)
+        ctx.set_max("memory.peak_rss_bytes", peak_rss_bytes())
 
 
 @dataclass

@@ -19,6 +19,7 @@ from repro.exec.base import (
     RouteSimRequest,
     TrafficSimOutcome,
     TrafficSimRequest,
+    resource_accounting,
 )
 from repro.exec.connected import install_connected_routes
 from repro.obs import RunContext, ensure_context
@@ -62,7 +63,8 @@ class CentralizedBackend(ExecutionBackend):
         if request.include_local_inputs:
             inputs = list(build_local_input_routes(request.model)) + inputs
         igp = request.igp if request.igp is not None else compute_igp(request.model)
-        with ctx.span("route_sim", backend=self.name, inputs=len(inputs)):
+        with ctx.span("route_sim", backend=self.name, inputs=len(inputs)), \
+                resource_accounting(ctx):
             ctx.count("route_sim.calls")
             ctx.count("route_sim.inputs", len(inputs))
             if self.chunked:
@@ -107,7 +109,8 @@ class CentralizedBackend(ExecutionBackend):
         if igp is None and request.route_outcome is not None:
             igp = request.route_outcome.igp
         workers = request.workers if request.workers is not None else self.traffic_workers
-        with ctx.span("traffic_sim", backend=self.name, flows=len(request.flows)):
+        with ctx.span("traffic_sim", backend=self.name, flows=len(request.flows)), \
+                resource_accounting(ctx):
             ctx.count("traffic_sim.calls")
             simulator = TrafficSimulator(
                 request.model, device_ribs, igp=igp, use_ecs=request.use_ecs

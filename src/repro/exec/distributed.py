@@ -28,6 +28,7 @@ from repro.exec.base import (
     RouteSimRequest,
     TrafficSimOutcome,
     TrafficSimRequest,
+    resource_accounting,
 )
 from repro.exec.connected import install_connected_routes
 from repro.obs import RunContext, ensure_context
@@ -81,7 +82,7 @@ class DistributedBackend(ExecutionBackend):
         workers = request.workers if request.workers is not None else self.workers
         with ctx.span(
             "route_sim", backend=self.name, inputs=len(inputs), subtasks=subtasks
-        ):
+        ), resource_accounting(ctx):
             ctx.count("route_sim.calls")
             ctx.count("route_sim.inputs", len(inputs))
             sim = DistributedRouteSimulation(
@@ -123,7 +124,7 @@ class DistributedBackend(ExecutionBackend):
             with ctx.span(
                 "traffic_sim", backend=self.name, flows=len(request.flows),
                 subtasks=subtasks,
-            ):
+            ), resource_accounting(ctx):
                 ctx.count("traffic_sim.calls")
                 sim = DistributedTrafficSimulation(
                     request.model,
@@ -160,7 +161,8 @@ class DistributedBackend(ExecutionBackend):
         if igp is None and route is not None:
             igp = route.igp
         workers = request.workers if request.workers is not None else self.workers
-        with ctx.span("traffic_sim", backend="centralized", flows=len(request.flows)):
+        with ctx.span("traffic_sim", backend="centralized", flows=len(request.flows)), \
+                resource_accounting(ctx):
             ctx.count("traffic_sim.calls")
             result = TrafficSimulator(
                 request.model, device_ribs, igp=igp, use_ecs=request.use_ecs

@@ -19,6 +19,7 @@ from repro.obs.context import (
     Span,
     TRACE_SCHEMA,
     ensure_context,
+    peak_rss_bytes,
 )
 from repro.obs.logconfig import configure_logging, get_logger
 
@@ -30,4 +31,5 @@ __all__ = [
     "configure_logging",
     "ensure_context",
     "get_logger",
+    "peak_rss_bytes",
 ]

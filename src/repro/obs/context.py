@@ -22,6 +22,27 @@ from typing import Any, Dict, Iterator, List, Optional
 
 from repro.obs.logconfig import get_logger
 
+try:  # pragma: no cover - stdlib on POSIX, absent on some platforms
+    import resource as _resource
+except ImportError:  # pragma: no cover - e.g. Windows
+    _resource = None
+import sys
+
+
+def peak_rss_bytes() -> int:
+    """This process's peak resident set size in bytes (0 if unknown).
+
+    ``ru_maxrss`` is a process-lifetime high-water mark: it only ever grows,
+    so per-phase memory measurements need fresh child processes (see
+    ``benchmarks/perf``). Linux reports kilobytes, macOS bytes.
+    """
+    if _resource is None:
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return int(peak)
+    return int(peak) * 1024
+
 #: Version tag embedded in every serialized trace.
 TRACE_SCHEMA = "repro.trace/v1"
 
@@ -153,6 +174,19 @@ class RunContext:
         span = self.current
         with self._lock:
             span.counters[name] = span.counters.get(name, 0.0) + value
+
+    def set_max(self, name: str, value: float) -> None:
+        """Record a high-water gauge: keep the max seen, not the sum.
+
+        Gauges (e.g. ``memory.peak_rss_bytes``) attach to the **root** span
+        only — storing them once means the tree-wide aggregation in
+        :meth:`counters` (which sums per-span values) still reports the
+        gauge's maximum rather than a meaningless sum across spans.
+        """
+        with self._lock:
+            current = self.root.counters.get(name)
+            if current is None or value > current:
+                self.root.counters[name] = value
 
     def counters(self) -> Dict[str, float]:
         """All counters aggregated over the whole tree."""

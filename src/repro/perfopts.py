@@ -47,6 +47,14 @@ class PerfOptions:
     #: memoize spread-mode forwarding decisions per
     #: (router, ingress-ACL class, flow EC signature)
     spread_memo: bool = True
+    #: flyweight route-attribute storage: intern AS paths, community sets,
+    #: and full route-attribute tuples so duplicate copies collapse to one
+    #: shared object (``repro.routing.interning``)
+    intern_routes: bool = True
+    #: ship the model/RIBs/IGP context to process-pool workers through one
+    #: ``multiprocessing.shared_memory`` segment instead of pickling the
+    #: blob into every worker's pipe (``repro.distsim.shipping``)
+    shm_ship: bool = True
 
 
 #: The process-wide option set consulted by the hot paths.

@@ -17,7 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import FrozenSet, Optional, Tuple
 
+from repro import perfopts
 from repro.net.addr import IPAddress, Prefix
+from repro.routing import interning
 
 ORIGIN_IGP = "igp"
 ORIGIN_EGP = "egp"
@@ -46,14 +48,31 @@ def community(text: str) -> str:
     return f"{high}:{low}"
 
 
-@dataclass(frozen=True)
-class Route:
+class _RouteCaches:
+    """Slot holder for :class:`Route`'s lazy derivatives.
+
+    Kept outside the dataclass fields so they never participate in
+    ``__init__``/``__eq__``/pickle; ``__weakref__`` is what lets the
+    interning layer hold routes in a ``WeakValueDictionary``.
+    """
+
+    __slots__ = ("_hash", "_attribute_key", "_canonical_key", "__weakref__")
+
+
+@dataclass(frozen=True, slots=True)
+class Route(_RouteCaches):
     """An immutable route announcement / RIB entry payload.
 
     ``origin_router``/``origin_vrf`` record the injection point — part of the
     route-EC identity of §3.1. ``igp_cost`` is the cost to reach ``nexthop``
     and is filled in during best-path selection; an SR policy towards the
     next hop may force it to zero on vendors with the "IGP cost for SR" VSB.
+
+    ``slots=True``: a paper-scale fixpoint keeps O(10^5)–O(10^6) route
+    objects live (adjacency slots, RIB entries, advertisement caches), and
+    the per-instance ``__dict__`` of the dict-based class measured ~3–4x the
+    footprint of the slotted layout. The cache slots above replace the old
+    ``__dict__``-based lazy caching.
     """
 
     prefix: Prefix
@@ -81,20 +100,40 @@ class Route:
         Equivalent to ``dataclasses.replace`` but without re-running the
         generated ``__init__`` — route copies happen per delivered message
         in the BGP fixpoint and ``replace`` dominated its profile. ``Route``
-        has no ``__post_init__`` validation, so a direct field copy is safe.
+        has no ``__post_init__`` validation, so a direct field copy is safe;
+        the clone starts with every cache slot unset, so derivatives
+        recompute lazily.
+
+        With the ``intern_routes`` perf flag on (the default), the copy is
+        resolved through the flyweight store: changed AS paths and community
+        sets are replaced by their canonical instances, and if a route with
+        this exact attribute tuple already exists anywhere in the process,
+        *that* instance is returned instead of the fresh clone — so policy
+        application and ingress processing stop allocating duplicates. The
+        interned instance compares equal to the clone by construction;
+        flags-off behaviour is byte-identical to the plain copy.
         """
         unknown = changes.keys() - _ROUTE_FIELDS
         if unknown:
             raise TypeError(f"unknown Route field(s): {sorted(unknown)}")
+        interned = perfopts.OPTS.intern_routes
+        if interned:
+            as_path = changes.get("as_path")
+            if as_path is not None:
+                changes["as_path"] = interning.intern_as_path(as_path)
+            communities = changes.get("communities")
+            if communities is not None:
+                changes["communities"] = interning.intern_communities(communities)
         clone = object.__new__(Route)
-        state = clone.__dict__
-        state.update(self.__dict__)
-        # Cached derivatives (hash, attribute/canonical keys) are stale on
-        # the clone; drop them so they recompute lazily.
-        state.pop("_hash", None)
-        state.pop("_attribute_key", None)
-        state.pop("_canonical_key", None)
-        state.update(changes)
+        assign = object.__setattr__
+        get_change = changes.get
+        for name in _ROUTE_FIELD_ORDER:
+            value = get_change(name, _UNCHANGED)
+            if value is _UNCHANGED:
+                value = getattr(self, name)
+            assign(clone, name, value)
+        if interned:
+            return interning.intern_route(clone)
         return clone
 
     # -- helpers used by policies and RCL ------------------------------------
@@ -121,8 +160,15 @@ class Route:
         return " ".join(str(asn) for asn in self.as_path)
 
     def attribute_key(self) -> Tuple:
-        """The BGP-attribute identity used for route-EC grouping (§3.1)."""
-        key = self.__dict__.get("_attribute_key")
+        """The BGP-attribute identity used for route-EC grouping (§3.1).
+
+        With ``intern_routes`` on, the tuple is resolved through the
+        flyweight store before caching: routes that differ only by prefix
+        or injection point (the common shape — one announcement fanned out
+        over many prefixes) share one key tuple instead of holding
+        structurally-equal private copies.
+        """
+        key = getattr(self, "_attribute_key", None)
         if key is None:
             key = (
                 self.nexthop,
@@ -137,7 +183,9 @@ class Route:
                 self.source,
                 tuple(sorted(self.flags)),
             )
-            self.__dict__["_attribute_key"] = key
+            if perfopts.OPTS.intern_routes:
+                key = interning.intern_attribute_key(key)
+            object.__setattr__(self, "_attribute_key", key)
         return key
 
     def canonical_key(self) -> Tuple:
@@ -148,7 +196,7 @@ class Route:
         cache keys on. Unlike :meth:`attribute_key` it also carries the
         prefix, injection point, aggregator, and IGP cost.
         """
-        key = self.__dict__.get("_canonical_key")
+        key = getattr(self, "_canonical_key", None)
         if key is None:
             key = (
                 self.prefix,
@@ -158,14 +206,14 @@ class Route:
                 self.igp_cost,
                 self.attribute_key(),
             )
-            self.__dict__["_canonical_key"] = key
+            object.__setattr__(self, "_canonical_key", key)
         return key
 
     def __hash__(self) -> int:
-        h = self.__dict__.get("_hash")
+        h = getattr(self, "_hash", None)
         if h is None:
             h = hash(self.canonical_key())
-            self.__dict__["_hash"] = h
+            object.__setattr__(self, "_hash", h)
         return h
 
     def __eq__(self, other: object) -> bool:
@@ -182,10 +230,10 @@ class Route:
             return False
         return self.canonical_key() == other.canonical_key()
 
-    def __getstate__(self) -> dict:
-        # Drop cached keys/hash: Python string hashes are per-process, so a
-        # pickled cache would be wrong in another interpreter (process mode).
-        return {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
+    # Pickling: the dataclass-generated __getstate__/__setstate__ pair
+    # (added automatically for frozen+slots classes) serializes the fields
+    # only, so the cache slots — whose string hashes are per-process — never
+    # cross a process boundary.
 
     def __str__(self) -> str:
         nh = str(self.nexthop) if self.nexthop else "-"
@@ -198,3 +246,7 @@ class Route:
 
 #: Field-name set used by :meth:`Route.evolve` for its fast copy path.
 _ROUTE_FIELDS = frozenset(f.name for f in Route.__dataclass_fields__.values())
+#: Declaration-order field names for the slot-by-slot copy in ``evolve``.
+_ROUTE_FIELD_ORDER = tuple(Route.__dataclass_fields__)
+#: Sentinel distinguishing "field not in changes" from explicit ``None``.
+_UNCHANGED = object()

@@ -26,8 +26,14 @@ from repro.routing.attributes import (
 _ORIGIN_RANK = {ORIGIN_IGP: 0, ORIGIN_EGP: 1, ORIGIN_INCOMPLETE: 2}
 
 
-@dataclass(frozen=True)
-class Candidate:
+class _CandidateCaches:
+    """Slot holder for :class:`Candidate`'s lazily cached sort keys."""
+
+    __slots__ = ("_decision_key", "_tiebreak_key", "_rank")
+
+
+@dataclass(frozen=True, slots=True)
+class Candidate(_CandidateCaches):
     """A route candidate in the decision process.
 
     ``from_peer`` is the router the route was learned from ('' for locally
@@ -35,6 +41,10 @@ class Candidate:
     session was an RR client session (needed by reflection rules);
     ``path_id`` disambiguates add-path announcements; ``suppressed`` marks
     more-specific routes hidden by a summary-only aggregate.
+
+    ``slots=True``: one candidate lives per route per adjacency slot — at
+    paper scale that is the second-largest object population after routes
+    themselves, and the slotted layout drops the per-instance ``__dict__``.
     """
 
     route: Route
@@ -51,7 +61,7 @@ class Candidate:
         their (vrf, prefix) slot, so both keys are computed once and cached
         on the instance.
         """
-        key = self.__dict__.get("_decision_key")
+        key = getattr(self, "_decision_key", None)
         if key is None:
             r = self.route
             key = (
@@ -64,12 +74,12 @@ class Candidate:
                 0 if r.source == SOURCE_EBGP else 1,  # 7. eBGP over iBGP
                 r.igp_cost,                        # 8. lowest IGP cost to next hop
             )
-            self.__dict__["_decision_key"] = key
+            object.__setattr__(self, "_decision_key", key)
         return key
 
     def tiebreak_key(self) -> Tuple:
         """Deterministic final tiebreak among ECMP-equal candidates."""
-        key = self.__dict__.get("_tiebreak_key")
+        key = getattr(self, "_tiebreak_key", None)
         if key is None:
             nexthop = self.route.nexthop
             key = (
@@ -77,14 +87,15 @@ class Candidate:
                 self.path_id,
                 nexthop._text() if nexthop is not None else "",
             )
-            self.__dict__["_tiebreak_key"] = key
+            object.__setattr__(self, "_tiebreak_key", key)
         return key
 
-    def __getstate__(self) -> dict:
-        return {k: v for k, v in self.__dict__.items() if not k.startswith("_")}
+    # Pickling: the dataclass-generated __getstate__/__setstate__ pair for
+    # frozen+slots classes serializes the fields only — cache slots (whose
+    # tiebreak strings carry per-process hashes) stay process-local.
 
 
-@dataclass
+@dataclass(slots=True)
 class Selection:
     """Decision outcome for one (vrf, prefix)."""
 
@@ -109,33 +120,24 @@ def make_candidate(
     leaked: bool = False,
     suppressed: bool = False,
 ) -> Candidate:
-    """Build a Candidate without the frozen-dataclass ``__init__`` overhead.
+    """Build a Candidate through one positional ``__init__`` call.
 
-    The generated ``__init__`` assigns every field through
-    ``object.__setattr__``; one candidate is built per accepted route per
-    delivered message, so the hot ingress path uses this direct-``__dict__``
-    constructor instead (``Candidate`` has no ``__post_init__``).
+    With the slotted layout there is no instance ``__dict__`` to bulk-fill,
+    so the generated ``__init__`` (object.__setattr__ per field — the same
+    stores a manual loop would issue) is the fast path; this wrapper stays
+    as the keyword-friendly construction point for the ingress code.
     """
-    candidate = object.__new__(Candidate)
-    candidate.__dict__.update(
-        route=route,
-        from_peer=from_peer,
-        from_client=from_client,
-        path_id=path_id,
-        leaked=leaked,
-        suppressed=suppressed,
-    )
-    return candidate
+    return Candidate(route, from_peer, from_client, path_id, leaked, suppressed)
 
 
 def _rank_key(candidate: Candidate) -> Tuple:
     # Candidates are re-ranked every time their (vrf, prefix) slot is
     # recomputed, which happens across many fixpoint rounds; cache the
     # combined rank tuple alongside the per-part caches.
-    key = candidate.__dict__.get("_rank")
+    key = getattr(candidate, "_rank", None)
     if key is None:
         key = (candidate.decision_key(), candidate.tiebreak_key())
-        candidate.__dict__["_rank"] = key
+        object.__setattr__(candidate, "_rank", key)
     return key
 
 

@@ -46,9 +46,15 @@ class UnknownFieldError(KeyError):
     """Raised when an RCL specification references an unknown RIB field."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RibRoute:
-    """One row of a RIB table: a route located at (device, vrf)."""
+    """One row of a RIB table: a route located at (device, vrf).
+
+    ``slots=True``: a global RIB at paper scale holds one ``RibRoute`` per
+    route per device — millions of rows — and the per-instance ``__dict__``
+    of a plain dataclass roughly doubles each row's footprint. Rows carry
+    no cached derivatives, so slots cost nothing.
+    """
 
     device: str
     vrf: str
@@ -180,6 +186,13 @@ class DeviceRib:
         )
 
 
+#: Shard count used by the streaming identity comparison. Equality builds
+#: the per-row identity tuples (strings, sorted community tuples) one shard
+#: at a time instead of two whole-table frozensets, so the comparison's
+#: peak memory is ~1/DEFAULT_IDENTITY_SHARDS of the materialized approach.
+DEFAULT_IDENTITY_SHARDS = 16
+
+
 class GlobalRib:
     """The global RIB: all devices' routes in one table (Figure 6)."""
 
@@ -192,6 +205,17 @@ class GlobalRib:
         for device_rib in ribs:
             rib.rows.extend(device_rib.all_rows())
         return rib
+
+    @staticmethod
+    def stream_rows(ribs: Iterable[DeviceRib]) -> Iterator[RibRoute]:
+        """Row stream over device RIBs without materializing a table.
+
+        For consumers that only fold over rows (fingerprints, counters,
+        per-shard assembly), this keeps peak memory at one row instead of
+        the whole global table.
+        """
+        for device_rib in ribs:
+            yield from device_rib.all_rows()
 
     def add(self, row: RibRoute) -> None:
         self.rows.append(row)
@@ -208,6 +232,38 @@ class GlobalRib:
 
     def identity_set(self) -> FrozenSet[Tuple]:
         return frozenset(row.identity() for row in self.rows)
+
+    def _identity_shards(self, shards: int) -> List[List[RibRoute]]:
+        """Row references bucketed by prefix identity (cheap: no tuples yet)."""
+        buckets: List[List[RibRoute]] = [[] for _ in range(shards)]
+        for row in self.rows:
+            buckets[row.route.prefix.ident % shards].append(row)
+        return buckets
+
+    def equals_sharded(
+        self, other: "GlobalRib", shards: int = DEFAULT_IDENTITY_SHARDS
+    ) -> bool:
+        """Set equality of row identities, assembled shard by shard.
+
+        Same verdict as ``identity_set() == other.identity_set()``, but the
+        identity tuples — which dominate the comparison's memory — are
+        materialized for one prefix shard at a time and dropped before the
+        next, so peak RSS stays bounded at large prefix counts.
+        """
+        if len(self.rows) != len(other.rows):
+            # Unequal *multiset* sizes can still compare set-equal (merge
+            # paths may deliver duplicate rows), so only a cheap both-empty
+            # short-circuit is safe here.
+            if not self.rows or not other.rows:
+                return False
+        mine = self._identity_shards(shards)
+        theirs = other._identity_shards(shards)
+        for shard_mine, shard_theirs in zip(mine, theirs):
+            if {row.identity() for row in shard_mine} != {
+                row.identity() for row in shard_theirs
+            }:
+                return False
+        return True
 
     def merged_with(self, other: "GlobalRib") -> "GlobalRib":
         return GlobalRib(list(self.rows) + list(other.rows))
@@ -226,7 +282,7 @@ class GlobalRib:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, GlobalRib):
             return NotImplemented
-        return self.identity_set() == other.identity_set()
+        return self.equals_sharded(other)
 
     def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)

@@ -13,6 +13,7 @@ Figure 5(a)).
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -41,6 +42,108 @@ class WanParams:
     link_bandwidth: float = 100e9
     seed: int = 7
     vendors: Tuple[str, ...] = ("vendor-a", "vendor-b")
+
+    # -- presets ----------------------------------------------------------
+
+    @classmethod
+    def paper_scale(cls, seed: int = 7) -> "WanParams":
+        """The paper's headline instance: ~2000 WAN routers + O(10^4) DCN.
+
+        50 regions x (2 RRs + 28 cores + 4 borders + 6 DC edges) = 2000 WAN
+        routers; 300 DC edges x 34 DCN cores = 10,200 DCN routers; 200 ISP
+        peers. Generation is cheap (seconds) — full BGP fixpoints at this
+        scale are what the large benchmark tier measures.
+        """
+        return cls(
+            regions=50,
+            cores_per_region=28,
+            borders_per_region=4,
+            dc_edges_per_region=6,
+            isps_per_border=1,
+            dcn_cores_per_edge=34,
+            seed=seed,
+        )
+
+    @classmethod
+    def large(cls, seed: int = 7) -> "WanParams":
+        """The standing large benchmark tier (~600 WAN + ~1000 DCN routers).
+
+        Big enough that memory dominates (millions of RIB rows with a few
+        hundred prefixes), small enough that a full fixpoint completes in
+        minutes on the 1-core reference box; :meth:`paper_scale` keeps the
+        full-size instance for machines with headroom.
+        """
+        return cls(
+            regions=20,
+            cores_per_region=20,
+            borders_per_region=4,
+            dc_edges_per_region=4,
+            isps_per_border=1,
+            dcn_cores_per_edge=13,
+            seed=seed,
+        )
+
+    @classmethod
+    def large_smoke(cls, seed: int = 7) -> "WanParams":
+        """Scaled-down large preset for CI (~200 WAN routers)."""
+        return cls(
+            regions=10,
+            cores_per_region=10,
+            borders_per_region=4,
+            dc_edges_per_region=4,
+            isps_per_border=1,
+            dcn_cores_per_edge=2,
+            seed=seed,
+        )
+
+    # -- closed-form inventory expectations -------------------------------
+
+    def expected_router_counts(self) -> Dict[str, int]:
+        """Router count per inventory group, straight from the knobs."""
+        return {
+            "rrs": self.regions * 2,
+            "cores": self.regions * self.cores_per_region,
+            "borders": self.regions * self.borders_per_region,
+            "dc_edges": self.regions * self.dc_edges_per_region,
+            "isps": self.regions * self.borders_per_region * self.isps_per_border,
+            "dcn_cores": (
+                self.regions * self.dc_edges_per_region * self.dcn_cores_per_edge
+            ),
+        }
+
+    def expected_wan_routers(self) -> int:
+        """WAN routers (RRs + cores + borders + DC edges), closed form."""
+        return self.regions * (
+            2
+            + self.cores_per_region
+            + self.borders_per_region
+            + self.dc_edges_per_region
+        )
+
+    def expected_total_routers(self) -> int:
+        return sum(self.expected_router_counts().values())
+
+    def expected_link_bounds(self) -> Tuple[int, int]:
+        """(min, max) link count. Exact except for the seeded random chords.
+
+        Per region: RRs connect to every non-RR member, cores mesh fully,
+        each border and DC edge uplinks to one core. Between regions: a ring
+        over ``core0`` (one link when only two regions) plus a parallel
+        ``core1`` ring, then up to ``regions // 2`` random ``core2`` chords
+        whose sample pairs may collide — the only non-closed-form term, so
+        the bounds bracket it.
+        """
+        c, b, e = self.cores_per_region, self.borders_per_region, self.dc_edges_per_region
+        intra = self.regions * (2 * (c + b + e) + c * (c - 1) // 2 + b + e)
+        ring = 0
+        if self.regions > 1:
+            rings = 1 + (1 if c > 1 else 0)
+            ring = rings * (1 if self.regions == 2 else self.regions)
+        chords_max = self.regions // 2 if self.regions > 3 and c > 2 else 0
+        counts = self.expected_router_counts()
+        stubs = counts["isps"] + counts["dcn_cores"]
+        base = intra + ring + stubs
+        return base, base + chords_max
 
 
 @dataclass
@@ -219,6 +322,43 @@ def generate_wan(params: Optional[WanParams] = None) -> Tuple[NetworkModel, WanI
 
     _install_policies(model, inventory)
     return model, inventory
+
+
+def wan_fingerprint(model: NetworkModel) -> str:
+    """Canonical hex digest of a generated WAN (topology + BGP sessions).
+
+    Two ``generate_wan`` calls with equal :class:`WanParams` must produce
+    equal fingerprints — the determinism contract the workload layer owes
+    the benchmarks (A/B variants must simulate the *same* network) and the
+    incremental engine (snapshots keyed on generated worlds).
+    """
+    digest = hashlib.sha256()
+    for line in sorted(repr(router) for router in model.topology.routers):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    for line in sorted(repr(link) for link in model.topology.links):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    for name in sorted(model.devices):
+        device = model.device(name)
+        digest.update(
+            repr((name, device.vendor, device.asn)).encode("utf-8")
+        )
+        for peer in device.peers:
+            digest.update(
+                repr(
+                    (
+                        peer.peer,
+                        peer.remote_asn,
+                        peer.route_reflector_client,
+                        peer.next_hop_self,
+                        peer.import_policy,
+                        peer.export_policy,
+                    )
+                ).encode("utf-8")
+            )
+        digest.update(b"\n")
+    return digest.hexdigest()
 
 
 def _install_policies(model: NetworkModel, inventory: WanInventory) -> None:

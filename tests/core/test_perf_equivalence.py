@@ -53,7 +53,13 @@ def test_route_sim_identical_with_and_without_caches(seed):
 def test_each_flag_is_individually_transparent():
     model, _, inputs = _wan(seed=7)
     reference = _signature(simulate_routes(model, inputs))
-    for flag in ("policy_cache", "policy_trie", "igp_cost_cache", "intern_parse"):
+    for flag in (
+        "policy_cache",
+        "policy_trie",
+        "igp_cost_cache",
+        "intern_parse",
+        "intern_routes",
+    ):
         with perfopts.configured(**{flag: False}):
             assert _signature(simulate_routes(model, inputs)) == reference, flag
 

@@ -1,0 +1,152 @@
+"""The flyweight route-attribute store (``repro.routing.interning``).
+
+Interning is a pure memory optimization: it must never change what a
+simulation computes, only how many distinct objects back the result. These
+tests pin the dedup contract (equal values collapse to one shared instance),
+the weak lifetime of the route table, the hit/miss accounting the execution
+backends report, and — most importantly — that ``Route.evolve`` produces
+equal routes with the flag on or off.
+"""
+
+from __future__ import annotations
+
+import gc
+import pickle
+
+from repro import perfopts
+from repro.net.addr import IPAddress, Prefix
+from repro.routing import interning
+from repro.routing.attributes import Route
+
+
+def _route(prefix: str = "10.0.0.0/24", **overrides) -> Route:
+    base = dict(
+        prefix=Prefix.parse(prefix),
+        nexthop=IPAddress.parse("192.0.2.1"),
+        as_path=(64500, 64501),
+        communities=frozenset({"64500:1", "64500:2"}),
+        local_pref=200,
+    )
+    base.update(overrides)
+    return Route(**base)
+
+
+class TestAttributeTables:
+    def test_as_path_dedup(self):
+        a = interning.intern_as_path((64500, 64501, 64502))
+        b = interning.intern_as_path((64500, 64501, 64502))
+        assert a is b
+
+    def test_empty_as_path_is_preseeded(self):
+        assert interning.intern_as_path(()) is interning.intern_as_path(())
+
+    def test_communities_dedup(self):
+        a = interning.intern_communities(frozenset({"64500:1"}))
+        b = interning.intern_communities(frozenset({"64500:1"}))
+        assert a is b
+
+    def test_attribute_key_dedup(self):
+        key_a = _route().attribute_key()
+        key_b = _route("10.9.9.0/24").attribute_key()
+        # Same announcement attributes on different prefixes: one shared key.
+        assert key_a is key_b
+
+
+class TestRouteTable:
+    def test_equal_routes_collapse_to_one_instance(self):
+        canonical = interning.intern_route(_route())
+        duplicate = interning.intern_route(_route())
+        assert duplicate is canonical
+
+    def test_distinct_routes_stay_distinct(self):
+        a = interning.intern_route(_route(local_pref=100))
+        b = interning.intern_route(_route(local_pref=300))
+        assert a is not b
+        assert a != b
+
+    def test_hit_and_miss_accounting(self):
+        before = interning.stats_snapshot()
+        first = interning.intern_route(_route("10.255.0.0/24"))
+        again = interning.intern_route(_route("10.255.0.0/24"))
+        assert again is first
+        delta = interning.stats_snapshot().delta_since(before)
+        assert delta.route_misses == 1
+        assert delta.route_hits == 1
+
+    def test_table_holds_routes_weakly(self):
+        interning.clear()
+        survivor = interning.intern_route(_route("10.1.0.0/24"))
+        transient = interning.intern_route(_route("10.2.0.0/24"))
+        del transient
+        gc.collect()
+        before = interning.stats_snapshot()
+        # The dropped route was collected: re-interning is a miss again,
+        # while the still-referenced one is a hit on the same instance.
+        refreshed = interning.intern_route(_route("10.2.0.0/24"))
+        assert interning.intern_route(_route("10.1.0.0/24")) is survivor
+        delta = interning.stats_snapshot().delta_since(before)
+        assert delta.route_misses == 1
+        assert delta.route_hits == 1
+        assert refreshed == _route("10.2.0.0/24")
+
+    def test_clear_resets_tables_and_stats(self):
+        keep = interning.intern_route(_route("10.3.0.0/24"))
+        interning.clear()
+        stats = interning.stats_snapshot()
+        assert stats.route_hits == 0 and stats.route_misses == 0
+        # After clear the same value is a fresh miss (new canonical instance
+        # is the argument itself, not the pre-clear survivor).
+        again = interning.intern_route(_route("10.3.0.0/24"))
+        assert again is not keep
+        assert again == keep
+
+
+class TestEvolveIntegration:
+    def test_evolve_dedups_under_flag(self):
+        base = interning.intern_route(_route())
+        one = base.evolve(local_pref=500)
+        two = base.evolve(local_pref=500)
+        assert one is two
+        assert one.local_pref == 500
+
+    def test_evolve_shares_interned_payloads(self):
+        # Only *changed* payloads go through the attribute tables (unchanged
+        # fields are carried over by reference already).
+        a = _route("10.4.0.0/24").evolve(
+            as_path=(64999, 64500), communities=frozenset({"64999:1"})
+        )
+        b = _route("10.5.0.0/24").evolve(
+            as_path=(64999, 64500), communities=frozenset({"64999:1"})
+        )
+        assert a.as_path is b.as_path
+        assert a.communities is b.communities
+
+    def test_evolve_with_flag_off_allocates_fresh(self):
+        base = _route()
+        with perfopts.configured(intern_routes=False):
+            one = base.evolve(local_pref=500)
+            two = base.evolve(local_pref=500)
+        assert one is not two
+        assert one == two
+
+    def test_flag_state_never_changes_values(self):
+        base = _route()
+        optimized = base.evolve(med=42, communities=frozenset({"64500:9"}))
+        with perfopts.configured(intern_routes=False):
+            plain = base.evolve(med=42, communities=frozenset({"64500:9"}))
+        assert optimized == plain
+        assert optimized.canonical_key() == plain.canonical_key()
+        assert hash(optimized) == hash(plain)
+
+
+class TestPickling:
+    def test_route_pickles_fields_only(self):
+        route = _route()
+        route.attribute_key()  # warm the cache slots
+        clone = pickle.loads(pickle.dumps(route))
+        # Cache slots must not travel: hashes of interned strings are
+        # per-process, so a shipped cache would poison the receiving side.
+        # (Checked before ``==``, which itself warms the clone's caches.)
+        assert getattr(clone, "_attribute_key", None) is None
+        assert getattr(clone, "_canonical_key", None) is None
+        assert clone == route

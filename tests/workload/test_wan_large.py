@@ -1,0 +1,85 @@
+"""Large-preset WAN generation: determinism and inventory invariants (S3).
+
+The large benchmark tier only produces comparable numbers if the generator
+is a pure function of its parameters: the same seed must yield the same
+topology byte-for-byte, and the inventory must match the closed-form counts
+the presets promise (the paper-scale preset is advertised as ~2000 WAN
+routers + O(10^4) DCN cores — that arithmetic is pinned here, not in docs).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload.wan import WanParams, generate_wan, wan_fingerprint
+
+LARGE_PRESETS = [WanParams.large_smoke, WanParams.large]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("preset", LARGE_PRESETS, ids=lambda p: p.__name__)
+    def test_same_seed_same_fingerprint(self, preset):
+        first, _ = generate_wan(preset(seed=7))
+        second, _ = generate_wan(preset(seed=7))
+        assert wan_fingerprint(first) == wan_fingerprint(second)
+
+    def test_different_seed_different_fingerprint(self):
+        a, _ = generate_wan(WanParams.large_smoke(seed=7))
+        b, _ = generate_wan(WanParams.large_smoke(seed=8))
+        # The seed drives vendor assignment and the random inter-region
+        # chords; a different seed must not silently produce the same WAN.
+        assert wan_fingerprint(a) != wan_fingerprint(b)
+
+    def test_fingerprint_covers_sessions(self):
+        # Two models with identical routers/links but different BGP session
+        # detail must not collide: perturb one import policy.
+        model, inventory = generate_wan(WanParams.large_smoke(seed=7))
+        reference = wan_fingerprint(model)
+        device = model.device(inventory.cores[0])
+        device.peers[0].import_policy = "perturbed-policy"
+        assert wan_fingerprint(model) != reference
+
+
+class TestInventoryInvariants:
+    @pytest.mark.parametrize("preset", LARGE_PRESETS, ids=lambda p: p.__name__)
+    def test_counts_match_closed_form(self, preset):
+        params = preset()
+        model, inventory = generate_wan(params)
+        expected = params.expected_router_counts()
+        assert len(inventory.rrs) == expected["rrs"]
+        assert len(inventory.cores) == expected["cores"]
+        assert len(inventory.borders) == expected["borders"]
+        assert len(inventory.dc_edges) == expected["dc_edges"]
+        assert len(inventory.isps) == expected["isps"]
+        assert len(inventory.dcn_cores) == expected["dcn_cores"]
+        assert len(inventory.wan_routers) == params.expected_wan_routers()
+        assert len(model.devices) == params.expected_total_routers()
+
+    @pytest.mark.parametrize("preset", LARGE_PRESETS, ids=lambda p: p.__name__)
+    def test_link_count_within_closed_form_bounds(self, preset):
+        params = preset()
+        model, _ = generate_wan(params)
+        low, high = params.expected_link_bounds()
+        assert low <= len(model.topology.links) <= high
+
+    def test_regions_partition_the_wan(self):
+        params = WanParams.large_smoke()
+        _, inventory = generate_wan(params)
+        assert len(inventory.regions) == params.regions
+        by_region = [name for members in inventory.regions.values() for name in members]
+        assert sorted(by_region) == sorted(inventory.wan_routers)
+
+    def test_paper_scale_preset_matches_the_paper(self):
+        params = WanParams.paper_scale()
+        counts = params.expected_router_counts()
+        assert params.expected_wan_routers() == 2000
+        assert counts["dcn_cores"] == 10_200  # O(10^4) DCN core layer
+        assert counts["isps"] == 200
+
+    def test_default_params_still_satisfy_closed_form(self):
+        # The invariants hold at every scale, not just the presets.
+        params = WanParams()
+        model, _ = generate_wan(params)
+        assert len(model.devices) == params.expected_total_routers()
+        low, high = params.expected_link_bounds()
+        assert low <= len(model.topology.links) <= high
