@@ -295,6 +295,91 @@ def bench_distributed_e2e(repeats: int) -> Dict[str, Any]:
     }
 
 
+def bench_serve_warm(
+    regions: int, n_prefixes: int, n_flows: int, repeats: int
+) -> Dict[str, Any]:
+    """Warm daemon-state verify vs. cold one-shot (the serve hot path).
+
+    The cold arm is what ``repro verify`` does on every invocation: build a
+    fresh :class:`ChangeVerifier`, pay ``prepare_base`` (base simulation +
+    snapshots), then verify. The warm arm is what the daemon does for a
+    repeated request: hash the snapshot file, hit the result cache keyed by
+    (model hash, request fingerprint), return the recorded verdict. Both
+    arms must agree byte-for-byte on verdict and ``rib_fingerprint`` —
+    asserted on every report run.
+    """
+    import pickle
+    import tempfile
+
+    from repro.core import ChangeVerifier
+    from repro.core.planjson import plan_from_json
+    from repro.distsim import rib_fingerprint
+    from repro.serve.runner import execute_spec
+    from repro.serve.state import HotState
+
+    model, inventory = generate_wan(WanParams(regions=regions, seed=7))
+    inputs = generate_input_routes(inventory, n_prefixes=n_prefixes, seed=8)
+    flows = generate_flows(inventory, inputs, n_flows=n_flows, seed=9)
+    plan_data = {
+        "name": "serve-warm",
+        "change_type": "static-route-modification",
+        "rcl_intents": ["PRE = POST"],
+    }
+
+    handle = tempfile.NamedTemporaryFile(suffix=".pkl", delete=False)
+    try:
+        pickle.dump(
+            {"model": model, "routes": inputs, "flows": flows},
+            handle,
+            protocol=4,
+        )
+        handle.close()
+
+        def cold():
+            verifier = ChangeVerifier(model, inputs, flows)
+            return verifier.verify(plan_from_json(dict(plan_data)))
+
+        cold_seconds, report = _best_of(cold, repeats)
+
+        state = HotState()
+        spec = {
+            "kind": "verify",
+            "snapshot_path": handle.name,
+            "plan": plan_data,
+        }
+        execute_spec(spec, state)  # warm-up: pays prepare_base once
+
+        def warm():
+            return execute_spec(spec, state)
+
+        warm_seconds, warm_result = _best_of(warm, repeats)
+        assert warm_result["cache"] == "hit", "expected a result-cache hit"
+        fingerprint = rib_fingerprint(report.updated_world.device_ribs).hex()
+        assert warm_result["rib_fingerprint"] == fingerprint, (
+            "daemon and one-shot verify disagree on the updated world"
+        )
+        assert warm_result["verdict"] == ("pass" if report.ok else "risk")
+    finally:
+        handle.close()
+        os.unlink(handle.name)
+    return {
+        "cold_one_shot_seconds": round(cold_seconds, 4),
+        "warm_daemon_seconds": round(warm_seconds, 6),
+        "speedup": (
+            round(cold_seconds / warm_seconds, 1) if warm_seconds else None
+        ),
+        "regions": regions,
+        "prefixes": n_prefixes,
+        "flows": n_flows,
+        "fingerprint": warm_result["rib_fingerprint"][:16],
+        "note": (
+            "identical request + identical snapshot content; warm arm is a "
+            "result-cache hit against the daemon's hot state, verdict and "
+            "rib_fingerprint byte-identical to the cold one-shot run"
+        ),
+    }
+
+
 # -- the large tier ------------------------------------------------------------
 
 
@@ -446,10 +531,12 @@ def run_benchmarks(smoke: bool = False, large: bool = False) -> Dict[str, Any]:
         "route_sim_small": bench_route_sim(2, 50, repeats),
         "policy_eval": bench_policy_eval(repeats, rounds=10 if smoke else 40),
         "traffic_sim_small": bench_traffic_sim(2, 40, 300, repeats),
+        "serve_warm_small": bench_serve_warm(2, 40, 300, repeats),
     }
     if not smoke:
         scenarios["route_sim_medium"] = bench_route_sim(4, 200, repeats)
         scenarios["traffic_sim_medium"] = bench_traffic_sim(3, 120, 1500, repeats)
+        scenarios["serve_warm"] = bench_serve_warm(3, 120, 1500, repeats)
         scenarios["distributed_route_e2e"] = bench_distributed_e2e(repeats)
     if large:
         scenarios.update(run_large_benchmarks(preset="large_smoke"))
@@ -508,6 +595,14 @@ def check_smoke(
     if committed is None:
         return failures  # first run: nothing to compare against
     for name, data in current["scenarios"].items():
+        if name.startswith("serve_warm"):
+            # Hard floor from the serve acceptance criteria, not a relative
+            # check: a warm daemon answer must beat the cold one-shot >=5x.
+            speedup = data.get("speedup")
+            if speedup is not None and speedup < 5.0:
+                failures.append(
+                    f"{name}.speedup: {speedup}x < 5.0x warm-over-cold floor"
+                )
         baseline = committed.get("scenarios", {}).get(name)
         if baseline is None:
             continue

@@ -12,7 +12,10 @@ high-risk, manually designed changes) and a REST API (for automated ones)
 * ``repro audit`` — run the daily configuration audits;
 * ``repro rcl`` — parse/size-check an RCL specification;
 * ``repro vsb`` — print the vendor-behaviour differential-test table;
-* ``repro chaos`` — run the seeded fault-injection invariant check.
+* ``repro chaos`` — run the seeded fault-injection invariant check;
+* ``repro serve`` — run the long-lived verification service daemon;
+* ``repro submit`` / ``status`` / ``result`` / ``cancel`` / ``shutdown`` —
+  the thin client for a running daemon.
 
 Global flags: ``--log-level`` enables the package's structured event log on
 stderr; ``repro verify --trace out.json`` writes the run's span tree and
@@ -29,6 +32,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pickle
 import sys
 from typing import List, Optional
@@ -37,18 +41,9 @@ from repro.core import (
     Auditor,
     ChangePlan,
     ChangeVerifier,
-    FlowsTraverse,
-    NoOverloadedLinks,
-    PrefixReaches,
-    RclIntent,
-    add_link,
-    add_router,
     completeness_warnings,
-    fail_link,
-    remove_link,
-    remove_router,
 )
-from repro.core.intents import flows_to_prefix
+from repro.core.planjson import plan_from_json
 from repro.exec import (
     BACKEND_NAMES,
     CentralizedBackend,
@@ -179,46 +174,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
 
 def _plan_from_json(data: dict, flows_available: bool) -> ChangePlan:
     """Materialize a ChangePlan from its JSON description."""
-    intents: List = []
-    for spec in data.get("rcl_intents", []):
-        intents.append(RclIntent(spec))
-    for item in data.get("reachability_intents", []):
-        intents.append(
-            PrefixReaches(
-                item["prefix"],
-                item["devices"],
-                expect_present=item.get("present", True),
-            )
-        )
-    for item in data.get("path_intents", []):
-        if not flows_available:
-            continue
-        intents.append(
-            FlowsTraverse(flows_to_prefix(item["prefix"]), item["via"])
-        )
-    if data.get("no_overload", False):
-        intents.append(NoOverloadedLinks(threshold=data.get("threshold", 1.0)))
-
-    ops = []
-    op_builders = {
-        "add-router": lambda a: add_router(**a),
-        "remove-router": lambda a: remove_router(**a),
-        "add-link": lambda a: add_link(**a),
-        "remove-link": lambda a: remove_link(**a),
-        "fail-link": lambda a: fail_link(**a),
-    }
-    for op in data.get("topology_ops", []):
-        kind = op.pop("op")
-        ops.append(op_builders[kind](op))
-
-    return ChangePlan(
-        name=data.get("name", "cli-change"),
-        change_type=data["change_type"],
-        device_commands=data.get("device_commands", {}),
-        topology_ops=ops,
-        intents=intents,
-        description=data.get("description", ""),
-    )
+    return plan_from_json(data, flows_available=flows_available)
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
@@ -395,6 +351,131 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if failures == 0 else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the verification service daemon until SIGTERM (graceful drain)."""
+    from repro.serve.server import run_daemon
+
+    def on_ready(daemon) -> None:
+        print(
+            f"repro-serve listening on {daemon.host}:{daemon.port} "
+            f"({args.slots} slots)",
+            flush=True,
+        )
+
+    run_daemon(
+        host=args.host,
+        port=args.port,
+        slots=args.slots,
+        max_active_per_tenant=args.max_active_per_tenant,
+        on_ready=on_ready,
+    )
+    print("repro-serve drained and stopped")
+    return 0
+
+
+def _serve_client(args: argparse.Namespace):
+    from repro.serve import ServeClient
+
+    return ServeClient(
+        host=args.host, port=args.port, connect_retries=args.connect_retries
+    )
+
+
+def _serve_job_exit(record: dict) -> int:
+    """Print a terminal job record; exit codes mirror one-shot ``verify``."""
+    state = record["state"]
+    if state == "done":
+        result = record.get("result", {})
+        if "verdict" in result:
+            print(result.get("summary", result["verdict"]))
+            print(f"cache: {result.get('cache')}  "
+                  f"rib_fingerprint: {result.get('rib_fingerprint')}")
+            return 0 if result.get("ok", False) else 1
+        print(json.dumps(result, sort_keys=True))
+        return 0
+    print(f"job {record['job_id']} {state}: {record.get('error', '')}")
+    return EXIT_TASK_FAILED
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.serve import ServerError
+
+    spec: dict = {
+        "kind": args.kind,
+        "tenant": args.tenant,
+        "priority": args.priority,
+        "isolation": args.isolation,
+    }
+    if args.snapshot:
+        spec["snapshot_path"] = os.path.abspath(args.snapshot)
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            spec["plan"] = json.load(handle)
+    if args.backend:
+        spec["backend"] = args.backend
+    if args.no_cache:
+        spec["no_cache"] = True
+    with _serve_client(args) as client:
+        try:
+            job_id = client.submit(spec)
+        except ServerError as exc:
+            print(f"submit rejected ({exc.code}): {exc}")
+            return EXIT_TASK_FAILED
+        print(f"submitted {job_id}")
+        if args.follow:
+            for event in client.events(job_id):
+                print(json.dumps(event, sort_keys=True))
+        if args.wait or args.follow:
+            return _serve_job_exit(client.result(job_id, wait=True))
+    return 0
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.serve import ServerError
+
+    with _serve_client(args) as client:
+        try:
+            record = client.status(args.job_id)
+        except ServerError as exc:
+            print(f"status failed ({exc.code}): {exc}")
+            return EXIT_TASK_FAILED
+    print(json.dumps(record, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_result(args: argparse.Namespace) -> int:
+    from repro.serve import ServerError
+
+    with _serve_client(args) as client:
+        try:
+            record = client.result(args.job_id, wait=args.wait)
+        except ServerError as exc:
+            print(f"result failed ({exc.code}): {exc}")
+            return EXIT_TASK_FAILED
+    return _serve_job_exit(record)
+
+
+def cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.serve import ServerError
+
+    with _serve_client(args) as client:
+        try:
+            response = client.cancel(args.job_id)
+        except ServerError as exc:
+            print(f"cancel failed ({exc.code}): {exc}")
+            return EXIT_TASK_FAILED
+    print(f"{response['job_id']}: state={response['state']} "
+          f"cancel_requested={response['cancel_requested']}")
+    return 0
+
+
+def cmd_shutdown(args: argparse.Namespace) -> int:
+    with _serve_client(args) as client:
+        client.shutdown(drain=not args.no_drain)
+    print("shutdown requested" + (" (no drain)" if args.no_drain else " (drain)"))
+    return 0
+
+
 def cmd_vsb(args: argparse.Namespace) -> int:
     from repro.diagnosis.difftest import detect_vsbs
     from repro.net.vendors import get_profile
@@ -507,6 +588,73 @@ def build_parser() -> argparse.ArgumentParser:
     vsb.add_argument("--vendor-a", default="vendor-a")
     vsb.add_argument("--vendor-b", default="vendor-b")
     vsb.set_defaults(func=cmd_vsb)
+
+    from repro.serve.protocol import DEFAULT_HOST, DEFAULT_PORT
+
+    def _add_client_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("--host", default=DEFAULT_HOST)
+        parser.add_argument("--port", type=int, default=DEFAULT_PORT)
+        parser.add_argument(
+            "--connect-retries", type=int, default=25,
+            help="connection retries while the daemon is still starting",
+        )
+
+    serve = sub.add_parser(
+        "serve", help="run the verification service daemon"
+    )
+    serve.add_argument("--host", default=DEFAULT_HOST)
+    serve.add_argument("--port", type=int, default=DEFAULT_PORT)
+    serve.add_argument("--slots", type=int, default=2,
+                       help="concurrent worker slots")
+    serve.add_argument("--max-active-per-tenant", type=int, default=8,
+                       help="per-tenant queued+running quota")
+    serve.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a job to a running daemon")
+    submit.add_argument("snapshot", nargs="?",
+                        help="snapshot .pkl (on the daemon's filesystem)")
+    submit.add_argument("plan", nargs="?",
+                        help="change-plan JSON (verify / what-if jobs)")
+    submit.add_argument("--kind", default="verify",
+                        choices=["verify", "whatif", "simulate", "sleep"])
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", default="normal",
+                        choices=["high", "normal", "batch"])
+    submit.add_argument("--isolation", default="thread",
+                        choices=["thread", "process"])
+    submit.add_argument("--backend", choices=list(BACKEND_NAMES),
+                        help="execution backend for the job")
+    submit.add_argument("--no-cache", action="store_true",
+                        help="bypass the daemon's result cache")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job finishes; exit like verify")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream NDJSON progress events (implies --wait)")
+    _add_client_options(submit)
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser("status", help="show a submitted job's record")
+    status.add_argument("job_id")
+    _add_client_options(status)
+    status.set_defaults(func=cmd_status)
+
+    result = sub.add_parser("result", help="fetch a job's terminal result")
+    result.add_argument("job_id")
+    result.add_argument("--wait", action="store_true",
+                        help="block until the job reaches a terminal state")
+    _add_client_options(result)
+    result.set_defaults(func=cmd_result)
+
+    cancel = sub.add_parser("cancel", help="cancel a queued or running job")
+    cancel.add_argument("job_id")
+    _add_client_options(cancel)
+    cancel.set_defaults(func=cmd_cancel)
+
+    shutdown = sub.add_parser("shutdown", help="stop a running daemon")
+    shutdown.add_argument("--no-drain", action="store_true",
+                          help="abort running jobs instead of draining")
+    _add_client_options(shutdown)
+    shutdown.set_defaults(func=cmd_shutdown)
     return parser
 
 

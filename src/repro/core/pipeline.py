@@ -159,6 +159,7 @@ class ChangeVerifier:
         incremental: bool = True,
         backend: Optional[ExecutionBackend] = None,
         ctx: Optional[RunContext] = None,
+        snapshot_store=None,
     ) -> None:
         self.base_model = base_model
         self.input_routes = list(input_routes)
@@ -171,7 +172,9 @@ class ChangeVerifier:
         self._base_world: Optional[World] = None
         self._base_igp: Optional[IgpState] = None
         self._base_local_inputs: Optional[Dict[str, List[InputRoute]]] = None
-        self._engine = IncrementalEngine(base_model)
+        # ``snapshot_store`` lets a long-lived owner (the serve daemon)
+        # inject a byte-budgeted RibSnapshotStore shared across verifiers.
+        self._engine = IncrementalEngine(base_model, snapshots=snapshot_store)
         if backend is None:
             if distributed:
                 backend = DistributedBackend(

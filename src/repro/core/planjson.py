@@ -1,0 +1,91 @@
+"""Materialize :class:`~repro.core.change_plan.ChangePlan` from JSON.
+
+The JSON shape is the one the CLI's ``repro verify`` accepts and the serve
+daemon's ``verify`` / ``whatif`` jobs carry on the wire:
+
+.. code-block:: json
+
+    {
+      "name": "drop-link",
+      "change_type": "topology-adjustment",
+      "device_commands": {"router": ["..."]},
+      "topology_ops": [{"op": "fail-link", "a": "r1", "b": "r2"}],
+      "rcl_intents": ["PRE = POST"],
+      "reachability_intents": [{"prefix": "10.0.0.0/24", "devices": ["r1"]}],
+      "path_intents": [{"prefix": "10.0.0.0/24", "via": ["r2"]}],
+      "no_overload": true,
+      "threshold": 1.0
+    }
+
+``path_intents`` require traffic flows; with ``flows_available=False`` they
+are skipped (matching the one-shot CLI's behaviour on flow-less snapshots).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.change_plan import (
+    ChangePlan,
+    add_link,
+    add_router,
+    fail_link,
+    remove_link,
+    remove_router,
+)
+from repro.core.intents import (
+    FlowsTraverse,
+    NoOverloadedLinks,
+    PrefixReaches,
+    RclIntent,
+    flows_to_prefix,
+)
+
+_OP_BUILDERS = {
+    "add-router": lambda a: add_router(**a),
+    "remove-router": lambda a: remove_router(**a),
+    "add-link": lambda a: add_link(**a),
+    "remove-link": lambda a: remove_link(**a),
+    "fail-link": lambda a: fail_link(**a),
+}
+
+
+def plan_from_json(data: Dict, flows_available: bool = True) -> ChangePlan:
+    """Materialize a ChangePlan from its JSON description."""
+    intents: List = []
+    for spec in data.get("rcl_intents", []):
+        intents.append(RclIntent(spec))
+    for item in data.get("reachability_intents", []):
+        intents.append(
+            PrefixReaches(
+                item["prefix"],
+                item["devices"],
+                expect_present=item.get("present", True),
+            )
+        )
+    for item in data.get("path_intents", []):
+        if not flows_available:
+            continue
+        intents.append(
+            FlowsTraverse(flows_to_prefix(item["prefix"]), item["via"])
+        )
+    if data.get("no_overload", False):
+        intents.append(NoOverloadedLinks(threshold=data.get("threshold", 1.0)))
+
+    ops = []
+    for op in data.get("topology_ops", []):
+        op = dict(op)
+        kind = op.pop("op")
+        ops.append(_OP_BUILDERS[kind](op))
+
+    return ChangePlan(
+        name=data.get("name", "json-change"),
+        change_type=data["change_type"],
+        device_commands=data.get("device_commands", {}),
+        topology_ops=ops,
+        intents=intents,
+        description=data.get("description", ""),
+    )
+
+
+__all__ = ["plan_from_json"]

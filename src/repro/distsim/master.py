@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from repro import perfopts
 from repro.distsim import shipping
 from repro.distsim.chaos import ChaosEngine, ChaosMessageQueue, ChaosObjectStore, ChaosPolicy
 from repro.distsim.mq import DeadLetter, DeadLetterQueue, Message, MessageQueue
@@ -351,22 +352,29 @@ class _TaskRunner:
             for index in range(max(1, workers))
         ]
 
+        # Worker threads re-enter the dispatching thread's effective perf
+        # flags: scoped overrides (per-job flags under `repro serve`) are
+        # thread-local and would otherwise fall back to the process base.
+        opts = perfopts.effective()
+
         def loop(worker: Worker) -> None:
-            while True:
-                message = self.mq.pop()
-                if message is None:
-                    return
-                try:
-                    worker.handle(message)
-                except Exception as exc:  # noqa: BLE001 - never lose a failure
-                    # handle() records its own failures; this guards crashes
-                    # outside it so a worker thread can't die silently.
-                    self.db.mark_failed(
-                        message.subtask_id,
-                        message.kind,
-                        f"worker loop error: {type(exc).__name__}: {exc}",
-                        attempts=message.attempt,
-                    )
+            with perfopts.applied(opts):
+                while True:
+                    message = self.mq.pop()
+                    if message is None:
+                        return
+                    try:
+                        worker.handle(message)
+                    except Exception as exc:  # noqa: BLE001 - never lose a failure
+                        # handle() records its own failures; this guards
+                        # crashes outside it so a worker thread can't die
+                        # silently.
+                        self.db.mark_failed(
+                            message.subtask_id,
+                            message.kind,
+                            f"worker loop error: {type(exc).__name__}: {exc}",
+                            attempts=message.attempt,
+                        )
 
         while True:
             ctx.count("distsim.rounds")

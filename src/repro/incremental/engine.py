@@ -139,6 +139,7 @@ class IncrementalEngine:
             if ctx
             else nullcontext()
         ):
+            evictions_before = self.snapshots.stats.lru_evictions
             self.snapshots.invalidate(BASE_WORLD_TOKEN)
             self._snapshot_keys = {
                 name: self.snapshots.put(
@@ -146,6 +147,9 @@ class IncrementalEngine:
                 )
                 for name, rib in device_ribs.items()
             }
+            evicted = self.snapshots.stats.lru_evictions - evictions_before
+            if ctx and evicted:
+                ctx.count("snapshots.lru_evicted", evicted)
 
     def base_rib(self, name: str, fallback: DeviceRib) -> DeviceRib:
         """Fetch a base device RIB, preferring the snapshot store."""

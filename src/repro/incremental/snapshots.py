@@ -15,13 +15,24 @@ device is a no-op (a *put hit*). Each snapshot registers one or more
 token evicts every snapshot that depends on it, both from the store and the
 materialized cache. ``ChangeVerifier`` invalidates ``base-world`` whenever
 the base simulation is (re)prepared.
+
+**Byte budget.** A long-lived daemon (``repro serve``) keeps many base
+worlds' snapshots alive at once, so the store optionally enforces an LRU
+byte budget: construct with ``max_bytes`` and the store evicts
+least-recently-used snapshots (by serialized size) once the budget is
+exceeded. Eviction is always safe — every reader
+(:meth:`~repro.incremental.engine.IncrementalEngine.base_rib`) falls back
+to the in-memory base world when a snapshot is gone. ``on_evict`` lets an
+owner observe evictions (the serve daemon mirrors them into a
+``snapshots.lru_evicted`` RunContext counter).
 """
 
 from __future__ import annotations
 
 import hashlib
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, Optional, Set
+from typing import Any, Callable, Dict, Iterable, Optional, Set
 
 from repro.distsim.storage import ObjectNotFound, ObjectStore
 from repro.routing.rib import DeviceRib
@@ -60,6 +71,8 @@ class SnapshotStats:
     get_hits: int = 0  #: reads served from the materialized cache
     get_cold: int = 0  #: reads that had to unpickle from the object store
     invalidations: int = 0  #: snapshots evicted via dependency tokens
+    lru_evictions: int = 0  #: snapshots evicted by the byte budget
+    lru_evicted_bytes: int = 0  #: serialized bytes reclaimed by the budget
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -68,17 +81,40 @@ class SnapshotStats:
             "get_hits": self.get_hits,
             "get_cold": self.get_cold,
             "invalidations": self.invalidations,
+            "lru_evictions": self.lru_evictions,
+            "lru_evicted_bytes": self.lru_evicted_bytes,
         }
 
 
 class RibSnapshotStore:
-    """Content-addressed per-device RIB snapshots over an ObjectStore."""
+    """Content-addressed per-device RIB snapshots over an ObjectStore.
 
-    def __init__(self, store: Optional[ObjectStore] = None) -> None:
+    ``max_bytes`` (optional) bounds the total serialized size held; the
+    least-recently-touched snapshots are dropped once the budget is
+    exceeded. ``on_evict(key, size_bytes)`` is called once per
+    budget-evicted snapshot.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ObjectStore] = None,
+        max_bytes: Optional[int] = None,
+        on_evict: Optional[Callable[[str, int], None]] = None,
+    ) -> None:
         self.store = store if store is not None else ObjectStore()
         self.stats = SnapshotStats()
+        self.max_bytes = max_bytes
+        self.on_evict = on_evict
         self._materialized: Dict[str, Any] = {}
         self._dependents: Dict[str, Set[str]] = {}
+        #: key -> serialized size, in least-recently-used order (front = LRU)
+        self._sizes: "OrderedDict[str, int]" = OrderedDict()
+        self._total_bytes = 0
+
+    @property
+    def total_bytes(self) -> int:
+        """Serialized bytes currently held (budget-tracked keys only)."""
+        return self._total_bytes
 
     def put(self, rib: DeviceRib, deps: Iterable[str] = ()) -> str:
         """Snapshot a device RIB; returns its content-addressed key.
@@ -89,14 +125,17 @@ class RibSnapshotStore:
         key = KEY_PREFIX + device_rib_fingerprint(rib)
         if self.store.exists(key):
             self.stats.put_hits += 1
+            self._touch(key)
         else:
-            self.store.put(key, rib)
+            size = self.store.put(key, rib)
             self.stats.put_stores += 1
+            self._track(key, size)
         # Keep the exact object that was snapshotted on hand: readers on this
         # process get it back without an unpickle round trip.
         self._materialized[key] = rib
         for token in deps:
             self._dependents.setdefault(token, set()).add(key)
+        self._enforce_budget()
         return key
 
     def get(self, key: str) -> DeviceRib:
@@ -104,10 +143,12 @@ class RibSnapshotStore:
         cached = self._materialized.get(key)
         if cached is not None:
             self.stats.get_hits += 1
+            self._touch(key)
             return cached
         rib = self.store.get(key)  # raises ObjectNotFound for unknown keys
         self._materialized[key] = rib
         self.stats.get_cold += 1
+        self._touch(key)
         return rib
 
     def contains(self, key: str) -> bool:
@@ -124,8 +165,7 @@ class RibSnapshotStore:
         for key in keys:
             if key in self._materialized or self.store.exists(key):
                 evicted += 1
-            self._materialized.pop(key, None)
-            self.store.delete(key)
+            self._drop(key)
         # Drop dangling references from other tokens to the evicted keys.
         for dependents in self._dependents.values():
             dependents.difference_update(keys)
@@ -134,6 +174,38 @@ class RibSnapshotStore:
 
     def __len__(self) -> int:
         return len(self.store.keys(KEY_PREFIX))
+
+    # -- byte budget -----------------------------------------------------------
+
+    def _track(self, key: str, size: int) -> None:
+        if key not in self._sizes:
+            self._total_bytes += size
+        self._sizes[key] = size
+        self._sizes.move_to_end(key)
+
+    def _touch(self, key: str) -> None:
+        if key in self._sizes:
+            self._sizes.move_to_end(key)
+
+    def _drop(self, key: str) -> None:
+        self._materialized.pop(key, None)
+        self.store.delete(key)
+        size = self._sizes.pop(key, None)
+        if size is not None:
+            self._total_bytes -= size
+
+    def _enforce_budget(self) -> None:
+        if self.max_bytes is None:
+            return
+        while self._total_bytes > self.max_bytes and self._sizes:
+            key, size = next(iter(self._sizes.items()))
+            self._drop(key)
+            for dependents in self._dependents.values():
+                dependents.discard(key)
+            self.stats.lru_evictions += 1
+            self.stats.lru_evicted_bytes += size
+            if self.on_evict is not None:
+                self.on_evict(key, size)
 
 
 __all__ = [

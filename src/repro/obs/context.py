@@ -18,7 +18,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from repro.obs.logconfig import get_logger
 
@@ -129,6 +129,52 @@ class RunContext:
         self._lock = threading.Lock()
         self._stacks = threading.local()
         self._log = get_logger(logger_name)
+        self._span_subs: List[Callable[[Dict[str, Any]], None]] = []
+        self._counter_subs: List[Callable[[Dict[str, Any]], None]] = []
+
+    # -- subscriptions --------------------------------------------------------
+
+    def subscribe(
+        self,
+        callback: Callable[[Dict[str, Any]], None],
+        spans: bool = True,
+        counters: bool = False,
+    ) -> Callable[[], None]:
+        """Register a live observer of this context; returns an unsubscriber.
+
+        ``callback`` receives one dict per event, on whatever thread produced
+        it: ``{"kind": "span_close", "name", "duration_seconds", "meta"}``
+        when a span closes, and (with ``counters=True``)
+        ``{"kind": "counter", "name", "value", "span"}`` on every counter
+        update. This is how a long-lived server streams progress without
+        polling the tree; serialization (:meth:`to_dict`, the trace file) is
+        unaffected by subscriptions. Callbacks run outside the context's
+        lock and must not raise; exceptions are swallowed after a debug log.
+        """
+        with self._lock:
+            if spans:
+                self._span_subs.append(callback)
+            if counters:
+                self._counter_subs.append(callback)
+
+        def unsubscribe() -> None:
+            with self._lock:
+                if callback in self._span_subs:
+                    self._span_subs.remove(callback)
+                if callback in self._counter_subs:
+                    self._counter_subs.remove(callback)
+
+        return unsubscribe
+
+    def _notify(
+        self, subscribers: List[Callable[[Dict[str, Any]], None]],
+        event: Dict[str, Any],
+    ) -> None:
+        for callback in subscribers:
+            try:
+                callback(event)
+            except Exception:  # noqa: BLE001 - observers must not kill the run
+                self._log.debug("subscriber failed on %s", event, exc_info=True)
 
     # -- spans ----------------------------------------------------------------
 
@@ -166,6 +212,16 @@ class RunContext:
                     child.duration,
                     "".join(f" {k}={v}" for k, v in child.meta.items()),
                 )
+            if self._span_subs:
+                self._notify(
+                    list(self._span_subs),
+                    {
+                        "kind": "span_close",
+                        "name": name,
+                        "duration_seconds": round(child.duration, 6),
+                        "meta": dict(child.meta),
+                    },
+                )
 
     # -- counters -------------------------------------------------------------
 
@@ -174,6 +230,12 @@ class RunContext:
         span = self.current
         with self._lock:
             span.counters[name] = span.counters.get(name, 0.0) + value
+        if self._counter_subs:
+            self._notify(
+                list(self._counter_subs),
+                {"kind": "counter", "name": name, "value": value,
+                 "span": span.name},
+            )
 
     def set_max(self, name: str, value: float) -> None:
         """Record a high-water gauge: keep the max seen, not the sum.

@@ -5,23 +5,38 @@ memoization, compiled prefix-list tries, per-run IGP-cost memoization,
 parse-time interning of addresses and prefixes). They are all *semantically
 transparent*: enabled or disabled, a simulation must produce byte-identical
 RIBs and statistics. This module is the single switchboard that turns them
-off, which exists for two reasons:
+off, which exists for three reasons:
 
 * the perf harness (``benchmarks/perf``) measures the unoptimized baseline
   by disabling the caches, so ``BENCH_perf.json`` carries true
-  before/after numbers on the same code revision; and
+  before/after numbers on the same code revision;
 * the soundness test suite re-runs seeded simulations with every cache
-  disabled and asserts the results are identical to the cached run.
+  disabled and asserts the results are identical to the cached run; and
+* the ``repro serve`` daemon runs concurrent jobs that may request
+  different flag sets, which must not leak into each other.
 
-Use :func:`all_disabled` as a context manager, or flip individual flags on
-:data:`OPTS` (tests should always restore them).
+**Scoping.** :data:`OPTS` looks like a plain :class:`PerfOptions` instance
+but is a proxy: attribute reads consult the calling thread's override
+frames first and fall back to the process-wide base options. The context
+managers (:func:`configured`, :func:`all_disabled`, :func:`applied`) push a
+per-thread frame, so two threads inside different ``configured()`` blocks
+see different flags — this is what isolates concurrent server jobs. A bare
+``OPTS.policy_cache = False`` outside any frame still mutates the
+process-wide base, preserving the historical single-threaded behaviour.
+
+Worker threads spawned *inside* a scoped block (distsim thread pools,
+parallel traffic batches) do not inherit thread-local frames automatically;
+the spawn sites capture :func:`effective` in the parent and re-enter it via
+:func:`applied` in the child. Process pools inherit the forking thread's
+frames through ``fork`` (the platform default used here).
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
-from typing import Iterator
+from typing import Dict, Iterator, List
 
 
 @dataclass
@@ -57,42 +72,102 @@ class PerfOptions:
     shm_ship: bool = True
 
 
+_FIELD_NAMES = tuple(f.name for f in fields(PerfOptions))
+
+#: Process-wide base values, read when no thread-local frame overrides them.
+_BASE = PerfOptions()
+
+
+class _OptionsProxy:
+    """Thread-scoped view over the process-wide :class:`PerfOptions`.
+
+    Reads walk the calling thread's frame stack innermost-first, then fall
+    back to the base. Writes land in the innermost frame when one is open
+    (so mutations inside ``configured()`` stay scoped to that thread and
+    block) and in the process-wide base otherwise.
+    """
+
+    __slots__ = ("_tls",)
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_tls", threading.local())
+
+    def _frames(self) -> List[Dict[str, bool]]:
+        frames = getattr(self._tls, "frames", None)
+        if frames is None:
+            frames = []
+            self._tls.frames = frames
+        return frames
+
+    def __getattr__(self, name: str) -> bool:
+        if name not in _FIELD_NAMES:
+            raise AttributeError(name)
+        for frame in reversed(self._frames()):
+            if name in frame:
+                return frame[name]
+        return getattr(_BASE, name)
+
+    def __setattr__(self, name: str, value: bool) -> None:
+        if name not in _FIELD_NAMES:
+            raise AttributeError(f"unknown perf option {name!r}")
+        frames = self._frames()
+        if frames:
+            frames[-1][name] = value
+        else:
+            setattr(_BASE, name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OPTS({effective()!r})"
+
+
 #: The process-wide option set consulted by the hot paths.
-OPTS = PerfOptions()
+OPTS = _OptionsProxy()
+
+
+def effective() -> PerfOptions:
+    """The calling thread's effective flags as a plain snapshot.
+
+    Capture this before handing work to a pool and re-enter it in the
+    worker via :func:`applied`, so worker threads run under the flags of
+    the code that spawned them rather than the process-wide base.
+    """
+    return PerfOptions(**{name: getattr(OPTS, name) for name in _FIELD_NAMES})
 
 
 def reset() -> None:
-    """Restore every flag to its default (all optimizations on)."""
+    """Restore every flag to its default (all optimizations on).
+
+    Clears the calling thread's override frames and resets the base.
+    """
+    OPTS._frames().clear()
     defaults = PerfOptions()
-    for f in fields(PerfOptions):
-        setattr(OPTS, f.name, getattr(defaults, f.name))
+    for name in _FIELD_NAMES:
+        setattr(_BASE, name, getattr(defaults, name))
 
 
 @contextmanager
-def all_disabled() -> Iterator[PerfOptions]:
-    """Temporarily disable every optimization layer."""
-    saved = {f.name: getattr(OPTS, f.name) for f in fields(PerfOptions)}
+def _frame(values: Dict[str, bool]) -> Iterator[PerfOptions]:
+    frames = OPTS._frames()
+    frames.append(dict(values))
     try:
-        for name in saved:
-            setattr(OPTS, name, False)
-        yield OPTS
+        yield OPTS  # type: ignore[misc]
     finally:
-        for name, value in saved.items():
-            setattr(OPTS, name, value)
+        frames.pop()
 
 
-@contextmanager
+def all_disabled() -> Iterator[PerfOptions]:
+    """Temporarily disable every optimization layer (calling thread only)."""
+    return _frame({name: False for name in _FIELD_NAMES})
+
+
 def configured(**flags: bool) -> Iterator[PerfOptions]:
-    """Temporarily set the given flags (by field name)."""
-    valid = {f.name for f in fields(PerfOptions)}
-    unknown = set(flags) - valid
+    """Temporarily set the given flags (by field name, calling thread only)."""
+    unknown = set(flags) - set(_FIELD_NAMES)
     if unknown:
         raise ValueError(f"unknown perf option(s): {sorted(unknown)}")
-    saved = {name: getattr(OPTS, name) for name in flags}
-    try:
-        for name, value in flags.items():
-            setattr(OPTS, name, value)
-        yield OPTS
-    finally:
-        for name, value in saved.items():
-            setattr(OPTS, name, value)
+    return _frame(flags)
+
+
+def applied(options: PerfOptions) -> Iterator[PerfOptions]:
+    """Temporarily apply a full :func:`effective` snapshot (all fields)."""
+    return _frame({name: getattr(options, name) for name in _FIELD_NAMES})

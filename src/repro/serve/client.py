@@ -1,0 +1,161 @@
+"""Blocking client for the serve daemon — what ``repro submit`` et al. use.
+
+One TCP connection, NDJSON frames both ways. The client is deliberately
+dependency-free (socket + ``makefile``) so it also serves as the reference
+implementation of the protocol for anyone integrating from another
+language.
+
+Error responses (``{"ok": false, ...}``) raise :class:`ServerError` with
+the server's error code so callers can branch on ``quota-exceeded``,
+``draining``, and friends without string matching.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Callable, Dict, Iterator, Optional
+
+from repro.serve.protocol import DEFAULT_HOST, DEFAULT_PORT, encode
+
+
+class ServerError(Exception):
+    """An ``ok: false`` response from the daemon."""
+
+    def __init__(self, message: str, code: str = "error") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """A blocking NDJSON client over one TCP connection."""
+
+    def __init__(
+        self,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        timeout: Optional[float] = None,
+        connect_retries: int = 0,
+        retry_interval: float = 0.2,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = self._connect(timeout, connect_retries, retry_interval)
+        self._reader = self._sock.makefile("rb")
+
+    def _connect(
+        self,
+        timeout: Optional[float],
+        retries: int,
+        interval: float,
+    ) -> socket.socket:
+        """Connect, retrying while the daemon is still coming up (CI races)."""
+        last_error: Optional[OSError] = None
+        for attempt in range(retries + 1):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=timeout
+                )
+                sock.settimeout(timeout)
+                return sock
+            except OSError as err:
+                last_error = err
+                if attempt < retries:
+                    time.sleep(interval)
+        assert last_error is not None
+        raise last_error
+
+    def close(self) -> None:
+        try:
+            self._reader.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- framing -----------------------------------------------------------------
+
+    def _send(self, message: Dict[str, Any]) -> None:
+        self._sock.sendall(encode(message))
+
+    def _recv(self) -> Dict[str, Any]:
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line.decode("utf-8"))
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request/response round trip; raises on error responses."""
+        self._send(message)
+        response = self._recv()
+        if not response.get("ok", False):
+            raise ServerError(
+                response.get("error", "unknown server error"),
+                code=response.get("code", "error"),
+            )
+        return response
+
+    # -- operations --------------------------------------------------------------
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def submit(self, job: Dict[str, Any]) -> str:
+        """Submit a job spec; returns the assigned job id."""
+        return self.request({"op": "submit", "job": job})["job_id"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "status", "job_id": job_id})["job"]
+
+    def result(self, job_id: str, wait: bool = False) -> Dict[str, Any]:
+        """The terminal job record; ``wait=True`` blocks until terminal."""
+        return self.request(
+            {"op": "result", "job_id": job_id, "wait": wait}
+        )["job"]
+
+    def wait(self, job_id: str) -> Dict[str, Any]:
+        return self.result(job_id, wait=True)
+
+    def events(
+        self,
+        job_id: str,
+        callback: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Iterator[Dict[str, Any]]:
+        """Iterate the job's event stream until its ``job.done`` sentinel.
+
+        The first frame may be an error response (unknown job), which
+        raises; afterwards every frame is a progress event. With
+        ``callback``, events are also forwarded as they arrive.
+        """
+        self._send({"op": "events", "job_id": job_id})
+        first = self._recv()
+        if first.get("ok") is False:
+            raise ServerError(
+                first.get("error", "unknown server error"),
+                code=first.get("code", "error"),
+            )
+        event = first
+        while True:
+            if callback is not None:
+                callback(event)
+            yield event
+            if event.get("event") == "job.done":
+                return
+            event = self._recv()
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self.request({"op": "cancel", "job_id": job_id})
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request({"op": "stats"})
+
+    def shutdown(self, drain: bool = True) -> Dict[str, Any]:
+        return self.request({"op": "shutdown", "drain": drain})
+
+
+__all__ = ["ServeClient", "ServerError"]

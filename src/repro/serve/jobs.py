@@ -1,0 +1,156 @@
+"""Job records, lifecycle states, and the in-memory job store.
+
+A job moves ``queued -> running -> done | failed | cancelled``; ``cancelled``
+is also reachable straight from ``queued``. Every transition and every
+progress event is appended to the record's event log, which the server
+streams to clients as NDJSON (late subscribers replay the log from the
+start, so the stream is complete regardless of when a client attaches).
+
+Events are appended from scheduler worker threads but consumed by asyncio
+handlers, so the record keeps a plain list guarded by the event-loop rule:
+:meth:`JobRecord.push_event` must run on the loop thread (the scheduler
+routes thread-side events through ``loop.call_soon_threadsafe``), and an
+``asyncio.Event`` wakes streaming consumers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = (DONE, FAILED, CANCELLED)
+
+
+@dataclass
+class JobRecord:
+    """One submitted job: spec, lifecycle, event log, result."""
+
+    job_id: str
+    tenant: str
+    kind: str
+    priority: str
+    priority_class: int
+    isolation: str
+    spec: Dict[str, Any]
+    seq: int
+    state: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    #: "hit" | "miss" once known (result cache disposition)
+    cache: Optional[str] = None
+    cancel_requested: bool = False
+    #: pid of the isolated worker process while running (process mode)
+    worker_pid: Optional[int] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    new_event: asyncio.Event = field(default_factory=asyncio.Event, repr=False)
+
+    @property
+    def finished(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def push_event(self, event: Dict[str, Any]) -> None:
+        """Append one event and wake streaming consumers (loop thread only)."""
+        self.events.append(event)
+        self.new_event.set()
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The wire representation returned by ``status``/``result``."""
+        record: Dict[str, Any] = {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "priority": self.priority,
+            "isolation": self.isolation,
+            "state": self.state,
+            "cache": self.cache,
+            "events": len(self.events),
+            "cancel_requested": self.cancel_requested,
+        }
+        if self.worker_pid is not None:
+            record["worker_pid"] = self.worker_pid
+        if self.started_at is not None and self.finished_at is not None:
+            record["run_seconds"] = round(self.finished_at - self.started_at, 6)
+        if self.result is not None:
+            record["result"] = self.result
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+
+class JobStore:
+    """Thread-safe registry of every job this daemon has seen."""
+
+    def __init__(self) -> None:
+        self._jobs: Dict[str, JobRecord] = {}
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+
+    def create(
+        self,
+        tenant: str,
+        kind: str,
+        priority: str,
+        priority_class: int,
+        isolation: str,
+        spec: Dict[str, Any],
+    ) -> JobRecord:
+        with self._lock:
+            seq = next(self._ids)
+            job = JobRecord(
+                job_id=f"job-{seq:06d}",
+                tenant=tenant,
+                kind=kind,
+                priority=priority,
+                priority_class=priority_class,
+                isolation=isolation,
+                spec=spec,
+                seq=seq,
+            )
+            self._jobs[job.job_id] = job
+            return job
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def all(self) -> List[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts_for(self, tenant: str) -> Dict[str, int]:
+        """Jobs per state for one tenant (quota accounting)."""
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for job in self._jobs.values():
+                if job.tenant == tenant:
+                    counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._jobs)
+
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "JobRecord",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+]

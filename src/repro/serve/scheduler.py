@@ -1,0 +1,338 @@
+"""Asyncio admission control for the serve daemon.
+
+Submissions land in a priority heap (``high`` < ``normal`` < ``batch``,
+FIFO within a class) guarded by per-tenant quotas; an admission loop on the
+event-loop thread dispatches to a bounded pool of worker slots. Two
+isolation modes:
+
+``thread``
+    The job runs on an executor thread *inside* the daemon process, sharing
+    the hot-state caches — the fast path. Cancellation is best-effort: the
+    runner checks for it at checkpoints, and a result that arrives after a
+    cancel request is discarded.
+``process``
+    The job runs in a forked worker process with a throwaway hot state,
+    supervised over a pipe from an executor thread. The worker can be
+    terminated (cancel) or die outright (crash, ``SIGKILL``) without
+    touching the daemon: the supervisor records the failure and the slot
+    goes back into rotation.
+
+Graceful drain (``SIGTERM`` / ``shutdown``): new submissions are rejected
+with :class:`DrainingError`, queued and running jobs finish, then
+:meth:`Scheduler.drain` resolves.
+
+Threading contract: every public method except the internal ``_execute*``
+family must be called on the event-loop thread. Worker threads talk back
+exclusively through ``loop.call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs import RunContext, ensure_context
+from repro.serve import jobs as jobstates
+from repro.serve.jobs import JobRecord, JobStore
+from repro.serve.protocol import PRIORITY_CLASSES
+from repro.serve.runner import JobCancelled, JobRunner, execute_spec
+from repro.serve.state import HotState
+
+
+class QuotaExceeded(Exception):
+    """A tenant is over its queued+running budget."""
+
+
+class DrainingError(Exception):
+    """The daemon is draining and accepts no new work."""
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """Per-tenant admission limits (counted over queued + running jobs)."""
+
+    max_active_per_tenant: int = 8
+
+    def check(self, tenant: str, counts: Dict[str, int]) -> None:
+        active = counts.get(jobstates.QUEUED, 0) + counts.get(
+            jobstates.RUNNING, 0
+        )
+        if active >= self.max_active_per_tenant:
+            raise QuotaExceeded(
+                f"tenant {tenant!r} already has {active} active jobs "
+                f"(limit {self.max_active_per_tenant})"
+            )
+
+
+def _process_entry(spec: Dict[str, Any], conn) -> None:
+    """Entry point of a forked worker: run the spec, ship back over the pipe."""
+    state = HotState(max_models=1)
+    try:
+        result = execute_spec(
+            spec, state, push_event=lambda event: conn.send(("event", event))
+        )
+        conn.send(("result", result))
+    except JobCancelled:
+        conn.send(("cancelled", None))
+    except BaseException:
+        conn.send(("error", traceback.format_exc(limit=20)))
+    finally:
+        conn.close()
+
+
+class Scheduler:
+    """Priority admission queue over a bounded worker-slot pool."""
+
+    def __init__(
+        self,
+        runner: Optional[JobRunner] = None,
+        slots: int = 2,
+        quotas: Optional[QuotaPolicy] = None,
+        ctx: Optional[RunContext] = None,
+    ) -> None:
+        self.runner = runner if runner is not None else JobRunner()
+        self.slots = slots
+        self.quotas = quotas if quotas is not None else QuotaPolicy()
+        self.ctx = ensure_context(ctx, "scheduler")
+        self.store = JobStore()
+        self._heap: List[Tuple[int, int, str]] = []  # (class, seq, job_id)
+        self._active = 0
+        self._draining = False
+        self._drained = asyncio.Event()
+        self._wakeup = asyncio.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._admission: Optional[asyncio.Task] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=max(1, slots), thread_name_prefix="serve-slot"
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def start(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._admission = self._loop.create_task(self._admission_loop())
+
+    def begin_drain(self) -> None:
+        """Flip to draining *now* (synchronous, so submits reject at once)."""
+        self._draining = True
+        self._wakeup.set()
+
+    async def drain(self) -> None:
+        """Reject new work, let queued + running jobs finish, then return."""
+        self.begin_drain()
+        await self._drained.wait()
+
+    async def stop(self, drain: bool = True) -> None:
+        if drain:
+            await self.drain()
+        else:
+            self.begin_drain()
+            for job in self.store.all():
+                if job.state == jobstates.QUEUED:
+                    self.request_cancel(job.job_id)
+                elif job.state == jobstates.RUNNING:
+                    job.cancel_requested = True
+            self._wakeup.set()
+            await self._drained.wait()
+        if self._admission is not None:
+            await self._admission
+            self._admission = None
+        self._executor.shutdown(wait=True)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- submission / cancellation (loop thread) ---------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> JobRecord:
+        if self._draining:
+            raise DrainingError("daemon is draining; not accepting jobs")
+        tenant = spec.get("tenant", "default")
+        self.quotas.check(tenant, self.store.counts_for(tenant))
+        priority = spec.get("priority", "normal")
+        job = self.store.create(
+            tenant=tenant,
+            kind=spec["kind"],
+            priority=priority,
+            priority_class=PRIORITY_CLASSES[priority],
+            isolation=spec.get("isolation", "thread"),
+            spec=spec,
+        )
+        job.push_event(
+            {
+                "event": "job.queued",
+                "job_id": job.job_id,
+                "tenant": tenant,
+                "priority": priority,
+            }
+        )
+        heapq.heappush(self._heap, (job.priority_class, job.seq, job.job_id))
+        self.ctx.count("serve.jobs.submitted")
+        self._wakeup.set()
+        return job
+
+    def request_cancel(self, job_id: str) -> Optional[JobRecord]:
+        """Cancel a job; queued jobs die immediately, running ones are asked."""
+        job = self.store.get(job_id)
+        if job is None:
+            return None
+        if job.state == jobstates.QUEUED:
+            job.state = jobstates.CANCELLED
+            job.finished_at = time.time()
+            job.push_event({"event": "job.done", "state": job.state})
+            self.ctx.count("serve.jobs.cancelled")
+        elif job.state == jobstates.RUNNING:
+            job.cancel_requested = True
+        return job
+
+    # -- admission loop (loop thread) --------------------------------------------
+
+    async def _admission_loop(self) -> None:
+        while True:
+            self._wakeup.clear()
+            self._dispatch_ready()
+            if self._draining and not self._pending() and self._active == 0:
+                self._drained.set()
+                return
+            await self._wakeup.wait()
+
+    def _pending(self) -> bool:
+        return any(
+            (job := self.store.get(job_id)) is not None
+            and job.state == jobstates.QUEUED
+            for _, _, job_id in self._heap
+        )
+
+    def _dispatch_ready(self) -> None:
+        while self._heap and self._active < self.slots:
+            _, _, job_id = heapq.heappop(self._heap)
+            job = self.store.get(job_id)
+            if job is None or job.state != jobstates.QUEUED:
+                continue  # cancelled while queued
+            self._dispatch(job)
+
+    def _dispatch(self, job: JobRecord) -> None:
+        assert self._loop is not None
+        job.state = jobstates.RUNNING
+        job.started_at = time.time()
+        job.push_event({"event": "job.started", "isolation": job.isolation})
+        self._active += 1
+        future = self._loop.run_in_executor(self._executor, self._execute, job)
+        future.add_done_callback(lambda fut: self._finish(job, fut))
+
+    # -- execution (worker threads) ----------------------------------------------
+
+    def _execute(self, job: JobRecord) -> Dict[str, Any]:
+        assert self._loop is not None
+        loop = self._loop
+
+        def push(event: Dict[str, Any]) -> None:
+            loop.call_soon_threadsafe(job.push_event, event)
+
+        if job.isolation == "process":
+            return self._execute_process(job, push)
+        return self.runner.run(
+            job.spec, push_event=push, cancel_check=lambda: job.cancel_requested
+        )
+
+    def _execute_process(self, job: JobRecord, push) -> Dict[str, Any]:
+        """Supervise one forked worker from this executor thread."""
+        mp = multiprocessing.get_context("fork")
+        parent_conn, child_conn = mp.Pipe(duplex=False)
+        worker = mp.Process(
+            target=_process_entry, args=(job.spec, child_conn), daemon=True
+        )
+        worker.start()
+        child_conn.close()
+        job.worker_pid = worker.pid
+        result: Optional[Dict[str, Any]] = None
+        error: Optional[str] = None
+        cancelled = False
+        try:
+            while True:
+                if job.cancel_requested and worker.is_alive():
+                    worker.terminate()
+                    cancelled = True
+                if parent_conn.poll(0.05):
+                    try:
+                        tag, payload = parent_conn.recv()
+                    except EOFError:
+                        break
+                    if tag == "event":
+                        push(payload)
+                    elif tag == "result":
+                        result = payload
+                    elif tag == "cancelled":
+                        cancelled = True
+                    else:
+                        error = payload
+                elif not worker.is_alive():
+                    break
+        finally:
+            parent_conn.close()
+            worker.join(timeout=5.0)
+        if cancelled:
+            raise JobCancelled()
+        if error is not None:
+            raise RuntimeError(f"worker process failed:\n{error}")
+        if result is None:
+            raise RuntimeError(
+                f"worker process pid {job.worker_pid} died without a result "
+                f"(exitcode {worker.exitcode})"
+            )
+        return result
+
+    # -- completion (loop thread) --------------------------------------------------
+
+    def _finish(self, job: JobRecord, future: "asyncio.Future") -> None:
+        job.finished_at = time.time()
+        self._active -= 1
+        exc = future.exception()
+        if exc is None and not job.cancel_requested:
+            job.result = future.result()
+            job.cache = job.result.get("cache")
+            job.state = jobstates.DONE
+            self.ctx.count("serve.jobs.done")
+            if job.cache == "hit":
+                self.ctx.count("serve.jobs.cache_hits")
+        elif isinstance(exc, JobCancelled) or job.cancel_requested:
+            job.state = jobstates.CANCELLED
+            self.ctx.count("serve.jobs.cancelled")
+        else:
+            job.state = jobstates.FAILED
+            job.error = f"{type(exc).__name__}: {exc}"
+            self.ctx.count("serve.jobs.failed")
+        event: Dict[str, Any] = {"event": "job.done", "state": job.state}
+        if job.error is not None:
+            event["error"] = job.error
+        job.push_event(event)
+        self._wakeup.set()
+
+    # -- introspection -------------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {}
+        for job in self.store.all():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "slots": self.slots,
+            "active": self._active,
+            "queued": states.get(jobstates.QUEUED, 0),
+            "draining": self._draining,
+            "jobs": states,
+        }
+
+
+__all__ = [
+    "DrainingError",
+    "QuotaExceeded",
+    "QuotaPolicy",
+    "Scheduler",
+]

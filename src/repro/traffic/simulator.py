@@ -19,6 +19,7 @@ from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro import perfopts
 from repro.ec.flow_ec import FlowEcIndex, build_prefix_universe, compute_flow_ecs
 from repro.net.model import NetworkModel
 from repro.routing.isis import IgpState, compute_igp
@@ -226,8 +227,13 @@ class TrafficSimulator:
         else:
             results_first = []
 
+        # Pool threads re-enter the submitting thread's effective perf flags
+        # (scoped overrides are thread-local; see repro.perfopts).
+        opts = perfopts.effective()
+
         def run(batch: List[Flow]) -> List[List[Tuple[FlowPath, float]]]:
-            return [self.engine.forward_spread(flow) for flow in batch]
+            with perfopts.applied(opts):
+                return [self.engine.forward_spread(flow) for flow in batch]
 
         with ThreadPoolExecutor(max_workers=workers) as pool:
             per_batch = list(pool.map(run, batches))

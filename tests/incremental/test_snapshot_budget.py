@@ -1,0 +1,89 @@
+"""Tests for the snapshot store's LRU byte budget."""
+
+from repro.incremental.snapshots import RibSnapshotStore, device_token
+from repro.net.device import GLOBAL_VRF
+from repro.routing.inputs import inject_external_route
+from repro.routing.rib import DeviceRib
+
+
+def make_rib(name, prefixes):
+    rib = DeviceRib(name)
+    for prefix in prefixes:
+        item = inject_external_route(name, prefix, (64999,))
+        rib.install(item.route, vrf=GLOBAL_VRF, route_type="bgp")
+    return rib
+
+
+def distinct_rib(index):
+    return make_rib(f"r{index}", [f"10.{index}.0.0/16"])
+
+
+def snapshot_size(rib):
+    probe = RibSnapshotStore()
+    key = probe.put(rib)
+    return probe._sizes[key]
+
+
+class TestByteBudget:
+    def test_no_budget_never_evicts(self):
+        store = RibSnapshotStore()
+        for index in range(10):
+            store.put(distinct_rib(index))
+        assert store.stats.lru_evictions == 0
+        assert len(store) == 10
+
+    def test_lru_eviction_keeps_total_under_budget(self):
+        one = snapshot_size(distinct_rib(0))
+        store = RibSnapshotStore(max_bytes=int(one * 2.5))
+        keys = [store.put(distinct_rib(index)) for index in range(4)]
+        assert store.total_bytes <= store.max_bytes
+        assert store.stats.lru_evictions == 2
+        assert store.stats.lru_evicted_bytes > 0
+        # Oldest two evicted, newest two retained.
+        assert not store.contains(keys[0])
+        assert not store.contains(keys[1])
+        assert store.contains(keys[2])
+        assert store.contains(keys[3])
+
+    def test_get_refreshes_recency(self):
+        one = snapshot_size(distinct_rib(0))
+        store = RibSnapshotStore(max_bytes=int(one * 2.5))
+        first = store.put(distinct_rib(0))
+        second = store.put(distinct_rib(1))
+        store.get(first)  # touch: first is now the most recent
+        store.put(distinct_rib(2))  # must evict second, not first
+        assert store.contains(first)
+        assert not store.contains(second)
+
+    def test_on_evict_callback_reports_key_and_size(self):
+        one = snapshot_size(distinct_rib(0))
+        observed = []
+        store = RibSnapshotStore(
+            max_bytes=int(one * 1.5),
+            on_evict=lambda key, size: observed.append((key, size)),
+        )
+        first = store.put(distinct_rib(0))
+        store.put(distinct_rib(1))
+        assert [key for key, _ in observed] == [first]
+        assert all(size > 0 for _, size in observed)
+
+    def test_evicted_snapshot_is_gone_from_dependency_sets(self):
+        one = snapshot_size(distinct_rib(0))
+        store = RibSnapshotStore(max_bytes=int(one * 1.5))
+        store.put(distinct_rib(0), deps=[device_token("r0")])
+        store.put(distinct_rib(1), deps=[device_token("r1")])
+        # r0's snapshot was budget-evicted; invalidating its token is a no-op
+        # rather than double-counting the eviction.
+        assert store.invalidate(device_token("r0")) == 0
+        assert store.invalidate(device_token("r1")) == 1
+
+    def test_content_addressed_reput_restores_an_evicted_snapshot(self):
+        one = snapshot_size(distinct_rib(0))
+        store = RibSnapshotStore(max_bytes=int(one * 1.5))
+        first = store.put(distinct_rib(0))
+        store.put(distinct_rib(1))
+        assert not store.contains(first)
+        again = store.put(distinct_rib(0))
+        assert again == first
+        assert store.contains(first)
+        assert store.total_bytes <= store.max_bytes

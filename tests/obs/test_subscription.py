@@ -1,0 +1,97 @@
+"""Tests for the RunContext subscription hook (live span/counter events)."""
+
+import json
+
+from repro.obs import RunContext
+
+
+def run_workload(ctx):
+    with ctx.span("outer", plan="demo"):
+        with ctx.span("inner"):
+            ctx.count("work.items", 3)
+        ctx.count("work.batches")
+
+
+class TestSpanSubscription:
+    def test_span_close_events_fire_in_close_order(self):
+        ctx = RunContext("t")
+        events = []
+        ctx.subscribe(events.append)
+        run_workload(ctx)
+        assert [event["name"] for event in events] == ["inner", "outer"]
+        for event in events:
+            assert event["kind"] == "span_close"
+            assert event["duration_seconds"] >= 0
+        assert events[1]["meta"] == {"plan": "demo"}
+
+    def test_unsubscribe_stops_delivery(self):
+        ctx = RunContext("t")
+        events = []
+        unsubscribe = ctx.subscribe(events.append)
+        with ctx.span("first"):
+            pass
+        unsubscribe()
+        with ctx.span("second"):
+            pass
+        assert [event["name"] for event in events] == ["first"]
+
+    def test_multiple_subscribers_each_get_every_event(self):
+        ctx = RunContext("t")
+        first, second = [], []
+        ctx.subscribe(first.append)
+        ctx.subscribe(second.append)
+        run_workload(ctx)
+        assert first == second
+        assert len(first) == 2
+
+    def test_raising_subscriber_does_not_break_the_run(self):
+        ctx = RunContext("t")
+        survivors = []
+
+        def bad(event):
+            raise RuntimeError("observer crashed")
+
+        ctx.subscribe(bad)
+        ctx.subscribe(survivors.append)
+        run_workload(ctx)  # must not raise
+        assert len(survivors) == 2
+
+
+class TestCounterSubscription:
+    def test_counter_events_require_opt_in(self):
+        ctx = RunContext("t")
+        span_only, both = [], []
+        ctx.subscribe(span_only.append)
+        ctx.subscribe(both.append, counters=True)
+        run_workload(ctx)
+        assert all(event["kind"] == "span_close" for event in span_only)
+        counter_events = [e for e in both if e["kind"] == "counter"]
+        assert {(e["name"], e["value"]) for e in counter_events} == {
+            ("work.items", 3),
+            ("work.batches", 1),
+        }
+        assert all("span" in event for event in counter_events)
+
+
+class TestSerializationUnchanged:
+    def test_trace_document_is_identical_with_and_without_subscribers(self):
+        plain = RunContext("t")
+        run_workload(plain)
+
+        observed = RunContext("t")
+        observed.subscribe(lambda event: None, counters=True)
+        run_workload(observed)
+
+        def doc(ctx):
+            data = ctx.root.to_dict()
+
+            def scrub(node):
+                node.pop("duration_seconds", None)
+                for child in node.get("children", []):
+                    scrub(child)
+                return node
+
+            return json.dumps(scrub(data), sort_keys=True)
+
+        assert doc(plain) == doc(observed)
+        assert plain.counters() == observed.counters()

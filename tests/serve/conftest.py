@@ -1,0 +1,54 @@
+"""Shared fixtures for the serve-daemon tests: tiny WAN snapshots on disk."""
+
+import pickle
+
+import pytest
+
+from repro.workload import (
+    WanParams,
+    generate_flows,
+    generate_input_routes,
+    generate_wan,
+)
+
+PLAN = {
+    "name": "noop-static",
+    "change_type": "static-route-modification",
+    "rcl_intents": ["PRE = POST"],
+}
+
+WHATIF_PLAN = {
+    "name": "probe",
+    "topology_ops": [
+        {"op": "fail-link", "a": "region0-rr0", "b": "region0-core0"}
+    ],
+}
+
+
+def write_snapshot(path, seed=7, prefixes=30, flows=100):
+    params = WanParams(regions=2, cores_per_region=2, seed=seed)
+    model, inventory = generate_wan(params)
+    routes = generate_input_routes(inventory, n_prefixes=prefixes,
+                                   seed=seed + 1)
+    flow_list = generate_flows(inventory, routes, n_flows=flows, seed=seed + 2)
+    with open(path, "wb") as handle:
+        pickle.dump(
+            {"model": model, "inventory": inventory, "routes": routes,
+             "flows": flow_list},
+            handle,
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+    return str(path)
+
+
+@pytest.fixture(scope="session")
+def snapshot_path(tmp_path_factory):
+    return write_snapshot(tmp_path_factory.mktemp("serve") / "snap.pkl")
+
+
+@pytest.fixture(scope="session")
+def other_snapshot_path(tmp_path_factory):
+    """A second snapshot with different content (different model hash)."""
+    return write_snapshot(
+        tmp_path_factory.mktemp("serve") / "other.pkl", seed=19
+    )

@@ -1,0 +1,56 @@
+"""Chaos: SIGKILL an in-flight job's worker process; the daemon shrugs.
+
+The acceptance scenario from the issue: a process-isolated job's worker is
+killed mid-run. The supervisor records the job as failed (with the dead
+pid's exit evidence in the error), the slot returns to rotation, and queued
+jobs behind the victim run to completion untouched.
+"""
+
+import asyncio
+import os
+import signal
+
+from repro.serve import DONE, FAILED, Scheduler
+
+
+def sleep_spec(seconds, **extra):
+    spec = {"kind": "sleep", "seconds": seconds}
+    spec.update(extra)
+    return spec
+
+
+class TestWorkerKill:
+    def test_sigkill_fails_job_but_spares_the_queue(self):
+        async def main():
+            scheduler = Scheduler(slots=1)
+            await scheduler.start()
+
+            victim = scheduler.submit(sleep_spec(30.0, isolation="process"))
+            survivor = scheduler.submit(sleep_spec(0.05))
+            bystander = scheduler.submit(
+                sleep_spec(0.05, isolation="process")
+            )
+
+            while victim.worker_pid is None and not victim.finished:
+                await asyncio.sleep(0.01)
+            assert victim.worker_pid is not None
+            os.kill(victim.worker_pid, signal.SIGKILL)
+
+            deadline = asyncio.get_running_loop().time() + 30.0
+            while not (victim.finished and survivor.finished
+                       and bystander.finished):
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.02)
+
+            assert victim.state == FAILED
+            assert "died without a result" in victim.error
+            assert survivor.state == DONE
+            assert bystander.state == DONE
+            # The daemon itself is still healthy: one more job round-trips.
+            extra = scheduler.submit(sleep_spec(0.01))
+            while not extra.finished:
+                await asyncio.sleep(0.01)
+            assert extra.state == DONE
+            await scheduler.stop()
+
+        asyncio.run(main())

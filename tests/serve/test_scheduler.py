@@ -1,0 +1,227 @@
+"""Scheduler semantics: priorities, quotas, cancellation, drain, caching."""
+
+import asyncio
+
+import pytest
+
+from repro.serve import (
+    CANCELLED,
+    DONE,
+    DrainingError,
+    QuotaExceeded,
+    QuotaPolicy,
+    Scheduler,
+)
+from repro.serve.runner import JobRunner
+from repro.serve.state import HotState
+
+from tests.serve.conftest import PLAN
+
+
+def sleep_spec(seconds=0.05, **extra):
+    spec = {"kind": "sleep", "seconds": seconds}
+    spec.update(extra)
+    return spec
+
+
+def verify_spec(snapshot_path, **extra):
+    spec = {"kind": "verify", "snapshot_path": snapshot_path,
+            "plan": dict(PLAN)}
+    spec.update(extra)
+    return spec
+
+
+async def wait_terminal(job, timeout=30.0):
+    deadline = asyncio.get_running_loop().time() + timeout
+    while not job.finished:
+        assert asyncio.get_running_loop().time() < deadline, (
+            f"job {job.job_id} stuck in {job.state}"
+        )
+        await asyncio.sleep(0.01)
+    return job
+
+
+class TestPriorityOrdering:
+    def test_high_runs_before_normal_before_batch(self):
+        async def main():
+            scheduler = Scheduler(slots=1)
+            await scheduler.start()
+            # Occupy the only slot so the next three actually queue.
+            blocker = scheduler.submit(sleep_spec(0.2))
+            while blocker.state == "queued":
+                await asyncio.sleep(0.01)
+            batch = scheduler.submit(sleep_spec(0.01, priority="batch"))
+            normal = scheduler.submit(sleep_spec(0.01, priority="normal"))
+            high = scheduler.submit(sleep_spec(0.01, priority="high"))
+            await scheduler.drain()
+            for job in (blocker, batch, normal, high):
+                assert job.state == DONE
+            assert high.started_at < normal.started_at < batch.started_at
+            await scheduler.stop()
+
+        asyncio.run(main())
+
+    def test_fifo_within_a_priority_class(self):
+        async def main():
+            scheduler = Scheduler(slots=1)
+            await scheduler.start()
+            blocker = scheduler.submit(sleep_spec(0.1))
+            while blocker.state == "queued":
+                await asyncio.sleep(0.01)
+            first = scheduler.submit(sleep_spec(0.01))
+            second = scheduler.submit(sleep_spec(0.01))
+            await scheduler.drain()
+            assert first.started_at < second.started_at
+            await scheduler.stop()
+
+        asyncio.run(main())
+
+
+class TestQuotas:
+    def test_per_tenant_quota_rejects_excess_submissions(self):
+        async def main():
+            scheduler = Scheduler(
+                slots=1, quotas=QuotaPolicy(max_active_per_tenant=2)
+            )
+            await scheduler.start()
+            scheduler.submit(sleep_spec(0.2, tenant="alice"))
+            scheduler.submit(sleep_spec(0.2, tenant="alice"))
+            with pytest.raises(QuotaExceeded):
+                scheduler.submit(sleep_spec(0.2, tenant="alice"))
+            # Other tenants are unaffected.
+            bob = scheduler.submit(sleep_spec(0.01, tenant="bob"))
+            await scheduler.drain()
+            assert bob.state == DONE
+            await scheduler.stop()
+
+        asyncio.run(main())
+
+    def test_quota_frees_up_as_jobs_finish(self):
+        async def main():
+            scheduler = Scheduler(
+                slots=2, quotas=QuotaPolicy(max_active_per_tenant=1)
+            )
+            await scheduler.start()
+            first = scheduler.submit(sleep_spec(0.05, tenant="alice"))
+            await wait_terminal(first)
+            second = scheduler.submit(sleep_spec(0.05, tenant="alice"))
+            await wait_terminal(second)
+            assert second.state == DONE
+            await scheduler.drain()
+            await scheduler.stop()
+
+        asyncio.run(main())
+
+
+class TestCancellation:
+    def test_cancel_queued_job_never_runs(self):
+        async def main():
+            scheduler = Scheduler(slots=1)
+            await scheduler.start()
+            blocker = scheduler.submit(sleep_spec(0.2))
+            queued = scheduler.submit(sleep_spec(5.0))
+            scheduler.request_cancel(queued.job_id)
+            assert queued.state == CANCELLED
+            await scheduler.drain()
+            assert blocker.state == DONE
+            assert queued.started_at is None
+            await scheduler.stop()
+
+        asyncio.run(main())
+
+    def test_cancel_running_thread_job_mid_run(self):
+        async def main():
+            scheduler = Scheduler(slots=1)
+            await scheduler.start()
+            job = scheduler.submit(sleep_spec(30.0))
+            while job.state == "queued":
+                await asyncio.sleep(0.01)
+            scheduler.request_cancel(job.job_id)
+            await wait_terminal(job, timeout=5.0)
+            assert job.state == CANCELLED
+            await scheduler.stop()
+
+        asyncio.run(main())
+
+    def test_cancel_running_process_job_terminates_worker(self):
+        async def main():
+            scheduler = Scheduler(slots=1)
+            await scheduler.start()
+            job = scheduler.submit(sleep_spec(30.0, isolation="process"))
+            while job.worker_pid is None and not job.finished:
+                await asyncio.sleep(0.01)
+            scheduler.request_cancel(job.job_id)
+            await wait_terminal(job, timeout=10.0)
+            assert job.state == CANCELLED
+            await scheduler.stop()
+
+        asyncio.run(main())
+
+
+class TestDrain:
+    def test_drain_finishes_queued_work_and_rejects_new(self):
+        async def main():
+            scheduler = Scheduler(slots=1)
+            await scheduler.start()
+            jobs = [scheduler.submit(sleep_spec(0.03)) for _ in range(4)]
+            drain_task = asyncio.create_task(scheduler.drain())
+            await asyncio.sleep(0)  # let drain flip the flag
+            with pytest.raises(DrainingError):
+                scheduler.submit(sleep_spec(0.01))
+            await drain_task
+            assert all(job.state == DONE for job in jobs)
+            await scheduler.stop()
+
+        asyncio.run(main())
+
+
+class TestResultCache:
+    def test_identical_request_hits_different_model_misses(
+        self, snapshot_path, other_snapshot_path
+    ):
+        async def main():
+            runner = JobRunner(HotState())
+            scheduler = Scheduler(runner, slots=1)
+            await scheduler.start()
+
+            first = scheduler.submit(verify_spec(snapshot_path))
+            await wait_terminal(first)
+            assert first.state == DONE
+            assert first.cache == "miss"
+
+            again = scheduler.submit(verify_spec(snapshot_path))
+            await wait_terminal(again)
+            assert again.cache == "hit"
+            assert again.result["verdict"] == first.result["verdict"]
+            assert (
+                again.result["rib_fingerprint"]
+                == first.result["rib_fingerprint"]
+            )
+
+            other = scheduler.submit(verify_spec(other_snapshot_path))
+            await wait_terminal(other)
+            assert other.cache == "miss"
+            assert other.result["model_hash"] != first.result["model_hash"]
+            await scheduler.stop()
+
+        asyncio.run(main())
+
+    def test_no_cache_flag_bypasses_the_cache(self, snapshot_path):
+        async def main():
+            scheduler = Scheduler(JobRunner(HotState()), slots=1)
+            await scheduler.start()
+            first = scheduler.submit(verify_spec(snapshot_path))
+            await wait_terminal(first)
+            second = scheduler.submit(
+                verify_spec(snapshot_path, no_cache=True)
+            )
+            await wait_terminal(second)
+            assert second.cache == "miss"
+            # Warm-start still applies: same fingerprint either way.
+            assert (
+                second.result["rib_fingerprint"]
+                == first.result["rib_fingerprint"]
+            )
+            await scheduler.stop()
+
+        asyncio.run(main())
