@@ -384,7 +384,12 @@ def bench_serve_warm(
 
 
 def _run_large_child(
-    scenario: str, preset: str, prefixes: int, flows: int, flags: str
+    scenario: str,
+    preset: str,
+    prefixes: int,
+    flows: int,
+    flags: str,
+    backend: str = "centralized",
 ) -> Dict[str, Any]:
     """One variant in a fresh interpreter (see ``_large_child`` docstring)."""
     env = dict(os.environ)
@@ -406,6 +411,8 @@ def _run_large_child(
             str(flows),
             "--flags",
             flags,
+            "--backend",
+            backend,
         ],
         cwd=REPO_ROOT,
         env=env,
@@ -471,6 +478,63 @@ def bench_ship(preset: str = "large_smoke", prefixes: int = 200) -> Dict[str, An
     return bench_large("ship", preset, prefixes, flows=0)
 
 
+#: Acceptance floor: modular must beat the distributed backend this much on
+#: the large_smoke preset (the regions are solved once against summaries
+#: instead of once per overlapping chunk).
+MODULAR_SPEEDUP_FLOOR = 1.5
+
+
+def bench_modular_route(
+    preset: str = "large_smoke", prefixes: int = 200
+) -> Dict[str, Any]:
+    """A/B the modular backend against the distributed backend, fresh
+    process each, same workload. Asserts the two backends' RIB
+    fingerprints are byte-identical — the modular backend's contract —
+    and reports the speedup the summary-guided solver buys.
+    """
+    modular = _run_large_child(
+        "route", preset, prefixes, 0, "on", backend="modular"
+    )
+    distributed = _run_large_child(
+        "route", preset, prefixes, 0, "on", backend="distributed-thread"
+    )
+    assert modular["fingerprint"] == distributed["fingerprint"], (
+        f"modular and distributed RIBs differ on preset {preset}"
+    )
+    return {
+        "preset": preset,
+        "prefixes": prefixes,
+        "modular_seconds": modular["seconds"],
+        "distributed_seconds": distributed["seconds"],
+        "speedup": (
+            round(distributed["seconds"] / modular["seconds"], 2)
+            if modular["seconds"]
+            else None
+        ),
+        "rib_rows": modular.get("rib_rows"),
+        "fingerprint": modular["fingerprint"][:16],
+        "note": (
+            "modular solves each region once against neighbor summaries; "
+            "distributed-thread re-propagates overlapping chunks. "
+            f">={MODULAR_SPEEDUP_FLOOR}x floor enforced by --modular-smoke."
+        ),
+    }
+
+
+def check_modular_smoke(scenario: Dict[str, Any]) -> list:
+    """CI gate for the modular A/B: the speedup floor must hold."""
+    failures = []
+    speedup = scenario.get("speedup")
+    if speedup is None:
+        failures.append("route_sim_modular: missing speedup")
+    elif speedup < MODULAR_SPEEDUP_FLOOR:
+        failures.append(
+            f"route_sim_modular.speedup: {speedup}x < "
+            f"{MODULAR_SPEEDUP_FLOOR}x floor over distributed-thread"
+        )
+    return failures
+
+
 def run_large_benchmarks(
     preset: str = "large", prefixes: int = 200, flows: int = 4000
 ) -> Dict[str, Any]:
@@ -487,6 +551,7 @@ def run_large_benchmarks(
     }
     if preset == "large_smoke":
         scenarios["ship_route_large_smoke"] = bench_ship(preset, prefixes)
+        scenarios["route_sim_modular"] = bench_modular_route(preset, prefixes)
     return scenarios
 
 

@@ -27,7 +27,12 @@ import time
 
 from repro import perfopts
 from repro.distsim.chaos import rib_fingerprint
-from repro.exec import CentralizedBackend, DistributedBackend, RouteSimRequest
+from repro.exec import (
+    CentralizedBackend,
+    DistributedBackend,
+    RouteSimRequest,
+    make_backend,
+)
 from repro.obs import peak_rss_bytes
 from repro.traffic import TrafficSimulator
 from repro.workload.flows import generate_flows
@@ -51,16 +56,32 @@ def _load_digest(loads) -> str:
     return digest.hexdigest()
 
 
-def run_route(params: WanParams, n_prefixes: int) -> dict:
+def run_route(
+    params: WanParams, n_prefixes: int, backend_name: str = "centralized"
+) -> dict:
+    """One route-sim pass through any execution backend.
+
+    ``--backend modular`` exercises the summary-guided solver; distributed
+    backends get the standard 8-subtask / 2-worker shape. All backends must
+    land on the same fingerprint — the parent asserts it across children.
+    """
     model, inventory = generate_wan(params)
     inputs = generate_input_routes(inventory, n_prefixes=n_prefixes, seed=7)
-    started = time.perf_counter()
-    outcome = CentralizedBackend().run_routes(
-        RouteSimRequest(model=model, inputs=inputs, include_local_inputs=True)
+    backend = make_backend(backend_name)
+    request = RouteSimRequest(
+        model=model, inputs=inputs, include_local_inputs=True
     )
+    if backend.is_distributed:
+        request = RouteSimRequest(
+            model=model, inputs=inputs, include_local_inputs=True,
+            subtasks=8, workers=2,
+        )
+    started = time.perf_counter()
+    outcome = backend.run_routes(request)
     seconds = time.perf_counter() - started
     return {
         "seconds": round(seconds, 4),
+        "backend": backend_name,
         "fingerprint": rib_fingerprint(outcome.device_ribs).hex(),
         "rib_rows": sum(r.route_count() for r in outcome.device_ribs.values()),
     }
@@ -125,6 +146,12 @@ def main(argv=None) -> int:
         default="on",
         help="perf flags: 'off' disables every optimization for the A/B base",
     )
+    parser.add_argument(
+        "--backend",
+        default="centralized",
+        help="execution backend for the route scenario "
+        "(centralized, modular, distributed-thread, distributed-process)",
+    )
     args = parser.parse_args(argv)
 
     params = PRESETS[args.preset]()
@@ -134,7 +161,7 @@ def main(argv=None) -> int:
         for field in dataclasses.fields(perfopts.PerfOptions):
             setattr(perfopts.OPTS, field.name, False)
     if args.scenario == "route":
-        payload = run_route(params, args.prefixes)
+        payload = run_route(params, args.prefixes, args.backend)
     elif args.scenario == "ship":
         payload = run_ship(params, args.prefixes)
     else:

@@ -27,6 +27,7 @@ from repro.distsim.partition import (
     BalancedPartitioner,
     OrderingPartitioner,
     RandomPartitioner,
+    RegionPartitioner,
 )
 from repro.distsim.master import (
     DistributedRouteSimulation,
@@ -52,6 +53,7 @@ __all__ = [
     "OrderingPartitioner",
     "RandomPartitioner",
     "BalancedPartitioner",
+    "RegionPartitioner",
     "DistributedRouteSimulation",
     "DistributedTrafficSimulation",
     "RetryPolicy",

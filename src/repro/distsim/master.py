@@ -486,6 +486,9 @@ class _TaskRunner:
             "message": message,
             "input_blob": self.store.get_blob(input_key),
         }
+        context_key = message.payload.get("context_key")
+        if context_key is not None:
+            job["context_blob"] = self.store.get_blob(context_key)
         if message.kind == "traffic":
             # Dependency pre-selection happens master-side (the child has no
             # DB); the child re-runs the overlap check against the shipped
@@ -572,7 +575,17 @@ class DistributedRouteSimulation(_TaskRunner):
             skipped = 0
             with ctx.span("dispatch"):
                 for index, chunk in enumerate(chunks):
-                    if not chunk:
+                    # A summary-scoped partitioner attaches a per-chunk
+                    # region context (neighbor border claims); a chunk with
+                    # a context is dispatched even when it holds no inputs,
+                    # because the region's devices still learn routes from
+                    # the claims.
+                    context = (
+                        partitioner.subtask_context(index)
+                        if hasattr(partitioner, "subtask_context")
+                        else None
+                    )
+                    if not chunk and context is None:
                         skipped += 1
                         continue
                     subtask_id = f"{task_name}/route-{index:04d}"
@@ -584,10 +597,16 @@ class DistributedRouteSimulation(_TaskRunner):
                         [r.route.prefix for r in chunk]
                     )
                     self.db.register(record)
+                    payload = {"input_key": input_key, "result_key": result_key}
+                    if context is not None:
+                        context_key = f"{subtask_id}/context"
+                        self.store.put(context_key, context)
+                        payload["context_key"] = context_key
+                        ctx.count("distsim.region_contexts")
                     message = Message(
                         subtask_id=subtask_id,
                         kind="route",
-                        payload={"input_key": input_key, "result_key": result_key},
+                        payload=payload,
                     )
                     messages[subtask_id] = message
                     self.mq.push(message)

@@ -169,6 +169,31 @@ class Worker:
         result_key = message.payload["result_key"]
         input_routes = self.store.get(input_key)
 
+        context_key = message.payload.get("context_key")
+        if context_key is not None:
+            # Summary-scoped subtask: simulate one region against its
+            # shipped border claims instead of the global session graph.
+            # The EC technique is skipped — region membership, not prefix
+            # grouping, bounds this subtask's work.
+            from repro.modular.verifier import simulate_region_subtask
+
+            context = self.store.get(context_key)
+            ribs = simulate_region_subtask(
+                self.model, self.igp, context, input_routes
+            )
+            self.store.put(result_key, ribs)
+            if self.chaos is not None:
+                self.chaos.crash_point("worker.crash_after", message)
+            self.db.update(
+                message.subtask_id,
+                ranges=self._result_ranges(ribs),
+                cost_units=sum(
+                    1 for rib in ribs.values() for _ in rib.all_rows()
+                ),
+                result_key=result_key,
+            )
+            return
+
         simulator = RouteSimulator(self.model, igp=self.igp, include_connected=False)
         ribs: Dict[str, DeviceRib] = {}
         if self.config.use_route_ecs:
@@ -335,6 +360,8 @@ def run_subtask_in_process(job_blob: bytes) -> bytes:
     store = ObjectStore()
     db = SubtaskDB()
     store.put_blob(message.payload["input_key"], job["input_blob"])
+    if "context_blob" in job:
+        store.put_blob(message.payload["context_key"], job["context_blob"])
     for record in job.get("route_records", []):
         db.register(record)
         store.put_blob(record.result_key, job["rib_blobs"][record.result_key])

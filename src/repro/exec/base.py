@@ -80,6 +80,11 @@ class RouteSimRequest:
     worker_config: Any = None
     task_name: str = "route-task"
     warm_start: Any = None
+    #: blast-radius region scope: set by :class:`IncrementalBackend` when
+    #: the warm start's delta is confined to one topology region, letting a
+    #: modular inner backend re-simulate that region alone against the base
+    #: border summaries. Terminal backends other than modular ignore it.
+    region_scope: Optional[str] = None
 
 
 @dataclass
@@ -192,7 +197,12 @@ class ExecutionBackend(abc.ABC):
 
 
 #: Backend names accepted by :func:`make_backend` and the CLI ``--backend``.
-BACKEND_NAMES = ("centralized", "distributed-thread", "distributed-process")
+BACKEND_NAMES = (
+    "centralized",
+    "distributed-thread",
+    "distributed-process",
+    "modular",
+)
 
 
 def make_backend(name: str = "centralized", **options: Any) -> ExecutionBackend:
@@ -201,10 +211,12 @@ def make_backend(name: str = "centralized", **options: Any) -> ExecutionBackend:
     ``options`` are forwarded to the backend constructor; distributed names
     accept ``route_subtasks``/``traffic_subtasks``/``workers``/``chaos``/
     ``retry``/``worker_config``, centralized accepts ``max_rounds`` and the
-    chunked-runner knobs.
+    chunked-runner knobs, modular accepts ``exchange_rounds``/``assume``/
+    ``summary_store``.
     """
     from repro.exec.centralized import CentralizedBackend
     from repro.exec.distributed import DistributedBackend
+    from repro.exec.modular import ModularBackend
 
     if name == "centralized":
         return CentralizedBackend(**options)
@@ -212,4 +224,6 @@ def make_backend(name: str = "centralized", **options: Any) -> ExecutionBackend:
         return DistributedBackend(mode="thread", **options)
     if name == "distributed-process":
         return DistributedBackend(mode="process", **options)
+    if name == "modular":
+        return ModularBackend(**options)
     raise ValueError(f"unknown backend {name!r}; expected one of {BACKEND_NAMES}")

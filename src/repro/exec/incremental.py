@@ -83,6 +83,9 @@ class IncrementalBackend(ExecutionBackend):
                     request, partitioner=partitioner, warm_start=None
                 )
             else:
+                scoped = self._try_region_scoped(request, warm, covered, ctx)
+                if scoped is not None:
+                    return scoped
                 inner_request = replace(request, inputs=covered, warm_start=None)
             partial = self.inner.run_routes(inner_request, ctx)
             splice = self.engine.splice(
@@ -98,6 +101,47 @@ class IncrementalBackend(ExecutionBackend):
                 splice=splice,
                 resimulated_inputs=len(covered),
             )
+
+    def _try_region_scoped(
+        self,
+        request: RouteSimRequest,
+        warm: WarmStart,
+        covered: List[InputRoute],
+        ctx: RunContext,
+    ) -> Optional[RouteSimOutcome]:
+        """Attempt the modular backend's single-region warm path.
+
+        When the blast radius names one region (``blast.region_scope``) and
+        the inner backend exposes ``run_region_scoped`` (the modular
+        backend's hook), only that region is re-simulated against the base
+        border summaries; the splice then reuses every other region's base
+        RIBs wholesale. The hook declines (returns ``None``) whenever its
+        unchanged-summary guarantee cannot be established, in which case
+        the caller falls through to the ordinary covered-input path — so
+        this is a performance gate, never a correctness gate.
+        """
+        scope = warm.blast.region_scope
+        hook = getattr(self.inner, "run_region_scoped", None)
+        if scope is None or hook is None:
+            return None
+        scoped_request = replace(
+            request, inputs=covered, warm_start=None, region_scope=scope
+        )
+        outcome = hook(scoped_request, warm, self.engine.base_model, ctx)
+        if outcome is None:
+            return None
+        partial_ribs, scoped_devices, result = outcome
+        splice = self.engine.splice_scoped(
+            warm.base_ribs, partial_ribs, warm.blast, scoped_devices, ctx=ctx
+        )
+        return RouteSimOutcome(
+            device_ribs=splice.device_ribs,
+            igp=result.igp,
+            backend=self.name,
+            result=result,
+            splice=splice,
+            resimulated_inputs=len(covered),
+        )
 
     def run_traffic(
         self, request: TrafficSimRequest, ctx: Optional[RunContext] = None

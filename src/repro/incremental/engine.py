@@ -205,6 +205,54 @@ class IncrementalEngine:
         ):
             return self._splice(base_ribs, partial_ribs, blast)
 
+    def splice_scoped(
+        self,
+        base_ribs: Mapping[str, DeviceRib],
+        partial_ribs: Mapping[str, DeviceRib],
+        blast: BlastRadius,
+        scoped_devices: Iterable[str],
+        ctx=None,
+    ) -> SpliceResult:
+        """Splice when only ``scoped_devices`` could have changed.
+
+        The modular backend's region-scoped path proves (via an unchanged
+        border summary) that devices outside the scoped region hold their
+        base state even at covered prefixes, so they reuse their base RIB
+        objects wholesale; scoped devices splice exactly like
+        :meth:`splice`.
+        """
+        member = set(scoped_devices)
+        with (
+            ctx.span(
+                "incremental.splice",
+                devices=len(base_ribs),
+                scoped=len(member),
+            )
+            if ctx
+            else nullcontext()
+        ):
+            scoped_partial = {
+                name: rib for name, rib in partial_ribs.items() if name in member
+            }
+            result = self._splice(
+                {
+                    name: rib
+                    for name, rib in base_ribs.items()
+                    if name in member
+                },
+                scoped_partial,
+                blast,
+            )
+            for name, base_rib in base_ribs.items():
+                if name in member:
+                    continue
+                result.device_ribs[name] = self.base_rib(name, base_rib)
+                result.reused_devices += 1
+                result.reused_slots += sum(
+                    len(base_rib.prefixes(vrf)) for vrf in base_rib.vrfs
+                )
+            return result
+
     def _splice(
         self,
         base_ribs: Mapping[str, DeviceRib],

@@ -1,0 +1,77 @@
+"""Region assignment for modular (assume/guarantee) verification.
+
+A *region* is a set of devices verified as one unit: the modular verifier
+solves each region's BGP fixpoint over its intra-region session graph and
+exchanges only border advertisements with neighbor regions
+(:mod:`repro.modular.verifier`). Assignment comes from topology metadata —
+every :class:`~repro.net.topology.Router` carries a ``region`` attribute
+(the WAN generator stamps ``region0``, ``region1``, ...; hand-built models
+default to ``"default"``, which degenerates gracefully to a single region
+and therefore to plain centralized behavior).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.net.model import NetworkModel
+from repro.routing.bgp import Session
+
+
+@dataclass(frozen=True)
+class RegionAssignment:
+    """An immutable device → region mapping with per-region views."""
+
+    region_of: Mapping[str, str]
+    #: sorted region names — iteration order everywhere in the modular
+    #: layer, so exchange schedules and fingerprints are deterministic.
+    regions: Tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "regions", tuple(sorted(set(self.region_of.values())))
+        )
+
+    def devices_in(self, region: str) -> Tuple[str, ...]:
+        return tuple(
+            sorted(d for d, r in self.region_of.items() if r == region)
+        )
+
+    def region_for(self, device: str, default: str = "") -> str:
+        return self.region_of.get(device, default)
+
+
+def assign_regions(model: NetworkModel) -> RegionAssignment:
+    """Region assignment derived from the model's topology metadata."""
+    return RegionAssignment(
+        region_of={
+            router.name: router.region for router in model.topology.routers
+        }
+    )
+
+
+def split_sessions(
+    sessions: Sequence[Session], assignment: RegionAssignment
+) -> Tuple[Dict[str, List[Session]], List[Session]]:
+    """Split a session list into intra-region graphs and the cross cut.
+
+    Returns ``(intra, cross)`` where ``intra[region]`` holds the sessions
+    with both endpoints inside ``region`` and ``cross`` holds every session
+    whose endpoints live in different regions (the border sessions the
+    exchange loop carries summaries over).
+    """
+    intra: Dict[str, List[Session]] = {region: [] for region in assignment.regions}
+    cross: List[Session] = []
+    region_of = assignment.region_of
+    for session in sessions:
+        sender_region = region_of.get(session.sender)
+        receiver_region = region_of.get(session.receiver)
+        if sender_region is not None and sender_region == receiver_region:
+            intra[sender_region].append(session)
+        else:
+            cross.append(session)
+    return intra, cross
+
+
+__all__ = ["RegionAssignment", "assign_regions", "split_sessions"]

@@ -1,0 +1,249 @@
+"""Region border summaries: the assume/guarantee artifact (LIGHTYEAR-style).
+
+A :class:`RegionSummary` abstracts one region's observable behavior at its
+borders: for every cross-region session the region *sends* on, the exact
+route set advertised per prefix. Alongside the concrete exports it exposes
+the two coarser views the paper's summaries are built from — the exported
+*prefix set* and *best-path attribute bounds* — plus a deterministic
+``summary_fingerprint`` (stable across processes and hash seeds) that the
+incremental layer compares to decide whether a change escaped its region.
+
+A region's summary is a *claim*: the verifier simulates each region against
+its neighbors' claimed summaries and then checks the region's actual
+exports against its own claim. A mismatch is a :class:`SummaryViolation` —
+a structured counter-example naming the session, prefix, claimed and actual
+route sets — and sends the verifier down the full-simulation fallback.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.net.addr import Prefix
+from repro.routing.attributes import Route
+
+#: ``Session.key``: (sender, sender_vrf, receiver, receiver_vrf).
+SessionKey = Tuple[str, str, str, str]
+#: per-session exported route set, keyed by prefix.
+SessionExports = Dict[Prefix, Tuple[Route, ...]]
+
+
+def _canonical_route(route: Route) -> Tuple:
+    """A render of a route that is byte-stable across processes.
+
+    ``repr`` on a frozenset (communities, flags) depends on the hash seed,
+    so sets are sorted and addresses rendered as text.
+    """
+    return (
+        str(route.prefix),
+        str(route.nexthop) if route.nexthop is not None else None,
+        route.as_path,
+        route.origin,
+        route.local_pref,
+        route.med,
+        tuple(sorted(route.communities)),
+        route.weight,
+        route.preference,
+        route.protocol,
+        route.source,
+        tuple(sorted(route.flags)),
+        route.igp_cost,
+    )
+
+
+def _prefix_order(prefix: Prefix) -> Tuple[int, int, int]:
+    return (prefix.family, prefix.value, prefix.length)
+
+
+@dataclass(frozen=True)
+class AttributeBounds:
+    """Best-path attribute bounds over a set of exported routes."""
+
+    local_pref_min: int = 0
+    local_pref_max: int = 0
+    med_min: int = 0
+    med_max: int = 0
+    as_path_len_min: int = 0
+    as_path_len_max: int = 0
+    communities: Tuple[str, ...] = ()
+
+    @classmethod
+    def from_routes(cls, routes: Sequence[Route]) -> "AttributeBounds":
+        if not routes:
+            return cls()
+        local_prefs = [r.local_pref for r in routes]
+        meds = [r.med for r in routes]
+        lengths = [len(r.as_path) for r in routes]
+        communities: set = set()
+        for route in routes:
+            communities |= route.communities
+        return cls(
+            local_pref_min=min(local_prefs),
+            local_pref_max=max(local_prefs),
+            med_min=min(meds),
+            med_max=max(meds),
+            as_path_len_min=min(lengths),
+            as_path_len_max=max(lengths),
+            communities=tuple(sorted(communities)),
+        )
+
+
+@dataclass
+class RegionSummary:
+    """Everything a region claims to advertise over its border sessions."""
+
+    region: str
+    exports: Dict[SessionKey, SessionExports] = field(default_factory=dict)
+
+    def prefixes(self) -> Tuple[Prefix, ...]:
+        """The exported prefix set, deterministically ordered."""
+        seen: Dict[int, Prefix] = {}
+        for session_exports in self.exports.values():
+            for prefix, routes in session_exports.items():
+                if routes:
+                    seen[prefix.ident] = prefix
+        return tuple(sorted(seen.values(), key=_prefix_order))
+
+    def bounds(self) -> AttributeBounds:
+        routes: List[Route] = []
+        for session_exports in self.exports.values():
+            for advertised in session_exports.values():
+                routes.extend(advertised)
+        return AttributeBounds.from_routes(routes)
+
+    def restricted(
+        self, keep: Callable[[Prefix], bool]
+    ) -> "RegionSummary":
+        """The summary narrowed to prefixes ``keep`` accepts (blast scope)."""
+        return RegionSummary(
+            region=self.region,
+            exports={
+                key: {
+                    prefix: routes
+                    for prefix, routes in session_exports.items()
+                    if keep(prefix)
+                }
+                for key, session_exports in self.exports.items()
+            },
+        )
+
+    def route_count(self) -> int:
+        return sum(
+            len(routes)
+            for session_exports in self.exports.values()
+            for routes in session_exports.values()
+        )
+
+    @property
+    def fingerprint(self) -> str:
+        return summary_fingerprint(self)
+
+
+def summary_fingerprint(summary: RegionSummary) -> str:
+    """Deterministic content hash of a region's claimed exports.
+
+    Lines are sorted canonical renders of (session key, prefix, route),
+    so the digest is independent of dict insertion order, process hash
+    seed, and exchange schedule. Empty route sets (withdrawals) do not
+    contribute — a summary that converged to "nothing sent" hashes the
+    same as one that never sent.
+    """
+    lines: List[str] = []
+    for key, session_exports in summary.exports.items():
+        for prefix, routes in session_exports.items():
+            for position, route in enumerate(routes):
+                lines.append(
+                    repr((key, str(prefix), position, _canonical_route(route)))
+                )
+    digest = hashlib.sha256()
+    digest.update(summary.region.encode("utf-8"))
+    digest.update(b"\n")
+    for line in sorted(lines):
+        digest.update(line.encode("utf-8"))
+        digest.update(b"\n")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class SummaryViolation:
+    """A structured counter-example: a region broke its claimed summary."""
+
+    region: str
+    session_key: SessionKey
+    prefix: Prefix
+    claimed: Tuple[Route, ...]
+    actual: Tuple[Route, ...]
+
+    def describe(self) -> str:
+        sender, sender_vrf, receiver, receiver_vrf = self.session_key
+        return (
+            f"region {self.region!r} summary violated on session "
+            f"{sender}/{sender_vrf} -> {receiver}/{receiver_vrf} for "
+            f"{self.prefix}: claimed {len(self.claimed)} route(s), "
+            f"actually exports {len(self.actual)}"
+        )
+
+
+def summaries_equal(
+    claimed: Mapping[SessionKey, SessionExports],
+    actual: Mapping[SessionKey, SessionExports],
+) -> bool:
+    """Export-map equality ignoring empty (withdrawn) entries."""
+    return _nonempty(claimed) == _nonempty(actual)
+
+
+def diff_exports(
+    region: str,
+    claimed: Mapping[SessionKey, SessionExports],
+    actual: Mapping[SessionKey, SessionExports],
+    limit: Optional[int] = None,
+) -> List[SummaryViolation]:
+    """Counter-examples for every (session, prefix) where claim != actual."""
+    claimed_flat = _nonempty(claimed)
+    actual_flat = _nonempty(actual)
+    violations: List[SummaryViolation] = []
+    for key in sorted(
+        set(claimed_flat) | set(actual_flat), key=lambda k: (k[0], k[1])
+    ):
+        claimed_routes = claimed_flat.get(key, ())
+        actual_routes = actual_flat.get(key, ())
+        if claimed_routes == actual_routes:
+            continue
+        session_key, _ident, prefix = key[0], key[1], key[2]
+        violations.append(
+            SummaryViolation(
+                region=region,
+                session_key=session_key,
+                prefix=prefix,
+                claimed=claimed_routes,
+                actual=actual_routes,
+            )
+        )
+        if limit is not None and len(violations) >= limit:
+            break
+    return violations
+
+
+def _nonempty(
+    exports: Mapping[SessionKey, SessionExports],
+) -> Dict[Tuple[SessionKey, int, Prefix], Tuple[Route, ...]]:
+    flat: Dict[Tuple[SessionKey, int, Prefix], Tuple[Route, ...]] = {}
+    for key, session_exports in exports.items():
+        for prefix, routes in session_exports.items():
+            if routes:
+                flat[(key, prefix.ident, prefix)] = routes
+    return flat
+
+
+__all__ = [
+    "AttributeBounds",
+    "RegionSummary",
+    "SessionExports",
+    "SessionKey",
+    "SummaryViolation",
+    "diff_exports",
+    "summaries_equal",
+    "summary_fingerprint",
+]

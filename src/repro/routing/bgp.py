@@ -234,11 +234,17 @@ class BgpSimulator:
         model: NetworkModel,
         igp: IgpState,
         max_rounds: int = 50,
+        sessions: Optional[Sequence[Session]] = None,
     ) -> None:
         self.model = model
         self.igp = igp
         self.max_rounds = max_rounds
-        self.sessions = build_sessions(model, igp)
+        # An explicit session list restricts the fixpoint to those sessions
+        # (modular verification solves one region's intra-region graph and
+        # injects cross-region advertisements via deliver_external).
+        self.sessions = (
+            list(sessions) if sessions is not None else build_sessions(model, igp)
+        )
         # Indexed by (sender, sender_vrf): _advertise previously filtered a
         # per-sender list by VRF on every dirty slot.
         self._sessions_from: Dict[Tuple[str, str], List[Session]] = {}
@@ -276,6 +282,16 @@ class BgpSimulator:
     def run(self, input_routes: Iterable[InputRoute]) -> BgpResult:
         """Simulate the propagation of the input routes to a fixpoint."""
         self._reset()
+        worklist = self.seed(input_routes)
+        self.run_worklist(worklist)
+        return self.materialize()
+
+    def seed(self, input_routes: Iterable[InputRoute]) -> DirtyWorklist:
+        """Inject input routes and settle local derivation; returns the
+        initial worklist. Callers composing partial fixpoints (modular
+        verification) call ``_reset`` first, then ``seed`` +
+        ``run_worklist`` + ``materialize``; ``run`` is exactly that
+        sequence."""
         dirty: Dict[Tuple[str, str, int], Tuple[str, str, Prefix]] = {}
         for item in input_routes:
             if item.router not in self.model.devices:
@@ -301,6 +317,14 @@ class BgpSimulator:
         worklist = DirtyWorklist()
         worklist.update(dirty.values())
         worklist.update(self._settle_local({d for d, _, _ in dirty.values()}))
+        return worklist
+
+    def run_worklist(self, worklist: DirtyWorklist) -> None:
+        """Advertise/deliver until the worklist drains (or rounds run out).
+
+        Each invocation gets a fresh ``max_rounds`` budget; the stats round
+        counter accumulates across invocations so warm continuations report
+        total work."""
         rounds = 0
         while worklist:
             rounds += 1
@@ -309,11 +333,28 @@ class BgpSimulator:
                 break
             deliveries = self._advertise(worklist.drain())
             worklist.update(self._deliver(deliveries))
-        self._stats.rounds = rounds
-        # Materialize the Prefix-keyed observable views. Every candidate in a
-        # slot carries the slot's prefix, so the key's Prefix is recovered
-        # from the selection itself; per-prefix message counts were
-        # accumulated by ident alongside a representative Prefix.
+        self._stats.rounds += rounds
+
+    def deliver_external(
+        self, deliveries: Sequence[Tuple[Session, Prefix, Tuple[Route, ...]]]
+    ) -> None:
+        """Inject advertisements arriving over sessions this simulator does
+        not own (modular verification: routes claimed by a neighbor
+        region's summary) and re-run the fixpoint to quiescence.
+
+        Delivery is idempotent — an advert equal to the current adj-in
+        slot dirties nothing — so repeated exchange rounds converge."""
+        worklist = DirtyWorklist()
+        worklist.update(self._deliver(list(deliveries)))
+        self.run_worklist(worklist)
+
+    def materialize(self) -> BgpResult:
+        """The Prefix-keyed observable views of the current fixpoint state.
+
+        Every candidate in a slot carries the slot's prefix, so the key's
+        Prefix is recovered from the selection itself; per-prefix message
+        counts were accumulated by ident alongside a representative
+        Prefix."""
         self._stats.prefix_messages = {
             self._pm_prefix[ident]: count
             for ident, count in self._pm_count.items()

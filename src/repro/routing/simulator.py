@@ -108,6 +108,16 @@ class RouteSimulator:
             cost_units=result.stats.messages,
         )
 
+    def assemble_ribs(self, bgp: BgpResult) -> Dict[str, DeviceRib]:
+        """Assemble per-device RIBs from an externally computed BGP state.
+
+        Modular verification composes per-region fixpoints into one merged
+        :class:`BgpResult` (device key spaces are disjoint) and runs the
+        exact assembly ``simulate`` would, so RIB rows stay byte-identical
+        to a monolithic pass.
+        """
+        return self._assemble_ribs(bgp)
+
     def _assemble_ribs(self, bgp: BgpResult) -> Dict[str, DeviceRib]:
         ribs: Dict[str, DeviceRib] = {}
         for name, device in self.model.devices.items():

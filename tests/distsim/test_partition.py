@@ -1,11 +1,15 @@
 """Tests for the partitioning strategies, including the Figure 4 example."""
 
+import time
+
 from repro.distsim.partition import (
     BalancedPartitioner,
     OrderingPartitioner,
     RandomPartitioner,
+    RegionPartitioner,
     ranges_of_prefixes,
 )
+from repro.modular.regions import RegionAssignment
 from repro.net.addr import Prefix
 from repro.routing.inputs import inject_external_route
 from repro.traffic.flow import make_flow
@@ -108,6 +112,24 @@ class TestOrderingHeuristic:
     def test_empty_input(self):
         assert OrderingPartitioner().split_routes([], 3) == [[], [], []]
 
+    def test_huge_same_prefix_group_splits_in_linear_time(self):
+        """Perf-shape regression: a popular prefix spanning a chunk
+        boundary must be moved as one slice, not one ``pop(0)`` per route
+        (which made the rebalance quadratic in the group size)."""
+        shared = inject_external_route("A", "10.0.0.0/24", (65010,))
+        routes = [shared] * 200_000 + [
+            inject_external_route("A", "10.0.1.0/24", (65010,)),
+            inject_external_route("A", "10.0.2.0/24", (65011,)),
+        ]
+        started = time.perf_counter()
+        chunks = OrderingPartitioner().split_routes(routes, 2)
+        elapsed = time.perf_counter() - started
+        assert sum(len(c) for c in chunks) == len(routes)
+        assert len(chunks[0]) == 200_000  # the whole group moved forward
+        # The quadratic version takes minutes on 200k routes; the linear
+        # slice-move finishes in well under a second even on slow CI.
+        assert elapsed < 3.0
+
 
 class TestRandomPartitioner:
     def test_same_prefix_stays_together(self):
@@ -128,6 +150,25 @@ class TestRandomPartitioner:
         b = RandomPartitioner(seed=1).split_routes(routes, 2)
         assert [[str(r.route.prefix) for r in c] for c in a] == [
             [str(r.route.prefix) for r in c] for c in b
+        ]
+
+    def test_different_seeds_shuffle_differently(self):
+        routes = [
+            inject_external_route("A", f"10.{i}.0.0/24", (65010,))
+            for i in range(40)
+        ]
+        a = RandomPartitioner(seed=1).split_routes(routes, 4)
+        b = RandomPartitioner(seed=2).split_routes(routes, 4)
+        assert [[str(r.route.prefix) for r in c] for c in a] != [
+            [str(r.route.prefix) for r in c] for c in b
+        ]
+
+    def test_flow_split_deterministic_by_seed(self):
+        flows = list(figure4_flows().values())
+        a = RandomPartitioner(seed=9).split_flows(flows, 3)
+        b = RandomPartitioner(seed=9).split_flows(flows, 3)
+        assert [[str(f.dst) for f in c] for c in a] == [
+            [str(f.dst) for f in c] for c in b
         ]
 
     def test_random_flows_span_whole_space(self):
@@ -172,3 +213,68 @@ class TestBalancedPartitioner:
         chunks = BalancedPartitioner().split_routes(routes, 2)
         non_empty = [c for c in chunks if c]
         assert len(non_empty) == 1 and len(non_empty[0]) == 2
+
+    def test_split_preserves_all_items_and_is_deterministic(self):
+        routes = [
+            inject_external_route("A", f"10.{i % 7}.{i}.0/24",
+                                  tuple(range(65000, 65000 + i % 5)))
+            for i in range(60)
+        ]
+        a = BalancedPartitioner().split_routes(routes, 4)
+        b = BalancedPartitioner().split_routes(routes, 4)
+        assert sum(len(c) for c in a) == len(routes)
+        assert [[str(r.route.prefix) for r in c] for c in a] == [
+            [str(r.route.prefix) for r in c] for c in b
+        ]
+
+    def test_no_chunk_exceeds_balance_bound(self):
+        """Greedy largest-first keeps every chunk within one max-group cost
+        of the mean — the classic LPT-style invariant."""
+        routes = [
+            inject_external_route("A", f"20.{i}.0.0/24",
+                                  tuple(range(65000, 65000 + i % 9)))
+            for i in range(50)
+        ]
+        partitioner = BalancedPartitioner()
+        chunks = partitioner.split_routes(routes, 4)
+        loads = [sum(partitioner.cost_of(r) for r in c) for c in chunks]
+        mean = sum(loads) / len(loads)
+        max_group = max(partitioner.cost_of(r) for r in routes)
+        for load in loads:
+            assert load <= mean + max_group
+
+
+class TestRegionPartitioner:
+    def assignment(self):
+        return RegionAssignment(region_of={
+            "a0": "east", "a1": "east", "b0": "west", "c0": "north",
+        })
+
+    def test_one_chunk_per_region_in_sorted_order(self):
+        part = RegionPartitioner(self.assignment())
+        routes = [
+            inject_external_route("b0", "10.0.0.0/24", (65010,)),
+            inject_external_route("a0", "10.0.1.0/24", (65010,)),
+            inject_external_route("a1", "10.0.2.0/24", (65010,)),
+        ]
+        chunks = part.split_routes(routes, 99)  # subtask count is ignored
+        assert part.chunk_regions == ["east", "north", "west"]
+        assert [[r.router for r in c] for c in chunks] == [
+            ["a0", "a1"], [], ["b0"]
+        ]
+
+    def test_unknown_router_dropped(self):
+        part = RegionPartitioner(self.assignment())
+        chunks = part.split_routes(
+            [inject_external_route("zz", "10.0.0.0/24", (65010,))], 1
+        )
+        assert all(not chunk for chunk in chunks)
+
+    def test_subtask_context_follows_chunk_regions(self):
+        contexts = {"west": object(), "east": object()}
+        part = RegionPartitioner(self.assignment(), contexts)
+        part.split_routes([], 1)
+        assert part.subtask_context(0) is contexts["east"]
+        assert part.subtask_context(1) is None  # north has no context
+        assert part.subtask_context(2) is contexts["west"]
+        assert part.subtask_context(99) is None

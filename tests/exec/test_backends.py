@@ -87,8 +87,9 @@ class TestBackendEquivalence:
         reports = {}
         for name in BACKEND_NAMES:
             options = (
-                {} if name == "centralized"
-                else {"route_subtasks": 8, "workers": 2}
+                {"route_subtasks": 8, "workers": 2}
+                if name.startswith("distributed")
+                else {}
             )
             verifier = ChangeVerifier(
                 model, routes, flows,

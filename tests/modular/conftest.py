@@ -1,0 +1,24 @@
+"""Shared fixtures: a 3-region WAN workload for modular verification."""
+
+import pytest
+
+from repro.workload import (
+    WanParams,
+    generate_flows,
+    generate_input_routes,
+    generate_wan,
+)
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def workload():
+    model, inventory = generate_wan(
+        WanParams(regions=3, cores_per_region=2, seed=SEED)
+    )
+    routes = generate_input_routes(
+        inventory, n_prefixes=30, redundancy=2, seed=SEED + 1
+    )
+    flows = generate_flows(inventory, routes, n_flows=40, seed=SEED + 2)
+    return model, routes, flows

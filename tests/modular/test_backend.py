@@ -1,0 +1,191 @@
+"""ModularBackend: fallback honesty, summary stores, scoped increments."""
+
+import pytest
+
+from repro.core import ChangePlan, ChangeVerifier, fail_link
+from repro.distsim.chaos import rib_fingerprint
+from repro.exec import CentralizedBackend, ModularBackend, RouteSimRequest, make_backend
+from repro.modular import RegionSummary, assign_regions
+from repro.obs import RunContext
+
+
+class DictStore:
+    """Minimal summary_store: the protocol is get(region)/put(region, s)."""
+
+    def __init__(self):
+        self.data = {}
+
+    def get(self, region):
+        return self.data.get(region)
+
+    def put(self, region, summary):
+        self.data[region] = summary
+
+
+@pytest.fixture(scope="module")
+def centralized_outcome(workload):
+    model, routes, _ = workload
+    return CentralizedBackend().run_routes(
+        RouteSimRequest(model=model, inputs=routes, include_local_inputs=True)
+    )
+
+
+def _static_route_command(device):
+    if device.vendor_name == "vendor-b":
+        return "ip route-static 172.20.0.0 16 10.255.0.2"
+    return "ip route 172.20.0.0/16 10.255.0.2"
+
+
+class TestFallbackHonesty:
+    def test_forced_violation_stays_byte_identical(
+        self, workload, centralized_outcome
+    ):
+        """Deliberately wrong operator claims (empty exports everywhere)
+        must trip the guarantee check and route through full simulation —
+        same bytes out, with the violation surfaced, never silently used."""
+        model, routes, _ = workload
+        claims = {
+            region: RegionSummary(region=region, exports={})
+            for region in assign_regions(model).regions
+        }
+        backend = ModularBackend(assume=claims)
+        ctx = RunContext("test")
+        outcome = backend.run_routes(
+            RouteSimRequest(
+                model=model, inputs=routes, include_local_inputs=True
+            ),
+            ctx,
+        )
+        assert rib_fingerprint(outcome.device_ribs) == rib_fingerprint(
+            centralized_outcome.device_ribs
+        )
+        counters = ctx.counters()
+        assert counters["modular.fallbacks"] == 1
+        assert counters["modular.summary_violations"] > 0
+        assert backend.last_violations
+        assert backend.last_result is not None and backend.last_result.fallback
+
+    def test_clean_run_does_not_fall_back(self, workload, centralized_outcome):
+        model, routes, _ = workload
+        backend = ModularBackend()
+        ctx = RunContext("test")
+        outcome = backend.run_routes(
+            RouteSimRequest(
+                model=model, inputs=routes, include_local_inputs=True
+            ),
+            ctx,
+        )
+        assert rib_fingerprint(outcome.device_ribs) == rib_fingerprint(
+            centralized_outcome.device_ribs
+        )
+        counters = ctx.counters()
+        assert "modular.fallbacks" not in counters
+        assert counters["modular.regions_verified_independently"] == 3
+        assert backend.last_violations == []
+
+
+class TestSummaryStore:
+    def test_publish_then_warm_start(self, workload, centralized_outcome):
+        model, routes, _ = workload
+        store = DictStore()
+        request = RouteSimRequest(
+            model=model, inputs=routes, include_local_inputs=True
+        )
+
+        first_ctx = RunContext("test")
+        ModularBackend(summary_store=store).run_routes(request, first_ctx)
+        assert set(store.data) == set(assign_regions(model).regions)
+        assert first_ctx.counters()["modular.summaries_published"] == 3
+
+        second_ctx = RunContext("test")
+        outcome = ModularBackend(summary_store=store).run_routes(
+            request, second_ctx
+        )
+        assert second_ctx.counters()["modular.summary_seeds"] > 0
+        assert rib_fingerprint(outcome.device_ribs) == rib_fingerprint(
+            centralized_outcome.device_ribs
+        )
+
+    def test_poisoned_store_only_costs_time(self, workload, centralized_outcome):
+        """Cache corruption must never change answers: a poisoned entry is
+        re-derived by the exchange loop, not trusted."""
+        model, routes, _ = workload
+        store = DictStore()
+        store.data["region0"] = RegionSummary(region="region0", exports={})
+        outcome = ModularBackend(summary_store=store).run_routes(
+            RouteSimRequest(
+                model=model, inputs=routes, include_local_inputs=True
+            )
+        )
+        assert rib_fingerprint(outcome.device_ribs) == rib_fingerprint(
+            centralized_outcome.device_ribs
+        )
+
+
+class TestScopedIncremental:
+    def test_intra_region_change_skips_cross_region_sims(self, workload):
+        """The acceptance pin: an intra-region change whose border summary
+        is unchanged re-simulates exactly one region; the other regions'
+        base RIBs are reused byte-for-byte."""
+        model, routes, flows = workload
+        assignment = assign_regions(model)
+        device = assignment.devices_in("region1")[0]
+        plan = ChangePlan(
+            name="add-local-static",
+            change_type="static-route-modification",
+            device_commands={
+                device: [_static_route_command(model.devices[device])]
+            },
+        )
+
+        modular = ChangeVerifier(
+            model, routes, flows,
+            backend=make_backend("modular"), incremental=True,
+        )
+        report = modular.verify(plan)
+        counters = modular.ctx.counters()
+        assert counters["modular.scoped_region_sims"] == 1
+        assert counters["modular.cross_region_sims_skipped"] == 2
+        assert counters["incremental.mode.incremental"] == 1
+
+        reference = ChangeVerifier(
+            model, routes, flows,
+            backend=CentralizedBackend(), incremental=False,
+        )
+        expected = reference.verify(plan)
+        assert rib_fingerprint(
+            report.updated_world.device_ribs
+        ) == rib_fingerprint(expected.updated_world.device_ribs)
+
+    def test_cross_region_change_declines_scope_but_matches(self, workload):
+        """Failing an inter-region link invalidates border summaries — the
+        scoped path must not claim it, and the answer must still match."""
+        model, routes, flows = workload
+        assignment = assign_regions(model)
+        target = next(
+            link
+            for link in model.topology.links
+            if assignment.region_for(link.a.router)
+            != assignment.region_for(link.b.router)
+        )
+        plan = ChangePlan(
+            name="fail-cross-region-link",
+            change_type="topology-adjustment",
+            topology_ops=[fail_link(target.a.router, target.b.router)],
+        )
+
+        modular = ChangeVerifier(
+            model, routes, flows,
+            backend=make_backend("modular"), incremental=True,
+        )
+        report = modular.verify(plan)
+        assert "modular.scoped_region_sims" not in modular.ctx.counters()
+
+        reference = ChangeVerifier(
+            model, routes, flows,
+            backend=CentralizedBackend(), incremental=False,
+        )
+        expected = reference.verify(plan)
+        assert rib_fingerprint(
+            report.updated_world.device_ribs
+        ) == rib_fingerprint(expected.updated_world.device_ribs)

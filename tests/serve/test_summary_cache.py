@@ -1,0 +1,54 @@
+"""Hot-state region-summary cache: publish on first solve, seed later ones."""
+
+from repro.serve.state import HotState
+
+
+class TestSummaryCache:
+    def test_prepare_base_publishes_summaries(self, snapshot_path):
+        state = HotState()
+        model_hash, snapshot = state.load_snapshot(snapshot_path)
+        entry = state.verifier_for(model_hash, snapshot, backend="modular")
+        entry.verifier.prepare_base()
+        stats = state.stats()
+        assert stats["summaries"] == 2  # one per region of the 2-region WAN
+        assert stats["counters"]["serve.summary_cache.puts"] >= 2
+
+    def test_second_verifier_warm_starts_from_cache(self, snapshot_path):
+        state = HotState()
+        model_hash, snapshot = state.load_snapshot(snapshot_path)
+        first = state.verifier_for(model_hash, snapshot, backend="modular")
+        first.verifier.prepare_base()
+
+        # Same model, different pipeline flavour: new verifier, same store.
+        second = state.verifier_for(
+            model_hash, snapshot, backend="modular", incremental=False
+        )
+        assert second is not first
+        second.verifier.prepare_base()
+        counters = state.stats()["counters"]
+        assert counters["serve.summary_cache.hits"] >= 2
+        seeds = second.verifier.ctx.counters().get("modular.summary_seeds", 0)
+        assert seeds > 0
+
+    def test_summaries_are_model_addressed(
+        self, snapshot_path, other_snapshot_path
+    ):
+        state = HotState()
+        hash_a, snap_a = state.load_snapshot(snapshot_path)
+        state.verifier_for(hash_a, snap_a, backend="modular")\
+            .verifier.prepare_base()
+        # A different model must not see the first model's summaries.
+        hash_b, snap_b = state.load_snapshot(other_snapshot_path)
+        assert hash_a != hash_b
+        assert state.summary_get(hash_b, "region0") is None
+        assert state.summary_get(hash_a, "region0") is not None
+
+    def test_lru_bound_evicts_oldest(self):
+        state = HotState(max_summaries=2)
+        state.summary_put("m", "r0", object())
+        state.summary_put("m", "r1", object())
+        state.summary_put("m", "r2", object())
+        assert state.summary_get("m", "r0") is None
+        assert state.summary_get("m", "r2") is not None
+        counters = state.stats()["counters"]
+        assert counters["serve.summary_cache.evictions"] == 1
