@@ -535,6 +535,124 @@ def check_modular_smoke(scenario: Dict[str, Any]) -> list:
     return failures
 
 
+#: Acceptance floor: the shared-fixpoint k-failure engine (warm-start
+#: deltas + equivalence-class pruning) must beat cold exhaustive
+#: re-simulation this much on the all-2-link-failure medium-WAN sweep,
+#: with byte-identical verdicts and violation sets.
+KFAILURE_SPEEDUP_FLOOR = 3.0
+
+
+def _kfailure_verdict_fingerprint(result) -> str:
+    """SHA-256 over everything the equivalence contract pins."""
+    import hashlib
+
+    canonical = repr(
+        (
+            result.ok,
+            result.scenarios_checked,
+            result.truncated,
+            [
+                (v.failed_links, v.failed_routers, tuple(v.violations))
+                for v in result.violations
+            ],
+        )
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def bench_kfailure_sweep(
+    params: Optional[WanParams] = None,
+    n_prefixes: int = 80,
+    max_links: int = 14,
+    k: int = 2,
+    preset: str = "medium",
+) -> Dict[str, Any]:
+    """A/B one all-≤k-link-failure sweep: cold exhaustive vs warm+pruned.
+
+    Both arms run in-process over the same bounded link universe: every
+    member of the first three inter-region trunk bundles plus a stride
+    sample of intra-region links (WAN generation is deterministic, so the
+    universe is stable across runs). Bundled trunks are the realistic case
+    — production WAN trunks are LAGs, so most member failures are routing
+    no-ops and member pairs are interchangeable, exactly the structure
+    equivalence-class pruning exploits. The cold arm re-simulates the full
+    network for every scenario; the warm arm solves the base fixpoint once
+    and replays each scenario as a blast-bounded delta, deduped by
+    equivalence class. Verdict fingerprints must be byte-identical — the
+    engine's contract, enforced on every report run.
+    """
+    from repro.kfailure import KFailureEngine, reachability_property
+
+    if params is None:
+        params = WanParams(regions=4, seed=7, trunk_members=3)
+    model, inventory = generate_wan(params)
+    routes = generate_input_routes(inventory, n_prefixes=n_prefixes, seed=8)
+    all_links = list(model.topology.links)
+    members = max(1, params.trunk_members)
+    trunk_links = [ln for ln in all_links if ln.igp_cost >= 30][: 3 * members]
+    intra_links = [ln for ln in all_links if ln.igp_cost < 30]
+    remaining = max(0, max_links - len(trunk_links))
+    stride = max(1, len(intra_links) // remaining) if remaining else 1
+    links = trunk_links + intra_links[::stride][:remaining]
+    prefix = str(routes[0].route.prefix)
+    devices = sorted(model.devices)[:8]
+    prop = reachability_property(prefix, devices)
+
+    def arm(warm: bool):
+        engine = KFailureEngine(
+            model, routes, warm=warm, prune=warm, links=links
+        )
+        started = time.process_time()
+        result = engine.check(k, prop, ctx=RunContext("bench"))
+        return time.process_time() - started, result
+
+    cold_seconds, cold = arm(False)
+    warm_seconds, warm = arm(True)
+    cold_fp = _kfailure_verdict_fingerprint(cold)
+    warm_fp = _kfailure_verdict_fingerprint(warm)
+    assert warm_fp == cold_fp, (
+        f"warm+pruned k-failure verdicts diverged from cold on {preset}"
+    )
+    return {
+        "preset": preset,
+        "prefixes": n_prefixes,
+        "k": k,
+        "links": len(links),
+        "trunk_members": members,
+        "scenarios": cold.scenarios_checked,
+        "coverage": cold.coverage,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": (
+            round(cold_seconds / warm_seconds, 2) if warm_seconds else None
+        ),
+        "scenarios_simulated": warm.scenarios_simulated,
+        "scenarios_pruned": warm.scenarios_pruned,
+        "violating_scenarios": len(cold.violations),
+        "fingerprint": cold_fp[:16],
+        "note": (
+            "cold re-simulates the full WAN per scenario; warm replays "
+            "blast-bounded deltas against one shared base fixpoint. "
+            f">={KFAILURE_SPEEDUP_FLOOR}x floor enforced by "
+            "--kfailure-smoke."
+        ),
+    }
+
+
+def check_kfailure_smoke(scenario: Dict[str, Any]) -> list:
+    """CI gate for the k-failure A/B: the speedup floor must hold."""
+    failures = []
+    speedup = scenario.get("speedup")
+    if speedup is None:
+        failures.append("kfailure_sweep: missing speedup")
+    elif speedup < KFAILURE_SPEEDUP_FLOOR:
+        failures.append(
+            f"kfailure_sweep.speedup: {speedup}x < "
+            f"{KFAILURE_SPEEDUP_FLOOR}x floor over cold enumeration"
+        )
+    return failures
+
+
 def run_large_benchmarks(
     preset: str = "large", prefixes: int = 200, flows: int = 4000
 ) -> Dict[str, Any]:
@@ -552,6 +670,15 @@ def run_large_benchmarks(
     if preset == "large_smoke":
         scenarios["ship_route_large_smoke"] = bench_ship(preset, prefixes)
         scenarios["route_sim_modular"] = bench_modular_route(preset, prefixes)
+        kfailure_params = WanParams.large_smoke()
+        kfailure_params.trunk_members = 3
+        scenarios["kfailure_sweep_large_smoke"] = bench_kfailure_sweep(
+            params=kfailure_params,
+            n_prefixes=60,
+            max_links=12,
+            k=1,
+            preset="large_smoke",
+        )
     return scenarios
 
 
@@ -603,6 +730,7 @@ def run_benchmarks(smoke: bool = False, large: bool = False) -> Dict[str, Any]:
         scenarios["traffic_sim_medium"] = bench_traffic_sim(3, 120, 1500, repeats)
         scenarios["serve_warm"] = bench_serve_warm(3, 120, 1500, repeats)
         scenarios["distributed_route_e2e"] = bench_distributed_e2e(repeats)
+        scenarios["kfailure_sweep_medium"] = bench_kfailure_sweep()
     if large:
         scenarios.update(run_large_benchmarks(preset="large_smoke"))
         scenarios.update(run_large_benchmarks(preset="large"))

@@ -9,7 +9,9 @@ import sys
 
 from benchmarks.perf import (
     REPORT_PATH,
+    bench_kfailure_sweep,
     bench_modular_route,
+    check_kfailure_smoke,
     check_large_smoke,
     check_modular_smoke,
     check_smoke,
@@ -51,6 +53,13 @@ def main(argv=None) -> int:
         "RIB fingerprints, and fail below the speedup floor",
     )
     parser.add_argument(
+        "--kfailure-smoke",
+        action="store_true",
+        help="CI k-failure tier: A/B the shared-fixpoint engine against cold "
+        "exhaustive enumeration on the medium all-2-link-failure sweep, "
+        "assert byte-identical verdicts, and fail below the speedup floor",
+    )
+    parser.add_argument(
         "--output",
         type=pathlib.Path,
         default=REPORT_PATH,
@@ -81,6 +90,21 @@ def main(argv=None) -> int:
             return 1
         print(
             "modular-smoke ok: byte-identical to distributed-thread at "
+            f"{scenario['speedup']}x"
+        )
+        return 0
+
+    if args.kfailure_smoke:
+        scenario = bench_kfailure_sweep()
+        print(json.dumps({"kfailure_sweep_medium": scenario}, indent=2))
+        failures = check_kfailure_smoke(scenario)
+        if failures:
+            print("KFAILURE-SMOKE REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            return 1
+        print(
+            "kfailure-smoke ok: byte-identical to cold enumeration at "
             f"{scenario['speedup']}x"
         )
         return 0

@@ -13,6 +13,8 @@ high-risk, manually designed changes) and a REST API (for automated ones)
 * ``repro rcl`` — parse/size-check an RCL specification;
 * ``repro vsb`` — print the vendor-behaviour differential-test table;
 * ``repro chaos`` — run the seeded fault-injection invariant check;
+* ``repro kfailure`` — check a reachability property under every ≤k
+  failure scenario (warm-start + equivalence-class pruning by default);
 * ``repro serve`` — run the long-lived verification service daemon;
 * ``repro submit`` / ``status`` / ``result`` / ``cancel`` / ``shutdown`` —
   the thin client for a running daemon.
@@ -53,6 +55,7 @@ from repro.exec import (
     TrafficSimRequest,
     make_backend,
 )
+from repro.kfailure import PARALLEL_MODES
 from repro.obs import RunContext, TRACE_SCHEMA, configure_logging
 from repro.workload import (
     WanParams,
@@ -388,8 +391,10 @@ def _serve_job_exit(record: dict) -> int:
         result = record.get("result", {})
         if "verdict" in result:
             print(result.get("summary", result["verdict"]))
-            print(f"cache: {result.get('cache')}  "
-                  f"rib_fingerprint: {result.get('rib_fingerprint')}")
+            detail = f"cache: {result.get('cache')}"
+            if result.get("rib_fingerprint"):
+                detail += f"  rib_fingerprint: {result['rib_fingerprint']}"
+            print(detail)
             return 0 if result.get("ok", False) else 1
         print(json.dumps(result, sort_keys=True))
         return 0
@@ -415,6 +420,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
         spec["backend"] = args.backend
     if args.no_cache:
         spec["no_cache"] = True
+    if args.kind == "kfailure":
+        spec["k"] = args.k if args.k is not None else 1
+        if args.prefix:
+            spec["prefix"] = args.prefix
+        if args.device:
+            spec["devices"] = args.device
     with _serve_client(args) as client:
         try:
             job_id = client.submit(spec)
@@ -474,6 +485,54 @@ def cmd_shutdown(args: argparse.Namespace) -> int:
         client.shutdown(drain=not args.no_drain)
     print("shutdown requested" + (" (no drain)" if args.no_drain else " (drain)"))
     return 0
+
+
+def cmd_kfailure(args: argparse.Namespace) -> int:
+    from repro.distsim import TaskFailed
+    from repro.kfailure import KFailureEngine, reachability_property
+    from repro.net.topology import TopologyError
+
+    snapshot = _load_snapshot(args.snapshot)
+    model, routes = snapshot["model"], snapshot["routes"]
+    if not routes and args.prefix is None:
+        print("snapshot has no input routes; pass --prefix explicitly")
+        return EXIT_TASK_FAILED
+    prefix = args.prefix or str(routes[0].route.prefix)
+    devices = args.device or sorted(model.devices)
+    ctx = RunContext("kfailure")
+    engine = KFailureEngine(
+        model,
+        routes,
+        fail_links=not args.routers_only,
+        fail_routers=args.fail_routers or args.routers_only,
+        max_scenarios=args.max_scenarios,
+        backend=_backend_from_args(args),
+        warm=not args.cold,
+        prune=not args.cold,
+        parallel_mode=args.parallel,
+        workers=args.workers if args.parallel else None,
+        stop_on_first_violation=args.stop_on_first,
+        ctx=ctx,
+    )
+    try:
+        result = engine.check(
+            args.k, reachability_property(prefix, devices, vrf=args.vrf)
+        )
+    except (TaskFailed, TopologyError) as exc:
+        print(f"k-failure exploration failed: {exc}")
+        if args.trace:
+            _write_trace(args.trace, ctx)
+            print(f"trace written to {args.trace}")
+        return EXIT_TASK_FAILED
+    print(f"k={args.k} ({engine.mode_name}): {result.summary()}")
+    for violation in result.violations[: args.show]:
+        print(f"  {violation}")
+    if len(result.violations) > args.show:
+        print(f"  ... and {len(result.violations) - args.show} more")
+    if args.trace:
+        _write_trace(args.trace, ctx)
+        print(f"trace written to {args.trace}")
+    return 0 if result.ok else 1
 
 
 def cmd_vsb(args: argparse.Namespace) -> int:
@@ -584,6 +643,40 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--report", help="write per-run JSON reports here")
     chaos.set_defaults(func=cmd_chaos)
 
+    kfailure = sub.add_parser(
+        "kfailure",
+        help="check a reachability property under every <=k failure scenario",
+    )
+    kfailure.add_argument("snapshot")
+    kfailure.add_argument("-k", type=int, default=1,
+                          help="maximum simultaneous failures (default 1)")
+    kfailure.add_argument("--prefix", default=None,
+                          help="prefix whose reachability is checked "
+                               "(default: the snapshot's first input route)")
+    kfailure.add_argument("--device", action="append", default=None,
+                          help="device that must keep the prefix "
+                               "(repeatable; default: every device)")
+    kfailure.add_argument("--vrf", default="global")
+    kfailure.add_argument("--fail-routers", action="store_true",
+                          help="also enumerate router failures")
+    kfailure.add_argument("--routers-only", action="store_true",
+                          help="enumerate router failures instead of links")
+    kfailure.add_argument("--max-scenarios", type=int, default=None,
+                          help="stop after this many scenarios (coverage "
+                               "is reported exactly)")
+    kfailure.add_argument("--parallel", choices=list(PARALLEL_MODES),
+                          default=None,
+                          help="fan scenario classes out across --workers")
+    kfailure.add_argument("--cold", action="store_true",
+                          help="disable warm-start and pruning (baseline)")
+    kfailure.add_argument("--stop-on-first", action="store_true",
+                          help="exit at the first violating scenario")
+    kfailure.add_argument("--show", type=int, default=10,
+                          help="violating scenarios to print (default 10)")
+    kfailure.add_argument("--trace", help="write the run's trace JSON here")
+    _add_backend_options(kfailure)
+    kfailure.set_defaults(func=cmd_kfailure)
+
     vsb = sub.add_parser("vsb", help="vendor differential-test table")
     vsb.add_argument("--vendor-a", default="vendor-a")
     vsb.add_argument("--vendor-b", default="vendor-b")
@@ -616,7 +709,15 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("plan", nargs="?",
                         help="change-plan JSON (verify / what-if jobs)")
     submit.add_argument("--kind", default="verify",
-                        choices=["verify", "whatif", "simulate", "sleep"])
+                        choices=["verify", "whatif", "simulate", "kfailure",
+                                 "sleep"])
+    submit.add_argument("-k", type=int, default=None,
+                        help="kfailure jobs: maximum simultaneous failures")
+    submit.add_argument("--prefix", default=None,
+                        help="kfailure jobs: prefix to check")
+    submit.add_argument("--device", action="append", default=None,
+                        help="kfailure jobs: device that must keep the "
+                             "prefix (repeatable)")
     submit.add_argument("--tenant", default="default")
     submit.add_argument("--priority", default="normal",
                         choices=["high", "normal", "batch"])

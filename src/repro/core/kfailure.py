@@ -1,59 +1,45 @@
-"""k-failure verification (§6.2, building on [27, 52]).
+"""k-failure verification (§6.2) — compatibility facade.
 
-Checks whether a property holds under every combination of at most k
-link/router failures. Exhaustive enumeration is bounded by
-``max_scenarios`` (production Hoyan uses smarter pruning; the bound keeps
-laptop runs tractable while exploring the same scenario space shape).
+The implementation lives in :mod:`repro.kfailure` (shared-fixpoint engine:
+warm-start scenario deltas, equivalence-class pruning, parallel frontier
+fan-out). This module keeps the original import surface alive:
+``KFailureChecker`` is now a thin wrapper that drives the engine with its
+legacy constructor signature and defaults.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
-from repro.exec import CentralizedBackend, ExecutionBackend, RouteSimRequest
+from repro.exec import ExecutionBackend
+from repro.kfailure import (
+    KFailureEngine,
+    KFailureResult,
+    KFailureViolation,
+    PropertyCheck,
+    reachability_property,
+)
 from repro.net.model import NetworkModel
-from repro.net.topology import Link
 from repro.obs import RunContext, ensure_context
-from repro.routing.inputs import InputRoute, build_local_input_routes
-from repro.routing.simulator import SimulationResult
+from repro.routing.inputs import InputRoute
 
-#: property(model, simulation_result) -> list of violation strings
-PropertyCheck = Callable[[NetworkModel, SimulationResult], List[str]]
-
-
-@dataclass
-class KFailureViolation:
-    """One failure scenario that breaks the property."""
-
-    failed_links: Tuple[Tuple[str, str], ...]
-    failed_routers: Tuple[str, ...]
-    violations: List[str]
-
-    def __str__(self) -> str:
-        parts = []
-        if self.failed_links:
-            parts.append(f"links={['-'.join(l) for l in self.failed_links]}")
-        if self.failed_routers:
-            parts.append(f"routers={list(self.failed_routers)}")
-        return f"failure scenario ({', '.join(parts)}): {self.violations[:3]}"
-
-
-@dataclass
-class KFailureResult:
-    scenarios_checked: int
-    violations: List[KFailureViolation] = field(default_factory=list)
-    truncated: bool = False
-    elapsed_seconds: float = 0.0
-
-    @property
-    def ok(self) -> bool:
-        return not self.violations
+__all__ = [
+    "KFailureChecker",
+    "KFailureResult",
+    "KFailureViolation",
+    "PropertyCheck",
+    "reachability_property",
+]
 
 
 class KFailureChecker:
-    """Enumerates failure scenarios and re-simulates each."""
+    """Legacy entry point, now backed by the shared-fixpoint engine.
+
+    Warm-start and pruning are on by default — results are pinned
+    byte-identical to cold exhaustive enumeration by the equivalence suite,
+    so existing callers only see the speedup. Pass ``warm=False,
+    prune=False`` for the cold baseline.
+    """
 
     def __init__(
         self,
@@ -64,85 +50,40 @@ class KFailureChecker:
         max_scenarios: int = 200,
         backend: Optional[ExecutionBackend] = None,
         ctx: Optional[RunContext] = None,
+        warm: bool = True,
+        prune: bool = True,
+        parallel_mode: Optional[str] = None,
+        workers: Optional[int] = None,
+        stop_on_first_violation: bool = False,
     ) -> None:
         self.model = model
-        self.input_routes = list(input_routes) + build_local_input_routes(model)
-        self.fail_links = fail_links
-        self.fail_routers = fail_routers
-        self.max_scenarios = max_scenarios
-        self.backend = backend if backend is not None else CentralizedBackend()
         self.ctx = ensure_context(ctx, "kfailure")
+        self.engine = KFailureEngine(
+            model,
+            input_routes,
+            fail_links=fail_links,
+            fail_routers=fail_routers,
+            max_scenarios=max_scenarios,
+            backend=backend,
+            warm=warm,
+            prune=prune,
+            parallel_mode=parallel_mode,
+            workers=workers,
+            stop_on_first_violation=stop_on_first_violation,
+            ctx=self.ctx,
+        )
 
-    def _scenarios(self, k: int) -> Iterable[Tuple[List[Link], List[str]]]:
-        links = self.model.topology.links if self.fail_links else []
-        routers = self.model.topology.router_names if self.fail_routers else []
-        elements: List[Tuple[str, object]] = [("link", l) for l in links] + [
-            ("router", r) for r in routers
-        ]
-        for size in range(1, k + 1):
-            for combo in itertools.combinations(elements, size):
-                failed_links = [item for kind, item in combo if kind == "link"]
-                failed_routers = [item for kind, item in combo if kind == "router"]
-                yield failed_links, failed_routers
+    @property
+    def input_routes(self):
+        """The full input list (user inputs + locally originated routes)."""
+        return self.engine.inputs
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        return self.engine.backend
 
     def check(
         self, k: int, prop: PropertyCheck, ctx: Optional[RunContext] = None
     ) -> KFailureResult:
         """Check the property under every <=k failure scenario."""
-        ctx = ctx if ctx is not None else self.ctx
-        result = KFailureResult(scenarios_checked=0)
-        with ctx.span("kfailure.check", k=k) as span:
-            for failed_links, failed_routers in self._scenarios(k):
-                if result.scenarios_checked >= self.max_scenarios:
-                    result.truncated = True
-                    break
-                result.scenarios_checked += 1
-                ctx.count("kfailure.scenarios")
-                scenario_model = self.model.copy()
-                for link in failed_links:
-                    found = scenario_model.topology.find_link(*link.endpoints)
-                    if found is not None:
-                        scenario_model.topology.fail_link(found)
-                for router in failed_routers:
-                    scenario_model.topology.fail_router(router)
-                outcome = self.backend.run_routes(
-                    RouteSimRequest(model=scenario_model, inputs=self.input_routes),
-                    ctx,
-                )
-                # In-process backends expose the full SimulationResult; any
-                # other backend's outcome still satisfies the property
-                # protocol (it carries device_ribs and global_rib()).
-                simulation = outcome.result if outcome.result is not None else outcome
-                violations = prop(scenario_model, simulation)
-                if violations:
-                    ctx.count("kfailure.violations", len(violations))
-                    result.violations.append(
-                        KFailureViolation(
-                            failed_links=tuple(l.endpoints for l in failed_links),
-                            failed_routers=tuple(failed_routers),
-                            violations=violations,
-                        )
-                    )
-        result.elapsed_seconds = span.duration
-        return result
-
-
-def reachability_property(
-    prefix: str, devices: Sequence[str], vrf: str = "global"
-) -> PropertyCheck:
-    """Property: the prefix stays reachable on the given devices."""
-    from repro.net.addr import as_prefix
-
-    target = as_prefix(prefix)
-
-    def prop(model: NetworkModel, simulation: SimulationResult) -> List[str]:
-        problems = []
-        for device in devices:
-            if not model.topology.router_is_up(device):
-                continue  # the device itself failed; not a routing problem
-            rib = simulation.device_ribs.get(device)
-            if rib is None or not rib.routes_for(target, vrf):
-                problems.append(f"{device} lost {target}")
-        return problems
-
-    return prop
+        return self.engine.check(k, prop, ctx=ctx)

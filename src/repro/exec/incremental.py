@@ -14,7 +14,7 @@ result into the unaffected base state via the
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, FrozenSet, List, Optional, Sequence
 
 from repro.distsim.partition import CoveredSubsetPartitioner
 from repro.exec.base import (
@@ -40,6 +40,10 @@ class WarmStart:
     #: pre-computed covered subset of the request's inputs, in original
     #: order; recomputed from ``blast`` when not provided.
     covered_inputs: Optional[Sequence[InputRoute]] = None
+    #: devices whose RIB must come from the partial run wholesale (no base
+    #: splicing) — failed routers in k-failure scenarios, whose cold-run
+    #: RIBs are empty at every prefix, covered or not.
+    full_devices: FrozenSet[str] = frozenset()
 
 
 class IncrementalBackend(ExecutionBackend):
@@ -89,7 +93,11 @@ class IncrementalBackend(ExecutionBackend):
                 inner_request = replace(request, inputs=covered, warm_start=None)
             partial = self.inner.run_routes(inner_request, ctx)
             splice = self.engine.splice(
-                warm.base_ribs, partial.device_ribs, warm.blast, ctx=ctx
+                warm.base_ribs,
+                partial.device_ribs,
+                warm.blast,
+                ctx=ctx,
+                full_devices=warm.full_devices,
             )
             return RouteSimOutcome(
                 device_ribs=splice.device_ribs,
@@ -132,7 +140,12 @@ class IncrementalBackend(ExecutionBackend):
             return None
         partial_ribs, scoped_devices, result = outcome
         splice = self.engine.splice_scoped(
-            warm.base_ribs, partial_ribs, warm.blast, scoped_devices, ctx=ctx
+            warm.base_ribs,
+            partial_ribs,
+            warm.blast,
+            scoped_devices,
+            ctx=ctx,
+            full_devices=warm.full_devices,
         )
         return RouteSimOutcome(
             device_ribs=splice.device_ribs,

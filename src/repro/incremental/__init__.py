@@ -15,7 +15,9 @@ from repro.incremental.blast import (
     BlastRadius,
     TRAFFIC_ONLY_SECTIONS,
     WIDEN_SECTIONS,
+    aggregate_closure,
     analyze_blast_radius,
+    blast_radius_for_prefixes,
 )
 from repro.incremental.diff import (
     DeviceDelta,
@@ -23,8 +25,10 @@ from repro.incremental.diff import (
     LOCAL_INPUT_SECTIONS,
     ModelDiff,
     SECTIONS,
+    TopologyFailureDiff,
     device_section_fingerprints,
     diff_models,
+    diff_topology_failures,
     topology_fingerprint,
 )
 from repro.incremental.engine import (
@@ -63,11 +67,15 @@ __all__ = [
     "SnapshotStats",
     "SpliceResult",
     "TRAFFIC_ONLY_SECTIONS",
+    "TopologyFailureDiff",
     "WIDEN_SECTIONS",
+    "aggregate_closure",
     "analyze_blast_radius",
+    "blast_radius_for_prefixes",
     "device_rib_fingerprint",
     "device_section_fingerprints",
     "device_token",
     "diff_models",
+    "diff_topology_failures",
     "topology_fingerprint",
 ]

@@ -26,7 +26,7 @@ re-simulation. Widening can cost performance, never correctness.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.incremental.diff import DeviceDelta, ModelDiff
 from repro.net.addr import Prefix, as_prefix
@@ -77,6 +77,9 @@ class BlastRadius:
     region_scope: Optional[str] = None
 
     _trie: Optional[PrefixTrie] = field(default=None, repr=False, compare=False)
+    _covers_cache: Optional[Dict[Prefix, bool]] = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def is_empty(self) -> bool:
@@ -96,7 +99,15 @@ class BlastRadius:
             for space_prefix in self.affected_prefixes:
                 trie.insert(space_prefix, True)
             self._trie = trie
-        return bool(self._trie.covering_values(prefix))
+            self._covers_cache = {}
+        cache = self._covers_cache
+        covered = cache.get(prefix)
+        if covered is None:
+            # Splicing asks about the same few hundred RIB prefixes once per
+            # device, so memoizing turns O(devices) trie walks into one.
+            covered = bool(self._trie.covering_values(prefix))
+            cache[prefix] = covered
+        return covered
 
     def summary(self) -> str:
         if self.widened:
@@ -282,7 +293,29 @@ def _analyze_device_delta(
     return traffic
 
 
-def _aggregate_closure(
+def blast_radius_for_prefixes(
+    prefixes: Iterable[Prefix],
+    models: Sequence[NetworkModel],
+    changed_devices: FrozenSet[str] = frozenset(),
+    region_scope: Optional[str] = None,
+) -> BlastRadius:
+    """A narrowed :class:`BlastRadius` over an explicit prefix set.
+
+    Entry point for analyzers that bound the affected space themselves —
+    the k-failure engine derives it from session deaths and IGP movement
+    rather than from a config diff — while reusing this module's aggregate
+    closure (the only cross-prefix propagation channel) and trie-backed
+    ``covers`` machinery.
+    """
+    space = aggregate_closure(set(prefixes), False, models)
+    return BlastRadius(
+        affected_prefixes=tuple(sorted(space, key=lambda p: p.ordering_key())),
+        changed_devices=changed_devices,
+        region_scope=region_scope,
+    )
+
+
+def aggregate_closure(
     prefixes: Set[Prefix], include_all_v6: bool, models: Sequence[NetworkModel]
 ) -> Set[Prefix]:
     """Close the space over aggregation (the only cross-prefix channel).
@@ -346,7 +379,7 @@ def analyze_blast_radius(
             changed_devices=changed_devices,
         )
 
-    space = _aggregate_closure(out.prefixes, out.include_all_v6, (base, updated))
+    space = aggregate_closure(out.prefixes, out.include_all_v6, (base, updated))
     return BlastRadius(
         affected_prefixes=tuple(sorted(space, key=lambda p: p.ordering_key())),
         include_all_v6=out.include_all_v6,

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.incremental.blast import BlastRadius, analyze_blast_radius
 from repro.incremental.diff import ModelDiff, diff_models
@@ -189,6 +189,7 @@ class IncrementalEngine:
         partial_ribs: Mapping[str, DeviceRib],
         blast: BlastRadius,
         ctx=None,
+        full_devices: Iterable[str] = (),
     ) -> SpliceResult:
         """Merge a partial re-simulation into the unaffected base state.
 
@@ -197,13 +198,21 @@ class IncrementalEngine:
         uncovered prefixes come from the base run. A device with no covered
         slot on either side keeps its base RIB object — served through the
         snapshot store so reuse shows up as cache hits.
+
+        ``full_devices`` take their partial RIB wholesale, skipping the
+        per-slot merge: a failed router's RIB is empty in a cold run even
+        at prefixes the blast radius never covers (assembly skips down
+        devices), so splicing base slots there would resurrect routes the
+        cold run dropped.
         """
         with (
             ctx.span("incremental.splice", devices=len(base_ribs))
             if ctx
             else nullcontext()
         ):
-            return self._splice(base_ribs, partial_ribs, blast)
+            return self._splice(
+                base_ribs, partial_ribs, blast, frozenset(full_devices)
+            )
 
     def splice_scoped(
         self,
@@ -212,6 +221,7 @@ class IncrementalEngine:
         blast: BlastRadius,
         scoped_devices: Iterable[str],
         ctx=None,
+        full_devices: Iterable[str] = (),
     ) -> SpliceResult:
         """Splice when only ``scoped_devices`` could have changed.
 
@@ -219,7 +229,7 @@ class IncrementalEngine:
         border summary) that devices outside the scoped region hold their
         base state even at covered prefixes, so they reuse their base RIB
         objects wholesale; scoped devices splice exactly like
-        :meth:`splice`.
+        :meth:`splice`, including its ``full_devices`` replacement rule.
         """
         member = set(scoped_devices)
         with (
@@ -242,6 +252,7 @@ class IncrementalEngine:
                 },
                 scoped_partial,
                 blast,
+                frozenset(full_devices) & member,
             )
             for name, base_rib in base_ribs.items():
                 if name in member:
@@ -258,6 +269,7 @@ class IncrementalEngine:
         base_ribs: Mapping[str, DeviceRib],
         partial_ribs: Mapping[str, DeviceRib],
         blast: BlastRadius,
+        full_devices: FrozenSet[str] = frozenset(),
     ) -> SpliceResult:
         result = SpliceResult(device_ribs={})
         names = list(base_ribs)
@@ -265,6 +277,16 @@ class IncrementalEngine:
         for name in names:
             base_rib = base_ribs.get(name)
             partial_rib = partial_ribs.get(name)
+            if name in full_devices:
+                replacement = (
+                    partial_rib if partial_rib is not None else DeviceRib(name)
+                )
+                result.device_ribs[name] = replacement
+                result.affected_devices += 1
+                result.spliced_slots += sum(
+                    len(replacement.prefixes(vrf)) for vrf in replacement.vrfs
+                )
+                continue
             covered_base = _covered_slots(base_rib, blast)
             covered_partial = _covered_slots(partial_rib, blast)
             if not covered_base and not covered_partial and base_rib is not None:

@@ -1,0 +1,54 @@
+"""Shared-fixpoint k-failure exploration (§6.2).
+
+Public surface of the engine that replaced ``repro.core.kfailure``'s
+exhaustive checker: solve the base fixpoint once, bound every failure
+scenario's blast radius against it, dedupe scenarios into blast-fingerprint
+equivalence classes, and fan the surviving classes out across worker pools.
+``repro.core.kfailure`` re-exports the legacy names on top of this package.
+"""
+
+from repro.kfailure.blast import (
+    ClassKey,
+    FailureBlastAnalyzer,
+    ScenarioEffect,
+    adjacency_digest,
+)
+from repro.kfailure.engine import KFailureEngine
+from repro.kfailure.parallel import (
+    PARALLEL_MODES,
+    ClassJob,
+    FrontierExecutor,
+    solve_class,
+)
+from repro.kfailure.result import (
+    KFailureResult,
+    KFailureViolation,
+    PropertyCheck,
+    reachability_property,
+)
+from repro.kfailure.scenarios import (
+    FailureScenario,
+    apply_scenario,
+    enumerate_scenarios,
+    scenario_space_size,
+)
+
+__all__ = [
+    "PARALLEL_MODES",
+    "ClassJob",
+    "ClassKey",
+    "FailureBlastAnalyzer",
+    "FailureScenario",
+    "FrontierExecutor",
+    "KFailureEngine",
+    "KFailureResult",
+    "KFailureViolation",
+    "PropertyCheck",
+    "ScenarioEffect",
+    "adjacency_digest",
+    "apply_scenario",
+    "enumerate_scenarios",
+    "reachability_property",
+    "scenario_space_size",
+    "solve_class",
+]

@@ -1,0 +1,481 @@
+"""Shared-fixpoint k-failure exploration engine.
+
+The old checker re-simulated the entire WAN for every one of the
+``sum(C(n, i))`` failure combinations. This engine solves the base
+fixpoint **once**, then treats each scenario as a topology-failure delta
+against it:
+
+* **Warm-start deltas** — the :class:`~repro.kfailure.blast.FailureBlastAnalyzer`
+  bounds each scenario's affected prefix space from the base solve's
+  candidate sets; only the covered inputs are re-solved (through the
+  :class:`~repro.exec.incremental.IncrementalBackend` splice machinery,
+  with failed routers spliced wholesale) and everything else is reused
+  from the base snapshots. A scenario confined to one region composes with
+  the modular backend's region-scoped path: one region re-solved against
+  pinned base border summaries, zero cross-region work.
+* **Equivalence-class pruning** — scenarios are canonicalized by their
+  blast fingerprint (failed routers, IS-IS adjacency digest, dead eBGP
+  sessions); one simulation serves every scenario in a class. The pruning
+  contract: properties must be functions of the device RIBs and the failed
+  element sets (both identical within a class) — true of every shipped
+  property.
+* **Parallel frontier fan-out** — classes fan out across thread or process
+  workers (base state shipped once via shared memory), priority-ordered
+  largest-blast-first, with optional early exit at the first violation.
+
+``warm=False, prune=False`` reproduces the legacy exhaustive checker
+move-for-move (modulo the missing-link fix) — the cold baseline the
+equivalence suite and the A/B benchmark compare against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.exec import (
+    CentralizedBackend,
+    ExecutionBackend,
+    RouteSimOutcome,
+    RouteSimRequest,
+)
+from repro.exec.base import TrafficSimOutcome, TrafficSimRequest
+from repro.exec.incremental import IncrementalBackend, WarmStart
+from repro.incremental.engine import IncrementalEngine
+from repro.kfailure.blast import ClassKey, FailureBlastAnalyzer, ScenarioEffect
+from repro.kfailure.parallel import PARALLEL_MODES, ClassJob, FrontierExecutor
+from repro.kfailure.result import (
+    KFailureResult,
+    KFailureViolation,
+    PropertyCheck,
+)
+from repro.kfailure.scenarios import (
+    FailureScenario,
+    apply_scenario,
+    enumerate_scenarios,
+)
+from repro.net.model import NetworkModel
+from repro.net.topology import Link
+from repro.obs import RunContext, ensure_context
+from repro.routing.inputs import InputRoute, build_local_input_routes
+from repro.routing.simulator import RouteSimulator, SimulationResult
+
+
+class _ScopedSolver(ExecutionBackend):
+    """Modular region-scoped hook + centralized covered-subset solves.
+
+    The incremental decorator's inner backend for warm exploration over a
+    modular terminal backend. Routing plain ``run_routes`` to a centralized
+    solver (byte-identical results, pinned by the equivalence suite) keeps
+    the modular backend's converged **base** state pristine: a modular
+    covered-subset solve would re-register scenario summaries under the
+    base model's id and poison later region-scoped pins.
+    """
+
+    name = "kfailure-scoped"
+    is_distributed = False
+
+    def __init__(self, modular: ExecutionBackend, max_rounds: int = 50) -> None:
+        self._modular = modular
+        self._centralized = CentralizedBackend(max_rounds=max_rounds)
+
+    def run_routes(self, request, ctx=None):
+        return self._centralized.run_routes(request, ctx)
+
+    def run_region_scoped(self, request, warm, base_model, ctx):
+        return self._modular.run_region_scoped(request, warm, base_model, ctx)
+
+    def run_traffic(
+        self, request: TrafficSimRequest, ctx=None
+    ) -> TrafficSimOutcome:
+        return self._centralized.run_traffic(request, ctx)
+
+
+class KFailureEngine:
+    """Explores the ≤k failure-scenario space against one base fixpoint."""
+
+    def __init__(
+        self,
+        model: NetworkModel,
+        input_routes: Sequence[InputRoute],
+        fail_links: bool = True,
+        fail_routers: bool = False,
+        max_scenarios: Optional[int] = None,
+        backend: Optional[ExecutionBackend] = None,
+        warm: bool = True,
+        prune: bool = True,
+        parallel_mode: Optional[str] = None,
+        workers: Optional[int] = None,
+        stop_on_first_violation: bool = False,
+        links: Optional[Sequence[Link]] = None,
+        routers: Optional[Sequence[str]] = None,
+        ctx: Optional[RunContext] = None,
+    ) -> None:
+        if parallel_mode is not None and parallel_mode not in PARALLEL_MODES:
+            raise ValueError(
+                f"unknown parallel mode {parallel_mode!r}; "
+                f"expected one of {PARALLEL_MODES}"
+            )
+        if parallel_mode is not None and not (warm and prune):
+            raise ValueError(
+                "parallel frontier fan-out requires warm=True and prune=True"
+            )
+        self.model = model
+        self.inputs: List[InputRoute] = list(input_routes) + (
+            build_local_input_routes(model)
+        )
+        self.fail_links = fail_links
+        self.fail_routers = fail_routers
+        self.max_scenarios = max_scenarios
+        self.backend = backend if backend is not None else CentralizedBackend()
+        self.warm = warm
+        self.prune = prune
+        self.parallel_mode = parallel_mode
+        self.workers = workers
+        self.stop_on_first_violation = stop_on_first_violation
+        self.links = list(links) if links is not None else None
+        self.routers = list(routers) if routers is not None else None
+        self.ctx = ensure_context(ctx, "kfailure")
+        self.base_result: Optional[SimulationResult] = None
+        self.analyzer: Optional[FailureBlastAnalyzer] = None
+        self._incr_engine: Optional[IncrementalEngine] = None
+        self._warm_backend: Optional[IncrementalBackend] = None
+
+    @property
+    def mode_name(self) -> str:
+        parts = []
+        parts.append("warm" if self.warm else "cold")
+        if self.prune:
+            parts.append("pruned")
+        if self.parallel_mode:
+            parts.append(self.parallel_mode)
+        return "+".join(parts)
+
+    # -- preparation ---------------------------------------------------------
+
+    def prepare(self, ctx: Optional[RunContext] = None) -> None:
+        """Solve the base fixpoint and build the analyzer (idempotent).
+
+        The base solve runs centralized in-process regardless of the
+        scenario backend: the analyzer needs the full per-slot candidate
+        sets (``BgpResult.selections`` including rejected candidates) that
+        only an in-process result exposes. When the scenario backend offers
+        the region-scoped hook, one additional modular solve of the base
+        model registers the converged summaries the hook pins against.
+        """
+        if self.base_result is not None:
+            return
+        ctx = ctx if ctx is not None else self.ctx
+        with ctx.span("kfailure.prepare", inputs=len(self.inputs)):
+            simulator = RouteSimulator(self.model)
+            self.base_result = simulator.simulate(
+                self.inputs, include_local_inputs=False, ctx=ctx
+            )
+            self.analyzer = FailureBlastAnalyzer(
+                self.model, self.inputs, self.base_result, ctx=ctx
+            )
+            self._incr_engine = IncrementalEngine(self.model)
+            self._incr_engine.snapshot_base(self.base_result.device_ribs, ctx)
+            inner: ExecutionBackend = self.backend
+            if self.warm and hasattr(self.backend, "run_region_scoped"):
+                # Register the modular base state (model id + igp identity
+                # are what run_region_scoped keys on).
+                self.backend.run_routes(
+                    RouteSimRequest(
+                        model=self.model,
+                        inputs=self.inputs,
+                        igp=self.base_result.igp,
+                    ),
+                    ctx,
+                )
+                inner = _ScopedSolver(self.backend)
+            self._warm_backend = IncrementalBackend(inner, self._incr_engine)
+
+    # -- exploration ---------------------------------------------------------
+
+    def check(
+        self, k: int, prop: PropertyCheck, ctx: Optional[RunContext] = None
+    ) -> KFailureResult:
+        """Check the property under every ≤k failure scenario."""
+        ctx = ctx if ctx is not None else self.ctx
+        scenarios, total = enumerate_scenarios(
+            self.model,
+            k,
+            fail_links=self.fail_links,
+            fail_routers=self.fail_routers,
+            links=self.links,
+            routers=self.routers,
+        )
+        result = KFailureResult(scenarios_checked=0, scenarios_total=total)
+        with ctx.span("kfailure.check", k=k, engine=self.mode_name) as span:
+            examined: List[FailureScenario] = []
+            for scenario in scenarios:
+                if (
+                    self.max_scenarios is not None
+                    and len(examined) >= self.max_scenarios
+                ):
+                    result.truncated = True
+                    break
+                examined.append(scenario)
+            result.scenarios_checked = len(examined)
+            result.coverage = (len(examined) / total) if total else 1.0
+            ctx.count("kfailure.scenarios_total", len(examined))
+
+            if self.warm or self.prune:
+                self.prepare(ctx)
+                if self.parallel_mode is not None:
+                    self._check_parallel(examined, prop, result, ctx)
+                else:
+                    self._check_sequential(examined, prop, result, ctx)
+            else:
+                self._check_cold(examined, prop, result, ctx)
+
+            ctx.count("kfailure.simulated", result.scenarios_simulated)
+            ctx.count("kfailure.pruned", result.scenarios_pruned)
+            if result.violations:
+                ctx.count(
+                    "kfailure.violations",
+                    sum(len(v.violations) for v in result.violations),
+                )
+        result.elapsed_seconds = span.duration
+        return result
+
+    # -- cold baseline (the legacy checker, move for move) -------------------
+
+    def _check_cold(
+        self,
+        examined: Sequence[FailureScenario],
+        prop: PropertyCheck,
+        result: KFailureResult,
+        ctx: RunContext,
+    ) -> None:
+        for scenario in examined:
+            ctx.count("kfailure.scenarios")
+            scenario_model = self.model.copy()
+            apply_scenario(scenario_model.topology, scenario)
+            outcome = self.backend.run_routes(
+                RouteSimRequest(model=scenario_model, inputs=self.inputs), ctx
+            )
+            # In-process backends expose the full SimulationResult; any
+            # other backend's outcome still satisfies the property protocol
+            # (it carries device_ribs and global_rib()).
+            simulation = (
+                outcome.result if outcome.result is not None else outcome
+            )
+            result.scenarios_simulated += 1
+            violations = prop(scenario_model, simulation)
+            if self._record(result, scenario, violations):
+                break
+
+    # -- warm / pruned sequential path ---------------------------------------
+
+    def _check_sequential(
+        self,
+        examined: Sequence[FailureScenario],
+        prop: PropertyCheck,
+        result: KFailureResult,
+        ctx: RunContext,
+    ) -> None:
+        assert self.analyzer is not None
+        class_verdicts: Dict[ClassKey, List[str]] = {}
+        for scenario in examined:
+            ctx.count("kfailure.scenarios")
+            restore = apply_scenario(self.model.topology, scenario)
+            try:
+                key = self.analyzer.class_key(self.model, scenario)
+                cached = class_verdicts.get(key) if self.prune else None
+                if cached is not None:
+                    result.scenarios_pruned += 1
+                    violations = cached
+                else:
+                    result.scenarios_simulated += 1
+                    violations = self._class_verdict(key, prop, ctx)
+                    class_verdicts[key] = violations
+            finally:
+                restore()
+            if self._record(result, scenario, violations):
+                break
+
+    def _class_verdict(
+        self, key: ClassKey, prop: PropertyCheck, ctx: RunContext
+    ) -> List[str]:
+        """Verdict of one equivalence class; overlay is already applied."""
+        assert self.analyzer is not None and self.base_result is not None
+        if not self.warm:
+            # Prune-only mode: cold full solve, one per class.
+            outcome = self.backend.run_routes(
+                RouteSimRequest(model=self.model, inputs=self.inputs), ctx
+            )
+            simulation = (
+                outcome.result if outcome.result is not None else outcome
+            )
+            return prop(self.model, simulation)
+        effect = self.analyzer.effect(self.model, key)
+        if effect.is_noop:
+            # No RIB slot of any up device can move: judge the base RIBs
+            # under the scenario overlay, zero solves.
+            ctx.count("kfailure.noop_classes")
+            return prop(self.model, self.base_result)
+        assert self._warm_backend is not None
+        warm = WarmStart(
+            blast=effect.blast,
+            base_ribs=self.base_result.device_ribs,
+            covered_inputs=effect.covered_inputs,
+            full_devices=effect.failed_routers,
+        )
+        outcome = self._warm_backend.run_routes(
+            RouteSimRequest(
+                model=self.model,
+                inputs=self.inputs,
+                igp=effect.igp,
+                warm_start=warm,
+            ),
+            ctx,
+        )
+        return prop(self.model, outcome)
+
+    # -- parallel frontier fan-out -------------------------------------------
+
+    def _check_parallel(
+        self,
+        examined: Sequence[FailureScenario],
+        prop: PropertyCheck,
+        result: KFailureResult,
+        ctx: RunContext,
+    ) -> None:
+        assert self.analyzer is not None and self.base_result is not None
+        assert self._incr_engine is not None
+        analyzer = self.analyzer
+        class_of: List[ClassKey] = []
+        representative: Dict[ClassKey, FailureScenario] = {}
+        effects: Dict[ClassKey, ScenarioEffect] = {}
+        with ctx.span("kfailure.fingerprint", scenarios=len(examined)):
+            for scenario in examined:
+                ctx.count("kfailure.scenarios")
+                restore = apply_scenario(self.model.topology, scenario)
+                try:
+                    key = analyzer.class_key(self.model, scenario)
+                    if key not in effects:
+                        representative[key] = scenario
+                        effects[key] = analyzer.effect(self.model, key)
+                finally:
+                    restore()
+                class_of.append(key)
+        result.scenarios_simulated = len(effects)
+        result.scenarios_pruned = len(examined) - len(effects)
+
+        verdicts: Dict[ClassKey, List[str]] = {}
+        jobs: List[ClassJob] = []
+        for key, effect in effects.items():
+            if effect.is_noop:
+                ctx.count("kfailure.noop_classes")
+                verdicts[key] = self._judge(
+                    key, representative, self.base_result.device_ribs, prop
+                )
+            else:
+                jobs.append(
+                    ClassJob(
+                        key=key,
+                        scenario=representative[key],
+                        covered_indices=tuple(
+                            index
+                            for index, item in enumerate(self.inputs)
+                            if effect.blast.covers(item.route.prefix)
+                        ),
+                        priority=effect.priority,
+                    )
+                )
+
+        early = any(verdicts.get(key) for key in verdicts) and (
+            self.stop_on_first_violation
+        )
+        if jobs and not early:
+            executor = FrontierExecutor(
+                self.model,
+                self.inputs,
+                mode=self.parallel_mode or "thread",
+                workers=self.workers,
+                igp_of=analyzer.igp_for,
+            )
+            with ctx.span(
+                "kfailure.fanout",
+                mode=executor.mode,
+                workers=executor.workers,
+                classes=len(jobs),
+            ):
+                stream = executor.run(jobs)
+                for batch in stream:
+                    for key, partial_ribs in batch:
+                        effect = effects[key]
+                        splice = self._incr_engine.splice(
+                            self.base_result.device_ribs,
+                            partial_ribs,
+                            effect.blast,
+                            ctx=ctx,
+                            full_devices=effect.failed_routers,
+                        )
+                        verdicts[key] = self._judge(
+                            key, representative, splice.device_ribs, prop
+                        )
+                        if verdicts[key] and self.stop_on_first_violation:
+                            early = True
+                            break
+                    if early:
+                        stream.close()
+                        break
+        if early:
+            result.early_exited = True
+
+        # Violations in enumeration order; classes the early exit cancelled
+        # have no verdict and contribute nothing.
+        for scenario, key in zip(examined, class_of):
+            verdict = verdicts.get(key)
+            if verdict:
+                result.violations.append(
+                    KFailureViolation(
+                        failed_links=scenario.link_endpoints,
+                        failed_routers=scenario.failed_routers,
+                        violations=list(verdict),
+                    )
+                )
+
+    def _judge(
+        self,
+        key: ClassKey,
+        representative: Dict[ClassKey, FailureScenario],
+        device_ribs,
+        prop: PropertyCheck,
+    ) -> List[str]:
+        """Evaluate the property under the class representative's overlay."""
+        assert self.analyzer is not None
+        restore = apply_scenario(self.model.topology, representative[key])
+        try:
+            outcome = RouteSimOutcome(
+                device_ribs=device_ribs,
+                igp=self.analyzer.igp_for(key) or self.analyzer.base_igp,
+                backend="kfailure-parallel",
+            )
+            return prop(self.model, outcome)
+        finally:
+            restore()
+
+    def _record(
+        self,
+        result: KFailureResult,
+        scenario: FailureScenario,
+        violations: Iterable[str],
+    ) -> bool:
+        """Append a violation record; True when exploration should stop."""
+        violations = list(violations)
+        if not violations:
+            return False
+        result.violations.append(
+            KFailureViolation(
+                failed_links=scenario.link_endpoints,
+                failed_routers=scenario.failed_routers,
+                violations=violations,
+            )
+        )
+        if self.stop_on_first_violation:
+            result.early_exited = True
+            return True
+        return False

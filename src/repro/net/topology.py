@@ -289,8 +289,20 @@ class Topology:
             and link.b.router not in self._failed_routers
         )
 
+    def link_is_failed(self, link: Link) -> bool:
+        """Whether the link itself is in the failure overlay.
+
+        Distinct from ``not link_is_up``: a link whose endpoint router
+        failed is down without being failed, which matters to callers that
+        layer additional failures and must restore exactly what they added.
+        """
+        return link.key in self._failed_links
+
     def router_is_up(self, name: str) -> bool:
         return name not in self._failed_routers
+
+    def router_is_failed(self, name: str) -> bool:
+        return name in self._failed_routers
 
     @property
     def up_links(self) -> List[Link]:

@@ -57,7 +57,7 @@ SERVER_ID = "repro-serve/1"
 #: Priority classes, lower number = served first.
 PRIORITY_CLASSES = {"high": 0, "normal": 1, "batch": 2}
 
-JOB_KINDS = ("verify", "whatif", "simulate", "sleep")
+JOB_KINDS = ("verify", "whatif", "simulate", "kfailure", "sleep")
 ISOLATION_MODES = ("thread", "process")
 
 
@@ -97,9 +97,13 @@ def validate_job_spec(spec: Any) -> Optional[str]:
             return f"{kind} jobs need a 'plan' object"
         if kind == "verify" and "change_type" not in spec["plan"]:
             return "verify plans need a 'change_type'"
-    if kind in ("verify", "whatif", "simulate"):
+    if kind in ("verify", "whatif", "simulate", "kfailure"):
         if not isinstance(spec.get("snapshot_path"), str):
             return f"{kind} jobs need a 'snapshot_path'"
+    if kind == "kfailure":
+        k = spec.get("k", 1)
+        if not isinstance(k, int) or k < 1:
+            return f"kfailure jobs need a positive integer 'k', got {k!r}"
     priority = spec.get("priority", "normal")
     if priority not in PRIORITY_CLASSES:
         return (f"unknown priority {priority!r}; expected one of "

@@ -22,6 +22,12 @@ Job kinds:
 ``simulate``
     Return the model's base world (RIB rows, fingerprint, link loads) —
     cached wholesale after the first request.
+``kfailure``
+    Check a reachability property under every ≤k failure scenario with
+    the shared-fixpoint engine. The prepared engine (base fixpoint +
+    blast analyzer + RIB snapshot) is cached per (model, backend,
+    params) in the hot state, so repeated sweeps on one snapshot only
+    pay scenario exploration.
 ``sleep``
     A diagnostic no-op that emits heartbeat events; used by operational
     smoke tests and the scheduler's own test suite.
@@ -65,13 +71,28 @@ def _request_fingerprint_fields(spec: Dict[str, Any]) -> Dict[str, Any]:
     they are excluded — two tenants submitting the same request share one
     cache slot.
     """
-    return {
+    fields = {
         "kind": spec["kind"],
         "plan": spec.get("plan"),
         "backend": spec.get("backend", "centralized"),
         "incremental": spec.get("incremental", True),
         "perf_flags": spec.get("perf_flags", {}),
     }
+    if spec["kind"] == "kfailure":
+        # Every knob that changes the exploration's verdict must key the
+        # cache, or two different sweeps would collide on one slot.
+        fields["kfailure"] = {
+            "k": spec.get("k", 1),
+            "prefix": spec.get("prefix"),
+            "devices": spec.get("devices"),
+            "vrf": spec.get("vrf", "global"),
+            "fail_links": spec.get("fail_links", True),
+            "fail_routers": spec.get("fail_routers", False),
+            "max_scenarios": spec.get("max_scenarios"),
+            "cold": spec.get("cold", False),
+            "stop_on_first": spec.get("stop_on_first", False),
+        }
+    return fields
 
 
 def _materialize_plan(spec: Dict[str, Any], flows_available: bool):
@@ -129,6 +150,10 @@ def execute_spec(
         with perfopts.configured(**flags):
             if kind == "simulate":
                 result = _run_simulate(spec, state, model_hash, snapshot, ctx)
+            elif kind == "kfailure":
+                result = _run_kfailure(
+                    spec, state, model_hash, snapshot, ctx, cancel_check
+                )
             else:
                 result = _run_verify(
                     spec, state, model_hash, snapshot, ctx, cancel_check
@@ -228,6 +253,63 @@ def _run_simulate(
     if world.traffic is not None:
         result["loaded_links"] = len(world.traffic.loads)
     return result
+
+
+def _run_kfailure(
+    spec: Dict[str, Any],
+    state: HotState,
+    model_hash: str,
+    snapshot: Dict[str, Any],
+    ctx: RunContext,
+    cancel_check: CancelCheck,
+) -> Dict[str, Any]:
+    from repro.kfailure import reachability_property
+
+    routes = snapshot["routes"]
+    prefix = spec.get("prefix") or (
+        str(routes[0].route.prefix) if routes else None
+    )
+    if prefix is None:
+        raise ValueError("kfailure jobs need a 'prefix' or snapshot routes")
+    devices = spec.get("devices") or sorted(snapshot["model"].devices)
+    cold = spec.get("cold", False)
+    entry = state.kfailure_for(
+        model_hash,
+        snapshot,
+        backend=spec.get("backend", "centralized"),
+        fail_links=spec.get("fail_links", True),
+        fail_routers=spec.get("fail_routers", False),
+        max_scenarios=spec.get("max_scenarios"),
+        warm=not cold,
+        prune=not cold,
+        stop_on_first_violation=spec.get("stop_on_first", False),
+    )
+    with entry.lock:
+        if cancel_check():
+            raise JobCancelled()
+        result = entry.engine.check(
+            spec.get("k", 1),
+            reachability_property(prefix, devices, vrf=spec.get("vrf", "global")),
+            ctx=ctx,
+        )
+    return {
+        "kind": "kfailure",
+        "k": spec.get("k", 1),
+        "prefix": prefix,
+        "mode": entry.engine.mode_name,
+        "verdict": "pass" if result.ok else "risk",
+        "ok": result.ok,
+        "summary": result.summary(),
+        "scenarios_total": result.scenarios_total,
+        "scenarios_checked": result.scenarios_checked,
+        "scenarios_simulated": result.scenarios_simulated,
+        "scenarios_pruned": result.scenarios_pruned,
+        "coverage": result.coverage,
+        "truncated": result.truncated,
+        "early_exited": result.early_exited,
+        "violations": [str(v) for v in result.violations[:20]],
+        "elapsed_seconds": round(result.elapsed_seconds, 6),
+    }
 
 
 def _run_sleep(

@@ -13,6 +13,11 @@ matter how clients name them:
   inputs. Each verifier owns a byte-budgeted
   :class:`~repro.incremental.snapshots.RibSnapshotStore`; budget evictions
   are mirrored into the server context's ``snapshots.lru_evicted`` counter.
+* **k-failure engine cache** — one prepared
+  :class:`~repro.kfailure.KFailureEngine` per (model hash, backend,
+  engine params): the base fixpoint, blast-analyzer indexes, and RIB
+  snapshot are paid once; repeat k-failure jobs on the same snapshot
+  re-explore from the shared warm state.
 * **Result cache** — finished job results keyed by
   (model hash, canonical request fingerprint): an identical request on an
   identical model returns the cached verdict without touching a backend.
@@ -58,6 +63,12 @@ class _VerifierEntry:
     snapshots: Optional[RibSnapshotStore] = None
 
 
+@dataclass
+class _KFailureEntry:
+    engine: Any  # KFailureEngine (lazy import to keep state.py light)
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
 class _SummaryStore:
     """One model hash's view of the shared region-summary cache.
 
@@ -100,6 +111,8 @@ class HotState:
         self._stat_hashes: Dict[Tuple[str, int, int], str] = {}
         #: (model_hash, backend, incremental) -> prepared verifier
         self._verifiers: Dict[Tuple[str, str, bool], _VerifierEntry] = {}
+        #: (model_hash, backend, engine params) -> prepared k-failure engine
+        self._kfailure: Dict[Tuple[Any, ...], _KFailureEntry] = {}
         #: result-cache: fingerprint -> result dict, LRU
         self._results: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
         #: (model_hash, region) -> converged RegionSummary, LRU
@@ -151,6 +164,8 @@ class HotState:
         """Drop the verifiers of an evicted model (caller holds the lock)."""
         for key in [k for k in self._verifiers if k[0] == model_hash]:
             del self._verifiers[key]
+        for key in [k for k in self._kfailure if k[0] == model_hash]:
+            del self._kfailure[key]
 
     # -- prepared verifiers ----------------------------------------------------
 
@@ -193,6 +208,43 @@ class HotState:
             )
             entry = _VerifierEntry(verifier=verifier, snapshots=snapshots)
             self._verifiers[key] = entry
+            return entry
+
+    # -- prepared k-failure engines --------------------------------------------
+
+    def kfailure_for(
+        self,
+        model_hash: str,
+        snapshot: Dict[str, Any],
+        backend: str = "centralized",
+        **engine_options: Any,
+    ) -> _KFailureEntry:
+        """The prepared k-failure engine for one (model, backend, params) key.
+
+        The engine's expensive state — the base fixpoint, the blast
+        analyzer's dependency indexes, and the incremental snapshot — is
+        paid once per key on first ``check``; later k-failure jobs against
+        the same snapshot warm-start from it. Engines are not re-entrant
+        (scenario overlays mutate the shared model), so the entry carries a
+        lock like the verifier cache.
+        """
+        from repro.kfailure import KFailureEngine
+
+        key = (model_hash, backend) + tuple(sorted(engine_options.items()))
+        with self._lock:
+            entry = self._kfailure.get(key)
+            if entry is not None:
+                self.ctx.count("serve.kfailure_cache.hits")
+                return entry
+            self.ctx.count("serve.kfailure_cache.misses")
+            engine = KFailureEngine(
+                snapshot["model"],
+                snapshot["routes"],
+                backend=make_backend(backend),
+                **engine_options,
+            )
+            entry = _KFailureEntry(engine=engine)
+            self._kfailure[key] = entry
             return entry
 
     def _on_snapshot_evict(self, key: str, size: int) -> None:
@@ -262,6 +314,7 @@ class HotState:
             return {
                 "models": len(self._models),
                 "verifiers": len(self._verifiers),
+                "kfailure_engines": len(self._kfailure),
                 "prepared_verifiers": sum(
                     1 for entry in self._verifiers.values() if entry.prepared
                 ),

@@ -39,6 +39,11 @@ class WanParams:
     isps_per_border: int = 1
     #: DCN core-layer routers per DC edge (0 = WAN only)
     dcn_cores_per_edge: int = 0
+    #: Parallel member links per inter-region trunk (LAG-style bundles).
+    #: Real WAN trunks are link aggregates: losing one member leaves the
+    #: adjacency up at the same IGP cost, so most single-member failures are
+    #: routing no-ops — the structure k-failure equivalence pruning exploits.
+    trunk_members: int = 1
     link_bandwidth: float = 100e9
     seed: int = 7
     vendors: Tuple[str, ...] = ("vendor-a", "vendor-b")
@@ -131,9 +136,11 @@ class WanParams:
         over ``core0`` (one link when only two regions) plus a parallel
         ``core1`` ring, then up to ``regions // 2`` random ``core2`` chords
         whose sample pairs may collide — the only non-closed-form term, so
-        the bounds bracket it.
+        the bounds bracket it. Inter-region trunks carry ``trunk_members``
+        parallel member links each.
         """
         c, b, e = self.cores_per_region, self.borders_per_region, self.dc_edges_per_region
+        members = max(1, self.trunk_members)
         intra = self.regions * (2 * (c + b + e) + c * (c - 1) // 2 + b + e)
         ring = 0
         if self.regions > 1:
@@ -142,8 +149,8 @@ class WanParams:
         chords_max = self.regions // 2 if self.regions > 3 and c > 2 else 0
         counts = self.expected_router_counts()
         stubs = counts["isps"] + counts["dcn_cores"]
-        base = intra + ring + stubs
-        return base, base + chords_max
+        base = intra + ring * members + stubs
+        return base, base + chords_max * members
 
 
 @dataclass
@@ -237,19 +244,24 @@ def generate_wan(params: Optional[WanParams] = None) -> Tuple[NetworkModel, WanI
         for i, edge in enumerate(edge_names):
             connect(edge, core_names[i % len(core_names)], cost=10)
 
-    # Inter-region: ring over region cores plus random chords.
+    # Inter-region: ring over region cores plus random chords. Each trunk
+    # is a bundle of ``trunk_members`` equal-cost parallel links.
+    def connect_trunk(a: str, b: str, cost: int) -> None:
+        for _ in range(max(1, params.trunk_members)):
+            connect(a, b, cost=cost)
+
     regions = [f"region{r}" for r in range(params.regions)]
     for r, region in enumerate(regions):
         next_region = regions[(r + 1) % len(regions)]
         a = f"{region}-core0"
         b = f"{next_region}-core0"
         if model.topology.find_link(a, b) is None:
-            connect(a, b, cost=30)
+            connect_trunk(a, b, cost=30)
         if params.cores_per_region > 1:
             a2 = f"{region}-core1"
             b2 = f"{next_region}-core1"
             if model.topology.find_link(a2, b2) is None:
-                connect(a2, b2, cost=30)
+                connect_trunk(a2, b2, cost=30)
     if len(regions) > 3:
         for _ in range(len(regions) // 2):
             ra, rb = rng.sample(regions, 2)
@@ -258,7 +270,7 @@ def generate_wan(params: Optional[WanParams] = None) -> Tuple[NetworkModel, WanI
                 params.cores_per_region > 2
                 and model.topology.find_link(a, b) is None
             ):
-                connect(a, b, cost=40)
+                connect_trunk(a, b, cost=40)
 
     # iBGP: RRs full-mesh across regions; all other WAN routers are clients
     # of their region's RRs.

@@ -1,0 +1,235 @@
+"""Engine behavior: counters, coverage, pruning, errors, region scoping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distsim.partition import interleave_by_priority
+from repro.exec import ModularBackend
+from repro.kfailure import (
+    KFailureEngine,
+    apply_scenario,
+    enumerate_scenarios,
+    reachability_property,
+    scenario_space_size,
+)
+from repro.kfailure.scenarios import FailureScenario
+from repro.net.topology import TopologyError
+from repro.obs import RunContext
+from repro.routing.inputs import inject_external_route
+
+from tests.helpers import build_model, full_mesh_ibgp, peer_both
+
+PFX = "203.0.113.0/24"
+
+
+def bundle_world():
+    """Redundant diamond with a parallel A-B bundle (prunable classes)."""
+    model = build_model(
+        routers=[("A", 100), ("B", 100), ("C", 100), ("D", 100)],
+        links=[("A", "B", 10), ("B", "D", 10), ("A", "C", 10), ("C", "D", 10)],
+    )
+    model.topology.connect("A", "B", igp_cost=10)
+    full_mesh_ibgp(model, ["A", "B", "C", "D"])
+    return model, [inject_external_route("D", PFX, (65010,))]
+
+
+def two_region_world():
+    """Two IS-IS regions with a primary and a backup ISP into west.
+
+    X1's route wins the AS-path tiebreak everywhere, so X2's longer-path
+    route is W2's losing candidate and — being beaten by an iBGP route —
+    is never exported across the region border. Failing the W2-X2 link
+    therefore kills an eBGP session without moving the IGP (ISIS is
+    disabled on the ISPs) and without changing west's border exports:
+    the exact shape the modular region-scoped warm path accelerates.
+    """
+    model = build_model(
+        routers=[
+            ("W1", 100),
+            ("W2", 100),
+            ("E1", 100),
+            ("E2", 100),
+            ("X1", 65010),
+            ("X2", 65020),
+        ],
+        links=[
+            ("W1", "W2", 10),
+            ("E1", "E2", 10),
+            ("W1", "E1", 10),
+            ("W1", "X1", 10),
+            ("W2", "X2", 10),
+        ],
+    )
+    for name, region in (
+        ("W1", "west"),
+        ("W2", "west"),
+        ("E1", "east"),
+        ("E2", "east"),
+        ("X1", "west"),
+        ("X2", "west"),
+    ):
+        model.topology.router(name).__dict__["region"] = region
+    model.device("X1").isis.enabled = False
+    model.device("X2").isis.enabled = False
+    full_mesh_ibgp(model, ["W1", "W2", "E1", "E2"])
+    peer_both(model, "W1", "X1")
+    peer_both(model, "W2", "X2")
+    return model, [
+        inject_external_route("X1", PFX, (65010,)),
+        inject_external_route("X2", PFX, (65020, 65020)),
+    ]
+
+
+class TestCountersAndCoverage:
+    def test_full_run_accounting(self):
+        model, inputs = bundle_world()
+        n_links = len(model.topology.links)
+        engine = KFailureEngine(model, inputs)
+        result = engine.check(2, reachability_property(PFX, ["A"]))
+        assert result.scenarios_total == scenario_space_size(n_links, 2)
+        assert result.scenarios_checked == result.scenarios_total
+        assert result.coverage == 1.0
+        assert (
+            result.scenarios_simulated + result.scenarios_pruned
+            == result.scenarios_checked
+        )
+        # The parallel bundle members are one equivalence class, so at
+        # least their singleton scenarios collapse.
+        assert result.scenarios_pruned > 0
+        assert not result.truncated and not result.early_exited
+
+    def test_counters_on_context(self):
+        model, inputs = bundle_world()
+        ctx = RunContext("test")
+        engine = KFailureEngine(model, inputs, ctx=ctx)
+        result = engine.check(2, reachability_property(PFX, ["A"]))
+        counters = ctx.counters()
+        assert counters["kfailure.scenarios_total"] == result.scenarios_checked
+        assert counters["kfailure.simulated"] == result.scenarios_simulated
+        assert counters["kfailure.pruned"] == result.scenarios_pruned
+
+    def test_truncation_reports_partial_coverage(self):
+        model, inputs = bundle_world()
+        engine = KFailureEngine(model, inputs, max_scenarios=3)
+        result = engine.check(2, reachability_property(PFX, ["A"]))
+        assert result.truncated
+        assert result.scenarios_checked == 3
+        assert result.coverage == pytest.approx(3 / result.scenarios_total)
+        assert "truncated" in result.summary()
+
+    def test_summary_mentions_coverage(self):
+        model, inputs = bundle_world()
+        engine = KFailureEngine(model, inputs)
+        result = engine.check(1, reachability_property(PFX, ["A"]))
+        assert "coverage" in result.summary()
+        assert "pruned" in result.summary()
+
+
+class TestEarlyExit:
+    def test_sequential_stops_at_first_violation(self):
+        model, inputs = bundle_world()
+        engine = KFailureEngine(model, inputs, stop_on_first_violation=True)
+        result = engine.check(2, reachability_property(PFX, ["A"]))
+        assert result.early_exited
+        assert len(result.violations) == 1
+        assert "stopped at first violation" in result.summary()
+
+    def test_parallel_stops_early(self):
+        model, inputs = bundle_world()
+        engine = KFailureEngine(
+            model,
+            inputs,
+            parallel_mode="thread",
+            workers=2,
+            stop_on_first_violation=True,
+        )
+        result = engine.check(2, reachability_property(PFX, ["A"]))
+        assert result.early_exited
+        assert result.violations
+
+
+class TestMissingLink:
+    def test_apply_scenario_raises_for_unknown_link(self):
+        model, _ = bundle_world()
+        scenario = FailureScenario(
+            index=0, link_endpoints=(("A", "Z"),), failed_routers=()
+        )
+        with pytest.raises(TopologyError, match="A-Z"):
+            apply_scenario(model.topology, scenario)
+
+    def test_checker_surfaces_missing_link_instead_of_skipping(self):
+        model, inputs = bundle_world()
+        stale = model.topology.find_link("C", "D")
+        model.topology.remove_link(stale)
+        engine = KFailureEngine(model, inputs, links=[stale])
+        with pytest.raises(TopologyError, match="C-D"):
+            engine.check(1, reachability_property(PFX, ["A"]))
+
+    def test_apply_scenario_rolls_back_on_partial_failure(self):
+        model, _ = bundle_world()
+        good = model.topology.find_link("A", "C")
+        scenario = FailureScenario(
+            index=0,
+            link_endpoints=(good.endpoints, ("A", "Z")),
+            failed_routers=(),
+        )
+        with pytest.raises(TopologyError):
+            apply_scenario(model.topology, scenario)
+        assert not model.topology.link_is_failed(good)
+
+
+class TestRegionScopedComposition:
+    def test_ebgp_only_failure_uses_scoped_region_sim(self):
+        model, inputs = two_region_world()
+        ctx = RunContext("test")
+        prop = reachability_property(PFX, ["W1", "E1"])
+        cold = KFailureEngine(model, inputs, warm=False, prune=False).check(
+            1, prop
+        )
+        engine = KFailureEngine(
+            model, inputs, backend=ModularBackend(), ctx=ctx
+        )
+        warm = engine.check(1, prop)
+        assert warm.ok == cold.ok
+        assert [
+            (v.failed_links, v.failed_routers, v.violations)
+            for v in warm.violations
+        ] == [
+            (v.failed_links, v.failed_routers, v.violations)
+            for v in cold.violations
+        ]
+        # The W2-X eBGP failure moved no IGP state and is confined to the
+        # west region: it must have gone through the scoped path.
+        assert ctx.counters().get("modular.scoped_region_sims", 0) >= 1
+
+
+class TestEnumeration:
+    def test_space_size_matches_enumeration(self):
+        model, _ = bundle_world()
+        scenarios, total = enumerate_scenarios(model, 2)
+        assert total == scenario_space_size(len(model.topology.links), 2)
+        listed = list(scenarios)
+        assert len(listed) == total
+        assert [s.index for s in listed] == list(range(total))
+
+    def test_parallel_mode_requires_warm_and_prune(self):
+        model, inputs = bundle_world()
+        with pytest.raises(ValueError):
+            KFailureEngine(model, inputs, parallel_mode="thread", warm=False)
+        with pytest.raises(ValueError):
+            KFailureEngine(model, inputs, parallel_mode="bogus")
+
+
+class TestInterleaveByPriority:
+    def test_deals_largest_first_round_robin(self):
+        items = [("a", 5), ("b", 1), ("c", 4), ("d", 3), ("e", 2)]
+        batches = interleave_by_priority(items, 2, lambda item: item[1])
+        assert batches == [
+            [("a", 5), ("d", 3), ("b", 1)],
+            [("c", 4), ("e", 2)],
+        ]
+
+    def test_returns_requested_batch_count(self):
+        batches = interleave_by_priority([1], 3, lambda item: item)
+        assert batches == [[1], [], []]

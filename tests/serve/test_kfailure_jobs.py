@@ -1,0 +1,76 @@
+"""k-failure jobs through the daemon runner: hot-state reuse + caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.protocol import validate_job_spec
+from repro.serve.runner import execute_spec
+from repro.serve.state import HotState
+
+
+def kfailure_spec(snapshot_path, **extra):
+    spec = {
+        "kind": "kfailure",
+        "snapshot_path": snapshot_path,
+        "k": 1,
+        "devices": ["region0-core0", "region1-core0"],
+    }
+    spec.update(extra)
+    return spec
+
+
+class TestKFailureJobs:
+    def test_runs_and_reports_coverage(self, snapshot_path):
+        state = HotState()
+        result = execute_spec(kfailure_spec(snapshot_path), state)
+        assert result["kind"] == "kfailure"
+        assert result["verdict"] in ("pass", "risk")
+        assert result["scenarios_checked"] == result["scenarios_total"]
+        assert result["coverage"] == 1.0
+        assert result["cache"] == "miss"
+        assert "kfailure.scenarios_total" in result["counters"]
+
+    def test_repeat_sweep_reuses_engine_and_result_cache(self, snapshot_path):
+        state = HotState()
+        first = execute_spec(kfailure_spec(snapshot_path), state)
+        again = execute_spec(kfailure_spec(snapshot_path), state)
+        assert again["cache"] == "hit"
+        assert again["summary"] == first["summary"]
+        # A different property misses the result cache but reuses the
+        # prepared engine (same engine params -> same hot-state entry).
+        narrowed = execute_spec(
+            kfailure_spec(snapshot_path, devices=["region0-core0"]), state
+        )
+        assert narrowed["cache"] == "miss"
+        stats = state.stats()
+        assert stats["counters"]["serve.kfailure_cache.hits"] >= 1
+
+    def test_different_params_do_not_collide_in_result_cache(
+        self, snapshot_path
+    ):
+        state = HotState()
+        base = execute_spec(kfailure_spec(snapshot_path), state)
+        narrowed = execute_spec(
+            kfailure_spec(snapshot_path, devices=["region0-core0"]), state
+        )
+        assert narrowed["cache"] == "miss"
+        assert base["scenarios_total"] == narrowed["scenarios_total"]
+
+    def test_spec_validation(self, snapshot_path):
+        assert validate_job_spec(kfailure_spec(snapshot_path)) is None
+        assert "snapshot_path" in validate_job_spec({"kind": "kfailure"})
+        bad_k = validate_job_spec(kfailure_spec(snapshot_path, k=0))
+        assert "positive integer" in bad_k
+
+    def test_missing_prefix_without_routes_fails_the_run(self, tmp_path):
+        import pickle
+
+        from repro.workload import WanParams, generate_wan
+
+        model, _ = generate_wan(WanParams(regions=2, cores_per_region=2))
+        path = tmp_path / "no-routes.pkl"
+        with open(path, "wb") as handle:
+            pickle.dump({"model": model, "routes": []}, handle)
+        with pytest.raises(ValueError, match="prefix"):
+            execute_spec(kfailure_spec(str(path)), HotState())

@@ -83,3 +83,29 @@ class TestInventoryInvariants:
         assert len(model.devices) == params.expected_total_routers()
         low, high = params.expected_link_bounds()
         assert low <= len(model.topology.links) <= high
+
+    def test_trunk_members_bundle_inter_region_trunks(self):
+        flat = WanParams(trunk_members=1)
+        bundled = WanParams(trunk_members=3)
+        flat_model, _ = generate_wan(flat)
+        bundled_model, _ = generate_wan(bundled)
+        low, high = bundled.expected_link_bounds()
+        assert low <= len(bundled_model.topology.links) <= high
+        # Only inter-region trunk links multiply; intra-region links and
+        # stubs are untouched.
+        def trunk_count(model):
+            return sum(1 for ln in model.topology.links if ln.igp_cost >= 30)
+
+        flat_trunks = trunk_count(flat_model)
+        assert trunk_count(bundled_model) == 3 * flat_trunks
+        assert len(bundled_model.topology.links) - len(flat_model.topology.links) == (
+            2 * flat_trunks
+        )
+        # Bundle members are genuine parallel links between one router pair.
+        a, b = "region0-core0", "region1-core0"
+        parallel = [
+            ln for ln in bundled_model.topology.links
+            if {ln.a.router, ln.b.router} == {a, b}
+        ]
+        assert len(parallel) == 3
+        assert len({ln.igp_cost for ln in parallel}) == 1
